@@ -1,0 +1,35 @@
+"""Shared configuration for the benchmark harness.
+
+Each bench regenerates one paper artifact (table or figure), times the
+full pipeline with pytest-benchmark, prints the regenerated rows/series,
+and asserts the *shape* claims (who wins, by what factor, where the
+crossovers fall).  Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Experiments are deterministic; one round per bench keeps total wall time
+reasonable while still producing timing data.
+"""
+
+import pytest
+
+
+def run_experiment(benchmark, run_fn, render_fn=None, **kwargs):
+    """Time an experiment once and print its rendering."""
+    result = benchmark.pedantic(
+        lambda: run_fn(**kwargs), rounds=1, iterations=1, warmup_rounds=0
+    )
+    if render_fn is not None:
+        print()
+        print(render_fn(result))
+    return result
+
+
+@pytest.fixture
+def experiment(benchmark):
+    """Fixture wrapping :func:`run_experiment` with the bench object."""
+
+    def runner(run_fn, render_fn=None, **kwargs):
+        return run_experiment(benchmark, run_fn, render_fn, **kwargs)
+
+    return runner

@@ -1,0 +1,124 @@
+"""Ablation benches: the design choices DESIGN.md calls out.
+
+Each ablation perturbs one modelling assumption and shows it is
+load-bearing for a paper result:
+
+* **DVFS law** — under a *linear* power-vs-clock law, the 200 W cap would
+  cost the hot workloads >50 % instead of ~9 % (Fig 12 would be
+  unrecognizable); the cubic law is what makes half-TDP capping cheap.
+* **Telemetry drops** — the LDMS drop model halves the effective sampling
+  rate but leaves the high power mode unchanged (Fig 2's conclusion).
+* **Manufacturing variability** — disabling it removes the per-node
+  offsets of Fig 1.
+"""
+
+from repro.analysis.modes import high_power_mode_w
+from repro.experiments.common import make_nodes, run_workload
+from repro.hardware.node import GpuNode
+from repro.perfmodel.dvfs import capped_clock_fraction, capped_phase_slowdown
+from repro.telemetry.sampler import LdmsSampler, SamplerConfig
+from repro.vasp.benchmarks import benchmark as benchmark_case
+
+
+def test_ablation_dvfs_law(benchmark):
+    """Cubic vs linear DVFS: the Fig 12 crossover only exists for cubic."""
+
+    def cap_cost(exponent: float) -> float:
+        # A compute-bound exchange phase (demand 385 W, cf 0.52) capped
+        # at half TDP.
+        frac = capped_clock_fraction(385.0, 194.0, static_w=90.0, exponent=exponent)
+        return float(capped_phase_slowdown(frac, 0.52)) - 1.0
+
+    costs = benchmark.pedantic(
+        lambda: (cap_cost(3.0), cap_cost(1.0)), rounds=1, iterations=1
+    )
+    cubic_cost, linear_cost = costs
+    print(f"\n200 W cap cost on the exchange phase: cubic {cubic_cost:.1%}, "
+          f"linear {linear_cost:.1%}")
+    assert cubic_cost < 0.25
+    assert linear_cost > 2.0 * cubic_cost
+
+
+def test_ablation_telemetry_drops(benchmark):
+    """The drop model changes cadence, not the high power mode."""
+    measured = run_workload(benchmark_case("PdO2").build(), n_nodes=1, seed=5)
+    trace = measured.result.traces[0]
+
+    def analyze():
+        clean = LdmsSampler(SamplerConfig(drop_probability=0.0)).sample(trace)
+        dropped = LdmsSampler(SamplerConfig(drop_probability=0.5, seed=2)).sample(trace)
+        return (
+            high_power_mode_w(clean.values),
+            high_power_mode_w(dropped.values),
+            dropped.effective_interval_s,
+        )
+
+    clean_hpm, dropped_hpm, interval = benchmark.pedantic(
+        analyze, rounds=1, iterations=1
+    )
+    print(f"\nHPM clean {clean_hpm:.0f} W vs dropped {dropped_hpm:.0f} W "
+          f"(effective interval {interval:.2f} s)")
+    assert 1.6 <= interval <= 2.5
+    assert abs(dropped_hpm - clean_hpm) < 0.04 * clean_hpm
+
+
+def test_ablation_node_variability(benchmark):
+    """Per-node idle offsets vanish when variability is disabled."""
+
+    def idle_spread(n_nodes: int = 8) -> float:
+        idles = [
+            GpuNode(name=f"nid{4000 + i:06d}").idle_sample().node_w
+            for i in range(n_nodes)
+        ]
+        return max(idles) - min(idles)
+
+    spread = benchmark.pedantic(idle_spread, rounds=1, iterations=1)
+    print(f"\nidle spread across 8 nodes: {spread:.1f} W")
+    assert 5.0 < spread < 100.0
+
+
+def test_ablation_sampling_rate_headroom(benchmark):
+    """Doubling the base resolution does not move the high power mode
+    (the paper's 'any rate up to 10 s suffices for the HPM')."""
+    from repro.runner.engine import EngineConfig, PowerEngine
+    from repro.vasp.parallel import ParallelConfig
+
+    workload = benchmark_case("PdO2").build()
+    phases = workload.phases(ParallelConfig(1))
+
+    def run_at(interval: float) -> float:
+        engine = PowerEngine(make_nodes(1), EngineConfig(base_interval_s=interval))
+        result = engine.run(phases, seed=9)
+        return high_power_mode_w(result.traces[0].node_power)
+
+    modes = benchmark.pedantic(
+        lambda: (run_at(0.1), run_at(0.2)), rounds=1, iterations=1
+    )
+    assert abs(modes[0] - modes[1]) < 0.04 * modes[0]
+
+
+def test_ablation_load_imbalance(benchmark):
+    """Section III-A designed the benchmarks for load balance; a 25 %
+    rank skew lengthens the run and spreads per-GPU power."""
+    from repro.experiments.common import make_nodes
+    from repro.perfmodel.kernels import KernelCatalogue
+    from repro.runner.engine import EngineConfig, PowerEngine
+    from repro.vasp.phases import MacroPhase
+
+    phase = MacroPhase(
+        name="hot", duration_s=60.0, gpu_profile=KernelCatalogue.DGEMM_TEST
+    )
+
+    def run_pair():
+        balanced = PowerEngine(make_nodes(1), EngineConfig()).run([phase], seed=2)
+        skewed = PowerEngine(
+            make_nodes(1), EngineConfig(rank_imbalance=0.25)
+        ).run([phase], seed=2)
+        return balanced, skewed
+
+    balanced, skewed = benchmark.pedantic(run_pair, rounds=1, iterations=1)
+    print(
+        f"\nbalanced {balanced.runtime_s:.1f} s vs "
+        f"25% skew {skewed.runtime_s:.1f} s"
+    )
+    assert skewed.runtime_s > balanced.runtime_s * 1.05

@@ -1,0 +1,14 @@
+"""Bench: regenerate Fig 1 (per-node power variation in a 4-node job)."""
+
+from repro.experiments import fig01_node_variation
+
+
+def test_fig01(experiment):
+    result = experiment(fig01_node_variation.run, fig01_node_variation.render)
+    # Shape: idle spread bounded by the paper's 100 W observation; DGEMM
+    # is the hottest segment on every node.
+    assert 0.0 < result.idle_spread_w <= 100.0
+    for segment in result.segments:
+        assert segment.dgemm_w > segment.vasp_w > segment.idle_w or (
+            segment.dgemm_w > segment.stream_w > segment.idle_w
+        )

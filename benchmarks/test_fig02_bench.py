@@ -1,0 +1,15 @@
+"""Bench: regenerate Fig 2 (power distribution vs sampling rate)."""
+
+from repro.experiments import fig02_sampling
+
+
+def test_fig02(experiment):
+    result = experiment(fig02_sampling.run, fig02_sampling.render)
+    points = {p.rate_s: p for p in result.points}
+    base, coarse = points[0.1], points[10.0]
+    # Shape: high power mode invariant, max non-increasing, FWHM widening,
+    # mid mode lost only at the 10-second rate.
+    assert abs(coarse.high_power_mode_w - base.high_power_mode_w) < 0.05 * base.high_power_mode_w
+    assert coarse.max_w <= base.max_w
+    assert coarse.fwhm_w > base.fwhm_w
+    assert points[5.0].mid_mode_detected and not coarse.mid_mode_detected

@@ -1,0 +1,13 @@
+"""Bench: regenerate Fig 3 (component power timelines + histograms)."""
+
+from repro.experiments import fig03_timelines
+
+
+def test_fig03(experiment):
+    result = experiment(fig03_timelines.run, fig03_timelines.render)
+    hpms = {p.name: p.node_stats.high_power_mode_w for p in result.panels}
+    # Shape: the hot/cold split and the published 766-1814 W range.
+    assert hpms["Si256_hse"] > 1500 and hpms["Si128_acfdtr"] > 1500
+    assert hpms["GaAsBi-64"] < 900
+    assert result.panel("Si256_hse").gpu_fraction > 0.70
+    assert result.panel("Si128_acfdtr").host_section_s > 0

@@ -1,0 +1,16 @@
+"""Bench: regenerate Fig 4 (parallel efficiency)."""
+
+from repro.experiments import fig04_parallel_efficiency
+
+
+def test_fig04(experiment):
+    result = experiment(
+        fig04_parallel_efficiency.run, fig04_parallel_efficiency.render
+    )
+    for curve in result.curves:
+        pes = [p.parallel_efficiency for p in curve.points]
+        # Shape: monotone decline from 1.0; ends below the 70 % line.
+        assert pes[0] == 1.0
+        assert all(b <= a + 0.02 for a, b in zip(pes, pes[1:]))
+        assert pes[-1] < 0.70
+        assert curve.efficiency_at(curve.optimal_nodes) >= 0.69

@@ -1,0 +1,14 @@
+"""Bench: regenerate Fig 5 (high power mode vs node count, 7 workloads)."""
+
+from repro.experiments import fig05_workload_power
+
+
+def test_fig05(experiment):
+    result = experiment(fig05_workload_power.run, fig05_workload_power.render)
+    # Shape: the paper's central finding — workload-to-workload power
+    # variation dwarfs concurrency-driven variation.
+    assert result.workload_spread_w() > 3.0 * result.max_concurrency_spread_w()
+    assert result.workload_spread_w() > 800.0
+    pdo4 = result.curve("PdO4").points[0].high_power_mode_w
+    pdo2 = result.curve("PdO2").points[0].high_power_mode_w
+    assert pdo4 - pdo2 > 150.0

@@ -1,0 +1,13 @@
+"""Bench: regenerate Fig 6 (power vs silicon supercell size)."""
+
+from repro.experiments import fig06_system_size
+
+
+def test_fig06(experiment):
+    result = experiment(fig06_system_size.run, fig06_system_size.render)
+    hpms = [p.node_hpm_w for p in result.points]
+    # Shape: rise then plateau, saturating around 2,048 atoms with the
+    # four GPUs approaching their combined 1,600 W TDP.
+    assert hpms[-1] > 2.5 * hpms[0]
+    assert result.plateau_ratio() < 1.12
+    assert 1280.0 < result.points[-1].gpu4_hpm_w < 1600.0

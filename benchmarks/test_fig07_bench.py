@@ -1,0 +1,12 @@
+"""Bench: regenerate Fig 7 (power vs NPLWV and NBANDS)."""
+
+from repro.experiments import fig07_internal_params
+
+
+def test_fig07(experiment):
+    result = experiment(fig07_internal_params.run, fig07_internal_params.render)
+    # Shape: power follows plane waves, not bands; energy follows bands.
+    assert result.nplwv_power_spread_w() > 5.0 * result.nbands_power_spread_w()
+    assert result.nbands_energy_linearity() > 0.98
+    nplwv_hpms = [p.high_power_mode_w for p in result.nplwv_points]
+    assert all(b > a for a, b in zip(nplwv_hpms, nplwv_hpms[1:]))

@@ -1,0 +1,15 @@
+"""Bench: regenerate Fig 8 (power + energy vs concurrency)."""
+
+from repro.experiments import fig08_concurrency
+
+
+def test_fig08(experiment):
+    result = experiment(fig08_concurrency.run, fig08_concurrency.render)
+    energies = result.energies()
+    # Shape: energy rises monotonically with node count; power holds
+    # steady in the healthy-efficiency region and sags beyond it.
+    assert all(b > a for a, b in zip(energies, energies[1:]))
+    healthy = [p.high_power_mode_w for p in result.points if p.parallel_efficiency >= 0.80]
+    worst = min(p.high_power_mode_w for p in result.points)
+    assert max(healthy) - min(healthy) < 0.07 * max(healthy)
+    assert worst < 0.92 * max(healthy)

@@ -1,0 +1,16 @@
+"""Bench: regenerate Fig 9 (power by method, violin plots)."""
+
+from repro.experiments import fig09_methods
+
+
+def test_fig09(experiment):
+    result = experiment(fig09_methods.run, fig09_methods.render)
+    # Shape: higher-order methods beat basic DFT by >600 W per node on
+    # average, and the larger supercell draws more for every method.
+    for n_atoms in (128, 256):
+        assert result.mean_gap_w(n_atoms) > 600.0
+    for method in {v.method for v in result.violins}:
+        assert (
+            result.violin(method, 256).stats.high_power_mode_w
+            > result.violin(method, 128).stats.high_power_mode_w * 0.98
+        )

@@ -1,0 +1,13 @@
+"""Bench: regenerate Fig 10 (capping efficacy, fraction of cap)."""
+
+from repro.experiments import fig10_cap_efficacy
+
+
+def test_fig10(experiment):
+    result = experiment(fig10_cap_efficacy.run, fig10_cap_efficacy.render)
+    # Shape: within the cap at 200-400 W; overshoot appears only at the
+    # 100 W floor.
+    for cap in (400.0, 300.0, 200.0):
+        assert all(f <= 1.05 for f in result.fractions(cap).values())
+    floor = result.fractions(100.0)
+    assert floor["Si256_hse"] > 1.05 and floor["Si128_acfdtr"] > 1.05

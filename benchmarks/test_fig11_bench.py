@@ -1,0 +1,13 @@
+"""Bench: regenerate Fig 11 (timeline with/without a 200 W cap)."""
+
+from repro.experiments import fig11_cap_timeline
+
+
+def test_fig11(experiment):
+    result = experiment(fig11_cap_timeline.run, fig11_cap_timeline.render)
+    # Shape: peaks cut by roughly half (GPU), troughs untouched, the
+    # capped run visibly slower.
+    assert result.peak_reduction() > 0.30
+    assert result.trough_change() < 0.03
+    assert 1.05 < result.slowdown() < 1.30
+    assert result.power_variation_reduction() > 0.25

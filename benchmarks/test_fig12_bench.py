@@ -1,0 +1,18 @@
+"""Bench: regenerate Fig 12 (performance under power caps)."""
+
+from repro.experiments import fig12_cap_performance
+
+
+def test_fig12(experiment):
+    result = experiment(fig12_cap_performance.run, fig12_cap_performance.render)
+    # Shape: the headline — 300 W free, 200 W costs ~9 % only for the two
+    # power-hungry benchmarks, 100 W drastic for them but <10 % for
+    # GaAsBi-64 and PdO2.
+    for row in result.rows:
+        assert row.at(300.0) > 0.95
+        assert row.at(200.0) > 0.85
+    for name in ("Si256_hse", "Si128_acfdtr"):
+        assert result.row(name).at(200.0) < 0.95
+        assert result.row(name).at(100.0) < 0.72
+    for name in ("GaAsBi-64", "PdO2"):
+        assert result.row(name).at(100.0) > 0.90

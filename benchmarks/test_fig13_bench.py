@@ -1,0 +1,13 @@
+"""Bench: regenerate Fig 13 (cap response across node counts)."""
+
+from repro.experiments import fig13_cap_concurrency
+
+
+def test_fig13(experiment):
+    result = experiment(fig13_cap_concurrency.run, fig13_cap_concurrency.render)
+    # Shape: the response is the same at every node count.
+    for cap in (300.0, 200.0):
+        assert result.response_spread(cap) < 0.06
+    for row in result.rows:
+        assert row.normalized[300.0] > 0.94
+        assert 1.0 / row.normalized[100.0] - 1.0 > 0.40

@@ -1,0 +1,49 @@
+"""Micro-benches: the real NumPy DGEMM/STREAM kernels and the hot paths
+of the library (engine rendering, KDE analysis).
+
+These keep one foot in measured reality (the paper's node-acceptance
+kernels) and guard the library's own performance.
+"""
+
+import numpy as np
+
+from repro.analysis.modes import high_power_mode_w
+from repro.experiments.common import make_nodes
+from repro.runner.dgemm import numpy_dgemm_gflops
+from repro.runner.engine import PowerEngine
+from repro.runner.stream import numpy_stream_gbs
+from repro.vasp.benchmarks import benchmark as benchmark_case
+from repro.vasp.parallel import ParallelConfig
+
+
+def test_numpy_dgemm(benchmark):
+    """The DGEMM acceptance kernel on this host's BLAS."""
+    rate = benchmark(numpy_dgemm_gflops, n=512, repeats=3)
+    assert rate > 0.1
+
+
+def test_numpy_stream_triad(benchmark):
+    """The STREAM-triad acceptance kernel on this host."""
+    rate = benchmark(numpy_stream_gbs, n=2_000_000, repeats=3)
+    assert rate > 0.1
+
+
+def test_engine_rendering(benchmark):
+    """Engine throughput: one full PdO2 run (0.1 s ground truth) per call."""
+    nodes = make_nodes(1)
+    engine = PowerEngine(nodes)
+    phases = benchmark_case("PdO2").build().phases(ParallelConfig(1))
+    result = benchmark.pedantic(
+        lambda: engine.run(phases, seed=1), rounds=3, iterations=1, warmup_rounds=0
+    )
+    assert result.runtime_s > 0
+
+
+def test_kde_high_power_mode(benchmark):
+    """Analysis throughput: high power mode of a 20k-sample timeline."""
+    rng = np.random.default_rng(0)
+    data = np.concatenate([rng.normal(900, 25, 12_000), rng.normal(1600, 35, 8_000)])
+    mode = benchmark.pedantic(
+        lambda: high_power_mode_w(data), rounds=3, iterations=1, warmup_rounds=0
+    )
+    assert mode > 1500.0

@@ -1,0 +1,13 @@
+"""Bench: the Section VI-B MILC extension study."""
+
+from repro.experiments import milc_study
+
+
+def test_milc_study(experiment):
+    result = experiment(milc_study.run, milc_study.render)
+    # Shape: MILC lands in the basic-DFT power class — moderate, steady
+    # power and deep-cap tolerance.
+    for profile in result.profiles:
+        assert profile.stats.high_power_mode_w < 1400.0
+        assert profile.normalized_performance(200.0) > 0.97
+        assert profile.normalized_performance(100.0) > 0.88

@@ -1,0 +1,12 @@
+"""Bench: the Section VI-A power-aware scheduling experiment."""
+
+from repro.experiments import scheduling
+
+
+def test_power_aware_scheduling(experiment):
+    result = experiment(scheduling.run, scheduling.render)
+    # Shape: both schedules respect the budget; the 50 % TDP policy
+    # finishes the mix sooner because capped jobs fit concurrently.
+    assert result.capped.budget_respected and result.uncapped.budget_respected
+    assert result.makespan_ratio() < 0.95
+    assert result.capped.peak_power_w < result.uncapped.peak_power_w

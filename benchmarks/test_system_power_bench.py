@@ -1,0 +1,12 @@
+"""Bench: system power under a production-like stream (facility view)."""
+
+from repro.experiments import system_power
+
+
+def test_system_power_study(experiment):
+    result = experiment(system_power.run, system_power.render)
+    # Shape: application capping tames system-power peaks and temporal
+    # variability with negligible throughput cost when unconstrained.
+    assert result.peak_reduction() > 0.10
+    assert result.variability_reduction() > 0.10
+    assert result.makespan_penalty() < 0.10

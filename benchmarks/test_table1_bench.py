@@ -1,0 +1,15 @@
+"""Bench: regenerate Table I (benchmark suite parameters)."""
+
+from repro.experiments import table1
+
+
+def test_table1(experiment):
+    rows = experiment(table1.run, table1.render)
+    assert len(rows) == 7
+    # NPLWV is always the FFT-grid product, as published.
+    for row in rows:
+        n1, n2, n3 = row.fft_grid
+        assert row.nplwv == n1 * n2 * n3
+    by_name = {r.name: r for r in rows}
+    assert by_name["Si256_hse"].nbands == 640
+    assert by_name["Si128_acfdtr"].nbandsexact == 23506

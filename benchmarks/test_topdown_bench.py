@@ -1,0 +1,11 @@
+"""Bench: the Section VI-B top-down classification study."""
+
+from repro.experiments import topdown
+
+
+def test_topdown_classification(experiment):
+    result = experiment(topdown.run, topdown.render)
+    # Shape: the telemetry-only classes reproduce the bottom-up taxonomy.
+    assert result.agreement() >= 0.85
+    assert result.assigned["Si256_hse"] == 1
+    assert result.assigned["GaAsBi-64"] == 0

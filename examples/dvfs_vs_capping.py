@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""DVFS vs power capping: why the paper uses the cap.
+
+Section V: "we chose to use power capping to control the device power,
+which is more efficient and accurate in power control."  This example
+quantifies that choice: the same workload is held to the same power
+target by (a) the board's capping loop and (b) a statically pinned clock
+provisioned for the worst-case or the average phase.
+
+Usage::
+
+    python examples/dvfs_vs_capping.py [--benchmark Si128_acfdtr] [--target 200]
+"""
+
+import argparse
+
+from repro.capping.dvfsctl import compare_control
+from repro.experiments.report import format_table
+from repro.vasp.benchmarks import benchmark, benchmark_names
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--benchmark", default="Si128_acfdtr", choices=benchmark_names())
+    parser.add_argument("--target", type=float, default=200.0)
+    args = parser.parse_args()
+
+    workload = benchmark(args.benchmark).build()
+    comparison = compare_control(workload, args.target)
+    rows = []
+    for label, outcome in (
+        ("power capping", comparison.capping),
+        ("static DVFS (worst-case)", comparison.dvfs_safe),
+        ("static DVFS (mean-provisioned)", comparison.dvfs_mean),
+    ):
+        rows.append(
+            [
+                label,
+                outcome.runtime_s,
+                outcome.mean_power_w,
+                outcome.peak_power_w,
+                outcome.tracking_error_w,
+                outcome.target_violated,
+            ]
+        )
+    print(
+        format_table(
+            headers=[
+                "Control",
+                "Runtime (s)",
+                "Mean GPU W",
+                "Peak GPU W",
+                "Tracking err (W)",
+                "Violates target",
+            ],
+            rows=rows,
+            title=f"{workload.name} held to {args.target:.0f} W per GPU",
+        )
+    )
+    verdict = "capping wins" if comparison.capping_wins() else "capping does not win"
+    print(
+        f"\n{verdict}: per-phase adaptive control tracks the target more "
+        "tightly than any fixed clock, at no performance cost."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""Power-aware scheduling: run a VASP job mix under a facility budget.
+
+The Section VI-A deployment story end-to-end: a batch queue drawn from
+the benchmark suite is scheduled twice on the same node pool under the
+same power budget — once with the paper's 50 %-of-TDP capping policy
+(jobs classified from their INCARs, no costly computation) and once
+uncapped.  Under a tight budget the capped schedule finishes sooner,
+because capped jobs fit the budget concurrently.
+
+Usage::
+
+    python examples/power_aware_scheduling.py [--nodes 16] [--watts-per-node 900]
+"""
+
+import argparse
+
+from repro.experiments import scheduling
+from repro.experiments.report import format_table
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--nodes", type=int, default=16)
+    parser.add_argument("--watts-per-node", type=float, default=900.0)
+    parser.add_argument("--copies", type=int, default=2)
+    args = parser.parse_args()
+
+    result = scheduling.run(
+        n_nodes=args.nodes,
+        budget_w_per_node=args.watts_per_node,
+        copies=args.copies,
+    )
+    print(scheduling.render(result))
+
+    print("\nper-job detail (50 % TDP policy):")
+    print(
+        format_table(
+            headers=["Job", "Nodes", "Cap (W)", "Start (s)", "Runtime (s)", "Node W"],
+            rows=[
+                [r.job_id, r.n_nodes, r.cap_w, r.start_s, r.runtime_s, r.mean_node_power_w]
+                for r in sorted(result.capped.records, key=lambda r: r.start_s)
+            ],
+        )
+    )
+    saved = result.uncapped.makespan_s - result.capped.makespan_s
+    print(
+        f"\nunder a {result.budget_w:,.0f} W budget the capping policy "
+        f"finishes the mix {saved:,.0f} s sooner "
+        f"({1 - result.makespan_ratio():.0%} makespan reduction)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Power prediction: the paper's Section VI-C next step.
+
+Trains the feature-based power predictor on a simulated profiling corpus
+(silicon sweeps plus the benchmark suite), evaluates it leave-one-
+workload-out, and predicts the power of an "incoming job" the model has
+never profiled — the capability a power-aware scheduler needs at job-
+submission time.
+
+Usage::
+
+    python examples/predict_power.py [--predict GaAsBi-64]
+"""
+
+import argparse
+
+from repro.analysis.modes import high_power_mode_w
+from repro.experiments.common import run_workload
+from repro.experiments.report import format_table
+from repro.prediction import PowerPredictor, evaluate, training_corpus
+from repro.vasp.benchmarks import benchmark, benchmark_names
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--predict", default="GaAsBi-64", choices=benchmark_names())
+    parser.add_argument("--seed", type=int, default=13)
+    args = parser.parse_args()
+
+    print("building the profiling corpus (simulated runs)...")
+    corpus = training_corpus(seed=args.seed)
+    print(f"corpus: {len(corpus)} runs\n")
+
+    report = evaluate(corpus)
+    print(
+        format_table(
+            headers=["Held-out workload", "APE"],
+            rows=[
+                [name, f"{ape:.1%}"]
+                for name, ape in sorted(report.per_workload_ape.items())
+            ],
+            title="Leave-one-workload-out evaluation",
+        )
+    )
+    print(f"MAPE: {report.mape:.1%}  worst: {report.worst_ape:.1%}\n")
+
+    # Predict an unseen job, then check against a fresh measurement.
+    target = benchmark(args.predict).build()
+    train = [s for s in corpus if s.workload_name != target.name]
+    predictor = PowerPredictor().fit(train)
+    predicted = predictor.predict(target, n_nodes=1)
+    measured = high_power_mode_w(
+        run_workload(target, n_nodes=1, seed=args.seed + 1).telemetry[0].node_power
+    )
+    print(f"incoming job {target.name} (never profiled):")
+    print(f"  predicted high power mode : {predicted:7.0f} W")
+    print(f"  measured  high power mode : {measured:7.0f} W")
+    print(f"  error                     : {abs(predicted - measured) / measured:7.1%}")
+
+    print("\nfitted log-space coefficients:")
+    for name, weight in predictor.coefficients().items():
+        print(f"  {name:20s} {weight:+.3f}")
+
+
+if __name__ == "__main__":
+    main()

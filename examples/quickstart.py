@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""Quickstart: run one VASP benchmark on a simulated Perlmutter node.
+
+Builds the Si256_hse workload (the paper's flagship benchmark), executes
+it through the power engine, views it through 2-second telemetry as
+NERSC's pipeline would, and prints the Fig 3-style statistics: maximum /
+median / minimum node power and the high power mode.
+
+Usage::
+
+    python examples/quickstart.py [--benchmark Si256_hse] [--nodes 1]
+"""
+
+import argparse
+
+from repro.analysis.stats import summarize
+from repro.experiments.common import run_workload
+from repro.experiments.report import sparkline
+from repro.vasp.benchmarks import benchmark, benchmark_names
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--benchmark", default="Si256_hse", choices=benchmark_names()
+    )
+    parser.add_argument("--nodes", type=int, default=1)
+    parser.add_argument("--seed", type=int, default=42)
+    args = parser.parse_args()
+
+    case = benchmark(args.benchmark)
+    workload = case.build()
+    print(f"benchmark     : {workload.name}")
+    print(f"system        : {workload.incar.system}")
+    print(f"method        : {workload.incar.functional.value} / {workload.incar.algo.value}")
+    print(f"NPLWV / NBANDS: {workload.nplwv} / {workload.nbands}")
+
+    measured = run_workload(workload, n_nodes=args.nodes, seed=args.seed)
+    telem = measured.telemetry[0]
+    stats = summarize(telem.node_power)
+
+    print(f"\nran {measured.runtime_s:,.0f} simulated seconds on {args.nodes} node(s)")
+    print(f"energy to solution : {measured.energy_mj():.2f} MJ")
+    print(f"node power  max    : {stats.max_w:7.0f} W")
+    print(f"            median : {stats.median_w:7.0f} W")
+    print(f"            min    : {stats.min_w:7.0f} W")
+    print(f"high power mode    : {stats.high_power_mode_w:7.0f} W (FWHM {stats.fwhm_w:.0f} W)")
+    print(f"\nnode power timeline (2 s averages):")
+    print(f"  |{sparkline(telem.node_power, 70)}|")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,33 @@
+"""Dev calibration harness: engine -> KDE -> high power mode vs paper targets."""
+import time
+import numpy as np
+from repro.vasp.benchmarks import BENCHMARKS
+from repro.vasp.parallel import ParallelConfig
+from repro.hardware.node import GpuNode
+from repro.runner.engine import PowerEngine
+from repro.analysis.modes import high_power_mode_w
+from repro.analysis.stats import summarize
+from repro.telemetry.downsample import downsample_trace
+
+TARGETS = {"Si256_hse":1810,"B.hR105_hse":1430,"PdO4":1100,"PdO2":950,"GaAsBi-64":766,"CuC_vdw":1000,"Si128_acfdtr":1814}
+
+def run_one(name, n_nodes=1, cap=None, seed=3):
+    wl = BENCHMARKS[name].build()
+    nodes = [GpuNode(f"nid{1000+i:06d}") for i in range(n_nodes)]
+    if cap:
+        for nd in nodes: nd.set_gpu_power_limit(cap)
+    eng = PowerEngine(nodes)
+    phases = wl.phases(ParallelConfig(n_nodes, kpar=wl.incar.kpar))
+    res = eng.run(phases, seed=seed)
+    tr = downsample_trace(res.traces[0], 2.0)
+    return wl, res, tr
+
+if __name__ == "__main__":
+    for name in BENCHMARKS:
+        t0 = time.time()
+        wl, res, tr = run_one(name)
+        s = summarize(tr.node_power)
+        gpu_frac = float(np.mean(tr.gpu_total / tr.node_power))
+        print(f"{name:14s} rt={res.runtime_s:7.0f}s HPM={s.high_power_mode_w:6.0f}W "
+              f"(target {TARGETS[name]:4d}) max={s.max_w:6.0f} med={s.median_w:6.0f} "
+              f"gpu%={gpu_frac:.2f} wall={time.time()-t0:.1f}s")

@@ -1,0 +1,7 @@
+"""Legacy setup shim: enables `pip install -e .` without the `wheel`
+package (this environment is offline and PEP 660 editable installs need
+to build a wheel).  All metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

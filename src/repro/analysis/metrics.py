@@ -1,0 +1,72 @@
+"""Energy/performance trade-off metrics.
+
+The paper's related work surveys metrics quantifying the capping
+trade-off (energy-delay product, ET^2, and bounded-slowdown criteria,
+refs [49]-[51]).  These are the quantities a centre optimizes when it
+picks a cap: Fig 12's ~9 % slowdown at half power is a large EDP win.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+def energy_delay_product(energy_j: float, runtime_s: float) -> float:
+    """EDP = E * T (joule-seconds); lower is better."""
+    if energy_j < 0 or runtime_s < 0:
+        raise ValueError("energy and runtime must be non-negative")
+    return energy_j * runtime_s
+
+
+def energy_delay_squared(energy_j: float, runtime_s: float) -> float:
+    """ET^2 = E * T^2 — the voltage-invariant metric of Martin et al."""
+    if energy_j < 0 or runtime_s < 0:
+        raise ValueError("energy and runtime must be non-negative")
+    return energy_j * runtime_s**2
+
+
+@dataclass(frozen=True)
+class CapTradeoff:
+    """The trade-off one power cap buys relative to the default limit."""
+
+    cap_w: float
+    runtime_s: float
+    energy_j: float
+    reference_runtime_s: float
+    reference_energy_j: float
+
+    def __post_init__(self) -> None:
+        if min(self.runtime_s, self.reference_runtime_s) <= 0:
+            raise ValueError("runtimes must be positive")
+        if min(self.energy_j, self.reference_energy_j) < 0:
+            raise ValueError("energies must be non-negative")
+
+    @property
+    def slowdown(self) -> float:
+        """Runtime multiplier vs the default limit."""
+        return self.runtime_s / self.reference_runtime_s
+
+    @property
+    def energy_saving(self) -> float:
+        """Relative energy saved vs the default limit (can be negative)."""
+        return 1.0 - self.energy_j / self.reference_energy_j
+
+    @property
+    def edp_ratio(self) -> float:
+        """EDP under the cap relative to the default (<1 = win)."""
+        return energy_delay_product(self.energy_j, self.runtime_s) / energy_delay_product(
+            self.reference_energy_j, self.reference_runtime_s
+        )
+
+    @property
+    def et2_ratio(self) -> float:
+        """ET^2 under the cap relative to the default (<1 = win)."""
+        return energy_delay_squared(self.energy_j, self.runtime_s) / energy_delay_squared(
+            self.reference_energy_j, self.reference_runtime_s
+        )
+
+    def acceptable(self, max_slowdown: float = 1.10) -> bool:
+        """The paper's deployment criterion: bounded performance loss."""
+        if max_slowdown < 1.0:
+            raise ValueError(f"max_slowdown must be >= 1, got {max_slowdown}")
+        return self.slowdown <= max_slowdown

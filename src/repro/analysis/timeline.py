@@ -1,0 +1,141 @@
+"""Timeline segmentation: recover phase structure from power data alone.
+
+The paper reads execution phases off power timelines by eye (the flat
+CPU section of Si128_acfdtr in Fig 3, the slowed high-power section under
+a cap in Fig 11).  This module does it programmatically: a changepoint
+detector over a sampled power series, and segment classification into
+power levels — the building block for the top-down (measurement-only)
+workload analysis of Section VI-B, where no ground-truth phase schedule
+exists.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Segment:
+    """One detected stationary segment of a power timeline."""
+
+    start_s: float
+    end_s: float
+    mean_w: float
+    std_w: float
+
+    @property
+    def duration_s(self) -> float:
+        """Segment length in seconds."""
+        return self.end_s - self.start_s
+
+
+def detect_changepoints(
+    times: np.ndarray,
+    values: np.ndarray,
+    min_segment_s: float = 10.0,
+    threshold_sigma: float = 4.0,
+) -> list[int]:
+    """Indices where the power level shifts (mean-shift changepoints).
+
+    A greedy binary-segmentation detector: recursively split at the index
+    maximizing the between-segment mean gap (CUSUM-style statistic) while
+    the gap exceeds ``threshold_sigma`` local noise deviations and both
+    halves stay longer than ``min_segment_s``.
+    """
+    times = np.asarray(times, dtype=float)
+    values = np.asarray(values, dtype=float)
+    if times.shape != values.shape:
+        raise ValueError("times and values must have the same shape")
+    if len(times) < 4:
+        return []
+    if min_segment_s <= 0:
+        raise ValueError(f"min_segment_s must be positive, got {min_segment_s}")
+    dt = float(times[1] - times[0]) if len(times) > 1 else 1.0
+    min_len = max(int(round(min_segment_s / dt)), 2)
+
+    changepoints: list[int] = []
+
+    def split(lo: int, hi: int) -> None:
+        n = hi - lo
+        if n < 2 * min_len:
+            return
+        seg = values[lo:hi]
+        # Cumulative-sum statistic: for each cut k, the normalized gap
+        # between left and right means.
+        csum = np.cumsum(seg)
+        total = csum[-1]
+        ks = np.arange(min_len, n - min_len)
+        left_mean = csum[ks - 1] / ks
+        right_mean = (total - csum[ks - 1]) / (n - ks)
+        weight = np.sqrt(ks * (n - ks) / n)
+        stat = np.abs(left_mean - right_mean) * weight
+        best = int(np.argmax(stat))
+        k = int(ks[best])
+        # Noise scale from first differences (robust to the mean shift).
+        noise = float(np.median(np.abs(np.diff(seg)))) / 0.6745 / np.sqrt(2) + 1e-9
+        if stat[best] / noise < threshold_sigma:
+            return
+        changepoints.append(lo + k)
+        split(lo, lo + k)
+        split(lo + k, hi)
+
+    split(0, len(values))
+    return sorted(changepoints)
+
+
+def segment_timeline(
+    times: np.ndarray,
+    values: np.ndarray,
+    min_segment_s: float = 10.0,
+    threshold_sigma: float = 4.0,
+) -> list[Segment]:
+    """Split a power timeline into stationary segments."""
+    times = np.asarray(times, dtype=float)
+    values = np.asarray(values, dtype=float)
+    if len(times) == 0:
+        return []
+    cuts = detect_changepoints(times, values, min_segment_s, threshold_sigma)
+    bounds = [0] + cuts + [len(values)]
+    segments = []
+    for lo, hi in zip(bounds, bounds[1:]):
+        chunk = values[lo:hi]
+        segments.append(
+            Segment(
+                start_s=float(times[lo]),
+                end_s=float(times[hi - 1]) + (float(times[1] - times[0]) if len(times) > 1 else 0.0),
+                mean_w=float(chunk.mean()),
+                std_w=float(chunk.std()),
+            )
+        )
+    return segments
+
+
+def low_power_dwell_s(
+    segments: list[Segment], threshold_w: float
+) -> float:
+    """Total time spent in segments below a power threshold.
+
+    With the threshold between the CPU-section level and the GPU-active
+    level, this measures Si128_acfdtr's host-resident section from power
+    data alone (no schedule needed).
+    """
+    return sum(s.duration_s for s in segments if s.mean_w < threshold_w)
+
+
+def duty_cycle_estimate(
+    values: np.ndarray, low_w: float, high_w: float
+) -> float:
+    """Fraction of samples nearer the high level than the low level.
+
+    A measurement-side estimate of the GPU duty cycle for two-level
+    timelines; ``low_w``/``high_w`` bracket the two levels.
+    """
+    if high_w <= low_w:
+        raise ValueError(f"high_w ({high_w}) must exceed low_w ({low_w})")
+    values = np.asarray(values, dtype=float)
+    if values.size == 0:
+        raise ValueError("empty sample")
+    midpoint = (low_w + high_w) / 2.0
+    return float(np.mean(values >= midpoint))

@@ -1,0 +1,13 @@
+"""Additional applications through the same power-modelling pipeline.
+
+Section VI-B's deployment strategy: "We plan to incrementally include
+additional prominent applications running at NERSC... Our approach has
+been recently applied to NERSC's second top application, MILC."  This
+package hosts those applications — workload models that emit the same
+macro-phases the engine consumes, so every analysis and capping tool in
+the library applies unchanged.
+"""
+
+from repro.apps.milc import MilcParams, MilcWorkload
+
+__all__ = ["MilcParams", "MilcWorkload"]

@@ -1,0 +1,87 @@
+"""An ``nvidia-smi``-like facade over simulated nodes.
+
+The paper set GPU power limits with ``nvidia-smi -pl <watts>`` on the
+nodes allocated to each job.  This facade provides the same operations
+(query, set, reset) against :class:`~repro.hardware.node.GpuNode`
+objects, including the tool's validation behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.gpu import PowerLimitError
+from repro.hardware.node import GpuNode
+
+
+@dataclass(frozen=True)
+class GpuInfo:
+    """One row of ``nvidia-smi -q -d POWER``-style output."""
+
+    node_name: str
+    index: int
+    name: str
+    power_limit_w: float
+    default_limit_w: float
+    min_limit_w: float
+    max_limit_w: float
+
+
+class NvidiaSmi:
+    """Power-limit management across a set of nodes."""
+
+    def __init__(self, nodes: list[GpuNode]) -> None:
+        if not nodes:
+            raise ValueError("nvidia-smi facade needs at least one node")
+        self.nodes = nodes
+
+    def query(self) -> list[GpuInfo]:
+        """Power-limit info for every GPU on every node."""
+        rows = []
+        for node in self.nodes:
+            for index, gpu in enumerate(node.gpus):
+                rows.append(
+                    GpuInfo(
+                        node_name=node.name,
+                        index=index,
+                        name=gpu.envelope.name,
+                        power_limit_w=gpu.power_limit_w,
+                        default_limit_w=gpu.envelope.tdp_w,
+                        min_limit_w=gpu.envelope.cap_min_w,
+                        max_limit_w=gpu.envelope.cap_max_w,
+                    )
+                )
+        return rows
+
+    def set_power_limit(self, watts: float) -> int:
+        """``nvidia-smi -pl <watts>`` on every GPU; returns GPUs changed.
+
+        Raises
+        ------
+        PowerLimitError
+            If the value is outside the supported range — no GPU is
+            changed in that case (validation happens first, as the real
+            tool rejects the value up front).
+        """
+        # Validate against every GPU before mutating any.
+        for node in self.nodes:
+            for gpu in node.gpus:
+                env = gpu.envelope
+                if not (env.cap_min_w <= watts <= env.cap_max_w):
+                    raise PowerLimitError(
+                        f"{node.name} GPU: {watts:.0f} W outside "
+                        f"[{env.cap_min_w:.0f}, {env.cap_max_w:.0f}] W"
+                    )
+        changed = 0
+        for node in self.nodes:
+            node.set_gpu_power_limit(watts)
+            changed += len(node.gpus)
+        return changed
+
+    def reset_power_limit(self) -> int:
+        """Restore default (TDP) limits; returns GPUs changed."""
+        changed = 0
+        for node in self.nodes:
+            node.reset_gpu_power_limit()
+            changed += len(node.gpus)
+        return changed

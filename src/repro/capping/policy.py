@@ -1,0 +1,84 @@
+"""Cap policies from application power profiles.
+
+Section VI-A: "VASP can run at only 50 % of TDP with a less than 10 %
+performance decrease, and the lower power-demanding jobs, DFT functional
+calculations, can run without visible performance loss at this power
+limit.  The batch system ... can determine the workload type of VASP jobs
+in the queue without costly computation."
+
+:func:`classify_workload` is that cheap determination (it reads INCAR
+tags, which the scheduler can see); :class:`CapPolicy` maps classes to
+GPU power caps.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.units.constants import A100_40GB
+from repro.vasp.incar import Incar
+from repro.vasp.workload import VaspWorkload
+
+
+class WorkloadClass(enum.Enum):
+    """Power classes of VASP workloads, from the paper's findings."""
+
+    #: Higher-order methods (HSE, RPA): power-hungry, cap-sensitive.
+    HIGHER_ORDER = "higher_order"
+    #: Basic DFT functional calculations (incl. vdW): moderate power,
+    #: nearly cap-insensitive.
+    BASIC_DFT = "basic_dft"
+
+
+def classify_workload(source: Incar | VaspWorkload) -> WorkloadClass:
+    """Classify a job from its INCAR alone (no costly computation).
+
+    Accepts either the INCAR or a full workload, because the scheduler
+    only ever sees input files.
+    """
+    incar = source.incar if isinstance(source, VaspWorkload) else source
+    if incar.functional.is_higher_order:
+        return WorkloadClass.HIGHER_ORDER
+    return WorkloadClass.BASIC_DFT
+
+
+def _default_caps() -> dict[WorkloadClass, float]:
+    half_tdp = A100_40GB.tdp_w / 2.0
+    return {
+        WorkloadClass.HIGHER_ORDER: half_tdp,  # <10 % loss (Fig 12)
+        WorkloadClass.BASIC_DFT: half_tdp,  # no visible loss (Fig 12)
+    }
+
+
+@dataclass
+class CapPolicy:
+    """Workload class -> GPU power cap, with an uncapped escape hatch."""
+
+    caps_w: dict[WorkloadClass, float] = field(default_factory=_default_caps)
+    enabled: bool = True
+
+    def __post_init__(self) -> None:
+        env = A100_40GB
+        for cls, cap in self.caps_w.items():
+            if not (env.cap_min_w <= cap <= env.cap_max_w):
+                raise ValueError(
+                    f"cap for {cls.value} ({cap:.0f} W) outside "
+                    f"[{env.cap_min_w:.0f}, {env.cap_max_w:.0f}] W"
+                )
+
+    def cap_for(self, source: Incar | VaspWorkload) -> float:
+        """The GPU power limit this policy applies to a job."""
+        if not self.enabled:
+            return A100_40GB.tdp_w
+        return self.caps_w[classify_workload(source)]
+
+    @classmethod
+    def uncapped(cls) -> "CapPolicy":
+        """The do-nothing baseline policy."""
+        return cls(enabled=False)
+
+    @classmethod
+    def half_tdp(cls) -> "CapPolicy":
+        """The paper's recommended 50 %-of-TDP policy."""
+        return cls()

@@ -1,0 +1,283 @@
+"""A power-aware batch scheduler driven by application power profiles.
+
+Implements the Section VI-A deployment story: each scheduling cycle
+(30 s), the batch system classifies queued VASP jobs from their input
+files, applies the cap policy to the job's GPUs at launch, and admits jobs
+only while the projected facility power stays inside the budget.  Because
+capped jobs draw less power, the policy lets more jobs run concurrently
+under a tight budget — trading a small, workload-dependent slowdown
+(quantified in Fig 12) for throughput.
+
+The scheduler uses a fast analytic estimator (phase durations and DVFS
+slowdowns, no trace rendering) so thousands of jobs schedule in
+milliseconds.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass, field
+
+from repro.hardware.gpu import A100Gpu
+from repro.hardware.variability import ManufacturingVariation
+from repro.perfmodel.power import demand_power_w, duty_cycle_power_w
+from repro.units.constants import A100_40GB, PERLMUTTER_GPU_NODE
+from repro.vasp.parallel import ParallelConfig
+from repro.vasp.workload import VaspWorkload
+from repro.capping.policy import CapPolicy
+
+#: Non-GPU node power while a VASP job runs (CPU + DDR + NICs + board at
+#: typical activity); used by the analytic estimator.
+_HOST_POWER_W: float = 265.0
+#: Idle power of an unallocated node (mid-range of the 410-510 W window).
+_IDLE_NODE_W: float = 460.0
+
+
+@dataclass(frozen=True)
+class RunEstimate:
+    """Analytic runtime/power estimate for one job at one cap."""
+
+    runtime_s: float
+    mean_node_power_w: float
+    peak_node_power_w: float
+
+    @property
+    def energy_per_node_j(self) -> float:
+        """Mean energy one node spends over the run."""
+        return self.runtime_s * self.mean_node_power_w
+
+
+def estimate_run(
+    workload: VaspWorkload, n_nodes: int, cap_w: float | None = None
+) -> RunEstimate:
+    """Estimate runtime and node power for a job under a GPU power cap.
+
+    Uses a nominal (variation-free) GPU so estimates are deterministic —
+    this is what a scheduler could precompute per workload class.
+    """
+    if n_nodes < 1:
+        raise ValueError(f"n_nodes must be >= 1, got {n_nodes}")
+    gpu = A100Gpu(serial="NOMINAL", variation=ManufacturingVariation.nominal())
+    if cap_w is not None:
+        gpu.set_power_limit(cap_w)
+    parallel = ParallelConfig(n_nodes=n_nodes, kpar=workload.incar.kpar)
+    phases = workload.phases(parallel)
+    total_time = 0.0
+    total_energy = 0.0
+    peak = 0.0
+    gpus_per_node = PERLMUTTER_GPU_NODE.gpus_per_node
+    for phase in phases:
+        profile = phase.gpu_profile
+        if profile.duty_cycle <= 0.0:
+            gpu_w = gpu.idle_power_w
+            duration = phase.duration_s
+        else:
+            demand = demand_power_w(profile, gpu.envelope)
+            sample = gpu.resolve_phase(demand, profile.compute_fraction)
+            gpu_w = duty_cycle_power_w(
+                sample.power_w, profile.duty_cycle, gpu.idle_power_w
+            )
+            duration = phase.duration_s * (
+                profile.duty_cycle * sample.slowdown + (1.0 - profile.duty_cycle)
+            )
+        node_w = gpus_per_node * gpu_w + _HOST_POWER_W
+        total_time += duration
+        total_energy += duration * node_w
+        peak = max(peak, node_w)
+    mean_power = total_energy / total_time if total_time > 0 else _IDLE_NODE_W
+    return RunEstimate(
+        runtime_s=total_time, mean_node_power_w=mean_power, peak_node_power_w=peak
+    )
+
+
+@dataclass
+class Job:
+    """One queued job."""
+
+    job_id: str
+    workload: VaspWorkload
+    n_nodes: int
+    submit_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.n_nodes < 1:
+            raise ValueError(f"n_nodes must be >= 1, got {self.n_nodes}")
+        if self.submit_s < 0:
+            raise ValueError(f"submit_s must be >= 0, got {self.submit_s}")
+
+
+@dataclass(frozen=True)
+class JobRecord:
+    """Outcome of one job in a schedule."""
+
+    job_id: str
+    start_s: float
+    end_s: float
+    n_nodes: int
+    cap_w: float
+    mean_node_power_w: float
+
+    @property
+    def runtime_s(self) -> float:
+        """Wall time of the job."""
+        return self.end_s - self.start_s
+
+
+@dataclass(frozen=True)
+class SchedulerConfig:
+    """Scheduler knobs: pool size, budget, cycle length, policy."""
+
+    n_nodes: int = 16
+    power_budget_w: float = 16 * 1200.0
+    cycle_s: float = 30.0
+    policy: CapPolicy = field(default_factory=CapPolicy.half_tdp)
+
+    def __post_init__(self) -> None:
+        if self.n_nodes < 1:
+            raise ValueError("n_nodes must be >= 1")
+        if self.power_budget_w <= 0:
+            raise ValueError("power_budget_w must be positive")
+        if self.cycle_s <= 0:
+            raise ValueError("cycle_s must be positive")
+
+
+@dataclass
+class ScheduleResult:
+    """A completed schedule with its power timeline."""
+
+    records: list[JobRecord]
+    makespan_s: float
+    #: (cycle start time, projected system power) samples.
+    power_timeline: list[tuple[float, float]]
+    peak_power_w: float
+    budget_w: float
+
+    @property
+    def budget_respected(self) -> bool:
+        """True when projected power never exceeded the budget."""
+        return self.peak_power_w <= self.budget_w + 1e-9
+
+    def mean_wait_s(self) -> float:
+        """Mean queue wait (start - submit is not tracked; start time)."""
+        if not self.records:
+            return 0.0
+        return sum(r.start_s for r in self.records) / len(self.records)
+
+    def total_node_seconds(self) -> float:
+        """Aggregate node-seconds consumed."""
+        return sum(r.runtime_s * r.n_nodes for r in self.records)
+
+
+class PowerAwareScheduler:
+    """FCFS-with-backfill scheduler under a facility power budget."""
+
+    def __init__(self, config: SchedulerConfig) -> None:
+        self.config = config
+
+    def schedule(self, jobs: list[Job]) -> ScheduleResult:
+        """Run the full schedule for a job list.
+
+        Jobs are considered FCFS in submit order; a job that does not fit
+        (nodes or power) blocks only itself — later jobs may backfill.
+        """
+        cfg = self.config
+        queue = sorted(jobs, key=lambda j: (j.submit_s, j.job_id))
+        free_nodes = cfg.n_nodes
+        running: list[tuple[float, str, int, float]] = []  # (end, id, nodes, power)
+        records: list[JobRecord] = []
+        power_timeline: list[tuple[float, float]] = []
+        peak_power = 0.0
+        now = 0.0
+        pending = list(queue)
+        max_cycles = 10_000_000
+        cycles = 0
+        while pending or running:
+            cycles += 1
+            if cycles > max_cycles:
+                raise RuntimeError("scheduler exceeded cycle limit; check job sizes")
+            # Complete finished jobs.
+            while running and running[0][0] <= now + 1e-9:
+                _, _, nodes, _ = heapq.heappop(running)
+                free_nodes += nodes
+            running_power = sum(p * n for _, _, n, p in running)
+            # Try to start pending jobs (FCFS with backfill).
+            still_pending: list[Job] = []
+            for job in pending:
+                if job.submit_s > now + 1e-9:
+                    still_pending.append(job)
+                    continue
+                if job.n_nodes > cfg.n_nodes:
+                    raise ValueError(
+                        f"job {job.job_id} wants {job.n_nodes} nodes; pool has {cfg.n_nodes}"
+                    )
+                cap = cfg.policy.cap_for(job.workload)
+                estimate = estimate_run(job.workload, job.n_nodes, cap)
+                idle_after = free_nodes - job.n_nodes
+                projected = (
+                    running_power
+                    + estimate.mean_node_power_w * job.n_nodes
+                    + max(idle_after, 0) * _IDLE_NODE_W
+                )
+                if job.n_nodes <= free_nodes and projected <= cfg.power_budget_w:
+                    end = now + estimate.runtime_s
+                    heapq.heappush(
+                        running,
+                        (end, job.job_id, job.n_nodes, estimate.mean_node_power_w),
+                    )
+                    free_nodes -= job.n_nodes
+                    running_power += estimate.mean_node_power_w * job.n_nodes
+                    records.append(
+                        JobRecord(
+                            job_id=job.job_id,
+                            start_s=now,
+                            end_s=end,
+                            n_nodes=job.n_nodes,
+                            cap_w=cap,
+                            mean_node_power_w=estimate.mean_node_power_w,
+                        )
+                    )
+                else:
+                    still_pending.append(job)
+            pending = still_pending
+            system_power = running_power + free_nodes * _IDLE_NODE_W
+            power_timeline.append((now, system_power))
+            peak_power = max(peak_power, system_power)
+            # Advance one scheduling cycle.  The state only changes at the
+            # next event (a job ending or a submission arriving), so when
+            # that is further than a cycle away, skip ahead along the
+            # cycle grid instead of idling through empty cycles.
+            next_tick = now + cfg.cycle_s
+            events = [running[0][0]] if running else []
+            events += [j.submit_s for j in pending if j.submit_s > now + 1e-9]
+            if events:
+                horizon = min(events)
+                if horizon > next_tick:
+                    skipped = math.ceil((horizon - now) / cfg.cycle_s)
+                    next_tick = now + skipped * cfg.cycle_s
+            now = next_tick
+        makespan = max((r.end_s for r in records), default=0.0)
+        return ScheduleResult(
+            records=records,
+            makespan_s=makespan,
+            power_timeline=power_timeline,
+            peak_power_w=peak_power,
+            budget_w=cfg.power_budget_w,
+        )
+
+
+def half_tdp_cap_w() -> float:
+    """50 % of the A100 TDP — the paper's recommended cap."""
+    return A100_40GB.tdp_w / 2.0
+
+
+def scheduling_cycle_s() -> float:
+    """The paper's quoted scheduling cycle length."""
+    return 30.0
+
+
+def required_cycles(makespan_s: float, cycle_s: float = 30.0) -> int:
+    """Scheduling cycles a makespan spans (utility for reports)."""
+    if makespan_s < 0:
+        raise ValueError("makespan_s must be non-negative")
+    return int(math.ceil(makespan_s / cycle_s))

@@ -1,0 +1,236 @@
+"""Command-line interface: run workloads, sweeps and paper artifacts.
+
+Installed as ``repro`` (also ``python -m repro``)::
+
+    repro list                         # benchmarks and reproducible artifacts
+    repro run Si256_hse --nodes 2      # one workload, full power stats
+    repro survey                       # all seven benchmarks
+    repro cap-sweep Si128_acfdtr       # power-cap response of one workload
+    repro reproduce fig12              # regenerate a paper table/figure
+    repro reproduce fig05 --json out.json
+    repro schedule --watts-per-node 900
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from repro.analysis.modes import high_power_mode_w
+from repro.analysis.stats import summarize
+from repro.experiments import (
+    fig01_node_variation,
+    fig02_sampling,
+    fig03_timelines,
+    fig04_parallel_efficiency,
+    fig05_workload_power,
+    fig06_system_size,
+    fig07_internal_params,
+    fig08_concurrency,
+    fig09_methods,
+    fig10_cap_efficacy,
+    fig11_cap_timeline,
+    fig12_cap_performance,
+    fig13_cap_concurrency,
+    milc_study,
+    scheduling,
+    system_power,
+    table1,
+    topdown,
+)
+from repro.experiments.common import run_workload
+from repro.experiments.report import format_table, sparkline
+from repro.io import result_to_json, save_trace_csv
+from repro.vasp.benchmarks import BENCHMARKS, benchmark, benchmark_names
+
+#: Artifact name -> (run, render) for `repro reproduce`.
+ARTIFACTS = {
+    "table1": (table1.run, table1.render),
+    "fig01": (fig01_node_variation.run, fig01_node_variation.render),
+    "fig02": (fig02_sampling.run, fig02_sampling.render),
+    "fig03": (fig03_timelines.run, fig03_timelines.render),
+    "fig04": (fig04_parallel_efficiency.run, fig04_parallel_efficiency.render),
+    "fig05": (fig05_workload_power.run, fig05_workload_power.render),
+    "fig06": (fig06_system_size.run, fig06_system_size.render),
+    "fig07": (fig07_internal_params.run, fig07_internal_params.render),
+    "fig08": (fig08_concurrency.run, fig08_concurrency.render),
+    "fig09": (fig09_methods.run, fig09_methods.render),
+    "fig10": (fig10_cap_efficacy.run, fig10_cap_efficacy.render),
+    "fig11": (fig11_cap_timeline.run, fig11_cap_timeline.render),
+    "fig12": (fig12_cap_performance.run, fig12_cap_performance.render),
+    "fig13": (fig13_cap_concurrency.run, fig13_cap_concurrency.render),
+    "scheduling": (scheduling.run, scheduling.render),
+    "milc": (milc_study.run, milc_study.render),
+    "topdown": (topdown.run, topdown.render),
+    "system-power": (system_power.run, system_power.render),
+}
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    print("benchmarks (Table I):")
+    for name, case in BENCHMARKS.items():
+        print(f"  {name:14s} {case.description}")
+    print("\nreproducible artifacts (repro reproduce <name>):")
+    for name in ARTIFACTS:
+        print(f"  {name}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    workload = benchmark(args.benchmark).build()
+    measured = run_workload(
+        workload, n_nodes=args.nodes, gpu_cap_w=args.cap, seed=args.seed
+    )
+    telem = measured.telemetry[0]
+    stats = summarize(telem.node_power)
+    cap_note = f" (GPU cap {args.cap:.0f} W)" if args.cap else ""
+    print(f"{workload.name} on {args.nodes} node(s){cap_note}")
+    print(f"  runtime            : {measured.runtime_s:,.0f} s")
+    print(f"  energy to solution : {measured.energy_mj():.2f} MJ")
+    print(f"  node power max     : {stats.max_w:.0f} W")
+    print(f"  node power median  : {stats.median_w:.0f} W")
+    print(f"  high power mode    : {stats.high_power_mode_w:.0f} W (FWHM {stats.fwhm_w:.0f} W)")
+    print(f"  |{sparkline(telem.node_power, 70)}|")
+    if args.export_trace:
+        path = save_trace_csv(measured.result.traces[0], args.export_trace)
+        print(f"  ground-truth trace written to {path}")
+    return 0
+
+
+def _cmd_survey(args: argparse.Namespace) -> int:
+    rows = []
+    for name in benchmark_names():
+        workload = benchmark(name).build()
+        measured = run_workload(workload, n_nodes=args.nodes, seed=args.seed)
+        telem = measured.telemetry[0]
+        stats = summarize(telem.node_power)
+        rows.append(
+            [
+                name,
+                workload.incar.functional.value,
+                measured.runtime_s,
+                stats.high_power_mode_w,
+                stats.max_w,
+                measured.energy_mj(),
+            ]
+        )
+    rows.sort(key=lambda r: -r[3])
+    print(
+        format_table(
+            headers=["Benchmark", "Functional", "Runtime (s)", "HPM (W)", "Max (W)", "Energy (MJ)"],
+            rows=rows,
+            title=f"workload survey ({args.nodes} node(s))",
+        )
+    )
+    return 0
+
+
+def _cmd_cap_sweep(args: argparse.Namespace) -> int:
+    case = benchmark(args.benchmark)
+    workload = case.build()
+    n_nodes = args.nodes if args.nodes else case.optimal_nodes
+    rows = []
+    base = None
+    for cap in args.caps:
+        measured = run_workload(workload, n_nodes=n_nodes, gpu_cap_w=cap, seed=args.seed)
+        gpu_hpm = high_power_mode_w(measured.telemetry[0].gpu_power(0))
+        if base is None:
+            base = measured.runtime_s
+        rows.append(
+            [f"{cap:.0f}", measured.runtime_s, base / measured.runtime_s, gpu_hpm, gpu_hpm / cap]
+        )
+    print(
+        format_table(
+            headers=["Cap (W)", "Runtime (s)", "Perf", "GPU HPM (W)", "HPM/cap"],
+            rows=rows,
+            title=f"{workload.name} cap sweep ({n_nodes} node(s))",
+        )
+    )
+    return 0
+
+
+def _cmd_reproduce(args: argparse.Namespace) -> int:
+    run_fn, render_fn = ARTIFACTS[args.artifact]
+    result = run_fn()
+    print(render_fn(result))
+    if args.json:
+        result_to_json(result, args.json)
+        print(f"\nresult data written to {args.json}")
+    return 0
+
+
+def _cmd_schedule(args: argparse.Namespace) -> int:
+    result = scheduling.run(
+        n_nodes=args.nodes, budget_w_per_node=args.watts_per_node, copies=args.copies
+    )
+    print(scheduling.render(result))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction toolkit for 'Understanding VASP Power "
+        "Profiles on NVIDIA A100 GPUs' (SC 2024).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list benchmarks and artifacts").set_defaults(
+        func=_cmd_list
+    )
+
+    p_run = sub.add_parser("run", help="run one benchmark and print power stats")
+    p_run.add_argument("benchmark", choices=benchmark_names())
+    p_run.add_argument("--nodes", type=int, default=1)
+    p_run.add_argument("--cap", type=float, default=None, help="GPU power cap in W")
+    p_run.add_argument("--seed", type=int, default=7)
+    p_run.add_argument("--export-trace", default=None, help="write ground truth CSV")
+    p_run.set_defaults(func=_cmd_run)
+
+    p_survey = sub.add_parser("survey", help="profile all seven benchmarks")
+    p_survey.add_argument("--nodes", type=int, default=1)
+    p_survey.add_argument("--seed", type=int, default=7)
+    p_survey.set_defaults(func=_cmd_survey)
+
+    p_sweep = sub.add_parser("cap-sweep", help="power-cap response of a benchmark")
+    p_sweep.add_argument("benchmark", choices=benchmark_names())
+    p_sweep.add_argument("--nodes", type=int, default=None)
+    p_sweep.add_argument(
+        "--caps", type=float, nargs="+", default=[400.0, 300.0, 200.0, 100.0]
+    )
+    p_sweep.add_argument("--seed", type=int, default=7)
+    p_sweep.set_defaults(func=_cmd_cap_sweep)
+
+    p_repro = sub.add_parser("reproduce", help="regenerate a paper artifact")
+    p_repro.add_argument("artifact", choices=sorted(ARTIFACTS))
+    p_repro.add_argument("--json", default=None, help="also export result data")
+    p_repro.set_defaults(func=_cmd_reproduce)
+
+    p_sched = sub.add_parser("schedule", help="run the power-aware scheduling study")
+    p_sched.add_argument("--nodes", type=int, default=16)
+    p_sched.add_argument("--watts-per-node", type=float, default=900.0)
+    p_sched.add_argument("--copies", type=int, default=2)
+    p_sched.set_defaults(func=_cmd_schedule)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early — not an error.
+        try:
+            sys.stdout.close()
+        except OSError:
+            pass
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,32 @@
+"""Experiment modules: one per table/figure of the paper's evaluation.
+
+Each module exposes a ``run(...)`` function returning a typed result
+object with the rows/series the corresponding paper artifact reports, and
+a ``render(result)`` producing the ASCII table the benchmark harness
+prints.  Every experiment is deterministic for a given seed.
+
+| Module | Paper artifact |
+|--------|----------------|
+| ``table1`` | Table I — benchmark suite parameters |
+| ``fig01_node_variation`` | Fig 1 — per-node power in a 4-node job |
+| ``fig02_sampling`` | Fig 2 — power distribution vs sampling rate |
+| ``fig03_timelines`` | Fig 3 — component timelines + histograms |
+| ``fig04_parallel_efficiency`` | Fig 4 — parallel efficiency |
+| ``fig05_workload_power`` | Fig 5 — high power mode vs node count |
+| ``fig06_system_size`` | Fig 6 — power vs silicon supercell size |
+| ``fig07_internal_params`` | Fig 7 — power vs NPLWV / NBANDS |
+| ``fig08_concurrency`` | Fig 8 — power + energy vs concurrency |
+| ``fig09_methods`` | Fig 9 — power by method (violins) |
+| ``fig10_cap_efficacy`` | Fig 10 — power under caps / cap fraction |
+| ``fig11_cap_timeline`` | Fig 11 — timeline with/without 200 W cap |
+| ``fig12_cap_performance`` | Fig 12 — performance vs power cap |
+| ``fig13_cap_concurrency`` | Fig 13 — cap response at varied node counts |
+| ``scheduling`` | Section VI-A — power-aware scheduling |
+| ``milc_study`` | Section VI-B — the MILC extension |
+| ``topdown`` | Section VI-B — telemetry-only workload classes |
+| ``system_power`` | §I motivation — system power under a job stream |
+"""
+
+from repro.experiments import report
+
+__all__ = ["report"]

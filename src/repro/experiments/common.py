@@ -1,0 +1,83 @@
+"""Shared plumbing for the experiment modules.
+
+All experiments run the same pipeline the paper's measurements went
+through: workload -> engine (ground truth at 0.1 s) -> 2-second telemetry
+view -> KDE/mode analysis.  This module owns that pipeline so the
+per-figure modules stay declarative.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.stats import DistributionSummary, summarize
+from repro.hardware.node import GpuNode
+from repro.runner.engine import EngineConfig, PowerEngine
+from repro.runner.trace import PowerTrace, RunResult
+from repro.telemetry.downsample import downsample_trace
+from repro.vasp.parallel import ParallelConfig
+from repro.vasp.workload import VaspWorkload
+
+#: The effective telemetry cadence of the paper's data (Section II-B).
+TELEMETRY_INTERVAL_S: float = 2.0
+
+
+def make_nodes(n: int, first: int = 1000) -> list[GpuNode]:
+    """``n`` deterministic nodes with Perlmutter-style names."""
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    return [GpuNode(name=f"nid{first + i:06d}") for i in range(n)]
+
+
+@dataclass
+class MeasuredRun:
+    """One executed run plus its telemetry-rate view and node summary."""
+
+    result: RunResult
+    telemetry: list[PowerTrace]
+
+    @property
+    def runtime_s(self) -> float:
+        """Wall time of the run."""
+        return self.result.runtime_s
+
+    def node_summary(self, node_index: int = 0) -> DistributionSummary:
+        """Fig 3-style summary of one node's total power."""
+        return summarize(self.telemetry[node_index].node_power)
+
+    def gpu_summary(self, node_index: int = 0, gpu_index: int = 0) -> DistributionSummary:
+        """Summary of one GPU's power."""
+        return summarize(self.telemetry[node_index].gpu_power(gpu_index))
+
+    def energy_mj(self) -> float:
+        """Energy-to-solution over all nodes, in megajoules."""
+        return self.result.total_energy_j() / 1.0e6
+
+
+def run_workload(
+    workload: VaspWorkload,
+    n_nodes: int = 1,
+    gpu_cap_w: float | None = None,
+    seed: int = 7,
+    engine_config: EngineConfig | None = None,
+    nodes: list[GpuNode] | None = None,
+) -> MeasuredRun:
+    """Run a workload through the full pipeline.
+
+    ``gpu_cap_w`` applies an ``nvidia-smi -pl``-style cap to every GPU
+    before launch (None = default TDP limit).
+    """
+    if nodes is None:
+        nodes = make_nodes(n_nodes)
+    elif len(nodes) != n_nodes:
+        raise ValueError(f"got {len(nodes)} nodes for n_nodes={n_nodes}")
+    for node in nodes:
+        if gpu_cap_w is None:
+            node.reset_gpu_power_limit()
+        else:
+            node.set_gpu_power_limit(gpu_cap_w)
+    engine = PowerEngine(nodes, engine_config)
+    parallel = ParallelConfig(n_nodes=n_nodes, kpar=workload.incar.kpar)
+    result = engine.run(workload.phases(parallel), label=workload.name, seed=seed)
+    telemetry = [downsample_trace(t, TELEMETRY_INTERVAL_S) for t in result.traces]
+    return MeasuredRun(result=result, telemetry=telemetry)

@@ -1,0 +1,108 @@
+"""Fig 1: per-node power variation in a 4-node VASP job.
+
+The paper runs Si256_hse on four nodes with STREAM, DGEMM and an idle gap
+before the VASP segment, and observes (a) nodes draw slightly different
+power, (b) the per-node offsets are consistent across segments (so they
+are manufacturing, not workload, effects), and (c) idle power varies by up
+to 100 W across nodes (410-510 W).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.runner.job import JobScript
+from repro.vasp.benchmarks import BENCHMARKS
+from repro.experiments.common import TELEMETRY_INTERVAL_S, make_nodes
+from repro.experiments.report import format_table
+from repro.telemetry.downsample import downsample_trace
+
+
+@dataclass(frozen=True)
+class SegmentPower:
+    """Mean node power per job segment, for one node."""
+
+    node_name: str
+    stream_w: float
+    dgemm_w: float
+    idle_w: float
+    vasp_w: float
+
+
+@dataclass
+class Fig01Result:
+    """Per-node, per-segment mean power for the 4-node job."""
+
+    segments: list[SegmentPower]
+    idle_spread_w: float
+    #: Rank order of nodes by power, per segment (for the consistency
+    #: check: manufacturing offsets persist across segments).
+    rank_orders: dict[str, tuple[int, ...]]
+
+
+def run(n_nodes: int = 4, seed: int = 11) -> Fig01Result:
+    """Run the Fig 1 job and extract per-node segment power."""
+    workload = BENCHMARKS["Si256_hse"].build()
+    nodes = make_nodes(n_nodes)
+    job = JobScript(workload=workload, nodes=nodes, n_repeats=1)
+    result = job.run(seed=seed).representative
+
+    def window(name: str) -> tuple[float, float]:
+        spans = result.phase_windows(name)
+        if not spans:
+            raise LookupError(f"phase {name!r} missing from the job")
+        return spans[0]
+
+    stream_w = window("stream_test")
+    dgemm_w = window("dgemm_test")
+    idle_w = window("idle")
+    vasp_start = float(result.metadata["vasp_start_s"])
+
+    segments = []
+    per_segment: dict[str, list[float]] = {"stream": [], "dgemm": [], "idle": [], "vasp": []}
+    for trace in result.traces:
+        telem = downsample_trace(trace, TELEMETRY_INTERVAL_S)
+        means = {
+            "stream": float(np.mean(telem.window(*stream_w).node_power)),
+            "dgemm": float(np.mean(telem.window(*dgemm_w).node_power)),
+            "idle": float(np.mean(telem.window(*idle_w).node_power)),
+            "vasp": float(
+                np.mean(telem.window(vasp_start, result.runtime_s).node_power)
+            ),
+        }
+        for key, value in means.items():
+            per_segment[key].append(value)
+        segments.append(
+            SegmentPower(
+                node_name=trace.node_name,
+                stream_w=means["stream"],
+                dgemm_w=means["dgemm"],
+                idle_w=means["idle"],
+                vasp_w=means["vasp"],
+            )
+        )
+    rank_orders = {
+        key: tuple(int(i) for i in np.argsort(values))
+        for key, values in per_segment.items()
+    }
+    idle_values = per_segment["idle"]
+    return Fig01Result(
+        segments=segments,
+        idle_spread_w=float(max(idle_values) - min(idle_values)),
+        rank_orders=rank_orders,
+    )
+
+
+def render(result: Fig01Result) -> str:
+    """ASCII rendering of the per-node segment power."""
+    table = format_table(
+        headers=["Node", "STREAM (W)", "DGEMM (W)", "Idle (W)", "VASP (W)"],
+        rows=[
+            [s.node_name, s.stream_w, s.dgemm_w, s.idle_w, s.vasp_w]
+            for s in result.segments
+        ],
+        title="Fig 1: per-node power by job segment (Si256_hse, 4 nodes)",
+    )
+    return table + f"\nidle spread across nodes: {result.idle_spread_w:.0f} W"

@@ -1,0 +1,84 @@
+"""Fig 4: parallel efficiency of the seven benchmarks vs node count.
+
+Parallel efficiency is S/N (footnote 2 of the paper); 70 % and up is the
+recommended operating range, and each benchmark's "optimal" node count in
+the capping experiments is the largest count still above that line.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.efficiency import ScalingPoint, scaling_table
+from repro.capping.scheduler import estimate_run
+from repro.experiments.report import format_table
+from repro.vasp.benchmarks import BENCHMARKS
+
+#: The paper's recommended minimum parallel efficiency.
+RECOMMENDED_EFFICIENCY: float = 0.70
+
+
+@dataclass
+class EfficiencyCurve:
+    """One benchmark's strong-scaling curve."""
+
+    name: str
+    points: list[ScalingPoint]
+    optimal_nodes: int
+
+    def efficiency_at(self, n_nodes: int) -> float:
+        """Parallel efficiency at a node count in the sweep."""
+        for p in self.points:
+            if p.n_nodes == n_nodes:
+                return p.parallel_efficiency
+        raise KeyError(f"{self.name} was not run at {n_nodes} nodes")
+
+
+@dataclass
+class Fig04Result:
+    """Scaling curves for all seven benchmarks."""
+
+    curves: list[EfficiencyCurve]
+
+    def curve(self, name: str) -> EfficiencyCurve:
+        """Look up one benchmark's curve."""
+        for c in self.curves:
+            if c.name == name:
+                return c
+        raise KeyError(f"no curve for {name!r}")
+
+
+def run() -> Fig04Result:
+    """Compute the scaling curves with the analytic estimator.
+
+    Runtimes come from the deterministic run estimator (no noise), which
+    is what parallel-efficiency ratios should be based on.
+    """
+    curves = []
+    for name, case in BENCHMARKS.items():
+        workload = case.build()
+        runtimes = [
+            estimate_run(workload, n).runtime_s for n in case.node_counts
+        ]
+        points = scaling_table(list(case.node_counts), runtimes)
+        curves.append(
+            EfficiencyCurve(name=name, points=points, optimal_nodes=case.optimal_nodes)
+        )
+    return Fig04Result(curves=curves)
+
+
+def render(result: Fig04Result) -> str:
+    """ASCII rendering of the efficiency curves."""
+    node_counts = sorted({p.n_nodes for c in result.curves for p in c.points})
+    rows = []
+    for curve in result.curves:
+        by_n = {p.n_nodes: p.parallel_efficiency for p in curve.points}
+        rows.append(
+            [curve.name]
+            + [f"{by_n[n]:.2f}" if n in by_n else "" for n in node_counts]
+        )
+    return format_table(
+        headers=["Benchmark"] + [f"{n} node(s)" for n in node_counts],
+        rows=rows,
+        title="Fig 4: parallel efficiency of VASP",
+    )

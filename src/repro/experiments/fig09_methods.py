@@ -1,0 +1,110 @@
+"""Fig 9: power distribution by method (violin plots), Si128 vs Si256.
+
+Seven methods applied to two silicon supercells on one node.  Higher-order
+methods (HSE, ACFDT/RPA) draw far more power than the basic DFT iteration
+schemes — more than 600 W per node on average — and every method draws
+more on the larger supercell.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.stats import ViolinStats, violin_stats
+from repro.experiments.common import run_workload
+from repro.experiments.report import format_table
+from repro.vasp.benchmarks import silicon_workload
+from repro.vasp.methods import FIG9_METHODS
+
+#: The two supercell sizes of Fig 9.
+FIG9_SIZES: tuple[int, int] = (128, 256)
+#: Methods in the figure's display order.
+FIG9_ORDER: tuple[str, ...] = tuple(FIG9_METHODS)
+
+#: Methods the paper groups as "higher-order".
+HIGHER_ORDER: frozenset[str] = frozenset({"hse", "acfdtr"})
+
+
+@dataclass
+class MethodViolin:
+    """One violin: a (method, size) power distribution."""
+
+    method: str
+    n_atoms: int
+    stats: ViolinStats
+
+
+@dataclass
+class Fig09Result:
+    """All violins."""
+
+    violins: list[MethodViolin]
+
+    def violin(self, method: str, n_atoms: int) -> MethodViolin:
+        """Look up one violin."""
+        for v in self.violins:
+            if v.method == method and v.n_atoms == n_atoms:
+                return v
+        raise KeyError(f"no violin for ({method}, {n_atoms})")
+
+    def mean_gap_w(self, n_atoms: int) -> float:
+        """Average HPM gap between higher-order and basic DFT methods."""
+        higher = [
+            v.stats.high_power_mode_w
+            for v in self.violins
+            if v.n_atoms == n_atoms and v.method in HIGHER_ORDER
+        ]
+        basic = [
+            v.stats.high_power_mode_w
+            for v in self.violins
+            if v.n_atoms == n_atoms and v.method not in HIGHER_ORDER
+        ]
+        return sum(higher) / len(higher) - sum(basic) / len(basic)
+
+
+def run(
+    sizes: tuple[int, int] = FIG9_SIZES,
+    methods: tuple[str, ...] = FIG9_ORDER,
+    nelm: int = 12,
+    seed: int = 7,
+) -> Fig09Result:
+    """Run every (method, size) pair on one node."""
+    violins = []
+    for method in methods:
+        for n_atoms in sizes:
+            workload = silicon_workload(n_atoms, method, nelm=nelm)
+            measured = run_workload(workload, n_nodes=1, seed=seed)
+            violins.append(
+                MethodViolin(
+                    method=method,
+                    n_atoms=n_atoms,
+                    stats=violin_stats(
+                        measured.telemetry[0].node_power,
+                        label=f"Si{n_atoms}/{method}",
+                    ),
+                )
+            )
+    return Fig09Result(violins=violins)
+
+
+def render(result: Fig09Result) -> str:
+    """ASCII rendering of the violin quartiles."""
+    table = format_table(
+        headers=["Method", "Atoms", "Q1 (W)", "Median (W)", "Q3 (W)", "HPM (W)"],
+        rows=[
+            [
+                v.method,
+                v.n_atoms,
+                v.stats.q1_w,
+                v.stats.median_w,
+                v.stats.q3_w,
+                v.stats.high_power_mode_w,
+            ]
+            for v in result.violins
+        ],
+        title="Fig 9: power by method (violin quartiles), Si128 vs Si256",
+    )
+    gaps = ", ".join(
+        f"Si{n}: {result.mean_gap_w(n):.0f} W" for n in sorted({v.n_atoms for v in result.violins})
+    )
+    return table + f"\nmean higher-order vs DFT gap: {gaps}"

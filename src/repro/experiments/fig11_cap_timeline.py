@@ -1,0 +1,88 @@
+"""Fig 11: effect of a 200 W GPU cap on the Si128_acfdtr timeline.
+
+The capped run's power peaks drop by about half while the troughs (the
+CPU-resident exact-diagonalization section) are untouched — capping both
+reduces power and flattens within-job power variation — and the capped
+execution is visibly slower.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.experiments.common import MeasuredRun, run_workload
+from repro.experiments.report import format_table, sparkline
+from repro.vasp.benchmarks import BENCHMARKS
+
+#: The cap used in the paper's Fig 11.
+CAP_W: float = 200.0
+
+
+@dataclass
+class Fig11Result:
+    """Uncapped and capped runs of Si128_acfdtr on one node."""
+
+    uncapped: MeasuredRun
+    capped: MeasuredRun
+    cap_w: float
+
+    def peak_reduction(self) -> float:
+        """Relative reduction of the node-power peak (95th percentile)."""
+        high_un = float(np.percentile(self.uncapped.telemetry[0].node_power, 95))
+        high_cap = float(np.percentile(self.capped.telemetry[0].node_power, 95))
+        return 1.0 - high_cap / high_un
+
+    def trough_change(self) -> float:
+        """Relative change of the node-power trough (5th percentile)."""
+        low_un = float(np.percentile(self.uncapped.telemetry[0].node_power, 5))
+        low_cap = float(np.percentile(self.capped.telemetry[0].node_power, 5))
+        return abs(low_cap / low_un - 1.0)
+
+    def slowdown(self) -> float:
+        """Capped runtime over uncapped runtime."""
+        return self.capped.runtime_s / self.uncapped.runtime_s
+
+    def power_variation_reduction(self) -> float:
+        """How much the cap narrows within-job power swings."""
+        spread_un = float(np.ptp(self.uncapped.telemetry[0].node_power))
+        spread_cap = float(np.ptp(self.capped.telemetry[0].node_power))
+        return 1.0 - spread_cap / spread_un
+
+
+def run(cap_w: float = CAP_W, seed: int = 7) -> Fig11Result:
+    """Run Si128_acfdtr with and without the cap."""
+    workload = BENCHMARKS["Si128_acfdtr"].build()
+    uncapped = run_workload(workload, n_nodes=1, seed=seed)
+    capped = run_workload(workload, n_nodes=1, gpu_cap_w=cap_w, seed=seed)
+    return Fig11Result(uncapped=uncapped, capped=capped, cap_w=cap_w)
+
+
+def render(result: Fig11Result) -> str:
+    """ASCII rendering: summary stats plus both node-power sparklines."""
+    table = format_table(
+        headers=["Run", "Runtime (s)", "Peak node W (p95)", "Trough node W (p5)"],
+        rows=[
+            [
+                "default (400 W)",
+                result.uncapped.runtime_s,
+                float(np.percentile(result.uncapped.telemetry[0].node_power, 95)),
+                float(np.percentile(result.uncapped.telemetry[0].node_power, 5)),
+            ],
+            [
+                f"{result.cap_w:.0f} W cap",
+                result.capped.runtime_s,
+                float(np.percentile(result.capped.telemetry[0].node_power, 95)),
+                float(np.percentile(result.capped.telemetry[0].node_power, 5)),
+            ],
+        ],
+        title="Fig 11: Si128_acfdtr with and without a 200 W GPU cap",
+    )
+    return (
+        table
+        + f"\npeak reduction: {result.peak_reduction():.0%}, "
+        f"trough change: {result.trough_change():.1%}, slowdown: {result.slowdown():.2f}x\n"
+        + f"uncapped |{sparkline(result.uncapped.telemetry[0].node_power, 60)}|\n"
+        + f"capped   |{sparkline(result.capped.telemetry[0].node_power, 60)}|"
+    )

@@ -1,0 +1,84 @@
+"""Fig 12: VASP performance under GPU power caps.
+
+Performance normalized to the default 400 W limit, per benchmark, at each
+benchmark's optimal node count.  The paper's findings:
+
+* 300 W: no visible performance loss for any benchmark;
+* 200 W: ~9 % slowdown for the two power-hungriest (Si256_hse,
+  Si128_acfdtr), insignificant for the rest;
+* 100 W: ~60 % slowdown for those two, while GaAsBi-64 and PdO2 still
+  lose <5 %.
+
+Hence the headline: a 50 %-of-TDP cap costs most VASP workloads less
+than 10 %.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.capping.scheduler import estimate_run
+from repro.experiments.report import format_table
+from repro.vasp.benchmarks import BENCHMARKS
+
+#: The caps of Section V.
+POWER_CAPS_W: tuple[float, ...] = (400.0, 300.0, 200.0, 100.0)
+
+
+@dataclass(frozen=True)
+class PerformanceRow:
+    """One benchmark's normalized performance at each cap."""
+
+    benchmark: str
+    n_nodes: int
+    #: cap watts -> performance relative to the 400 W default.
+    normalized: dict[float, float]
+
+    def at(self, cap_w: float) -> float:
+        """Normalized performance at one cap."""
+        return self.normalized[cap_w]
+
+
+@dataclass
+class Fig12Result:
+    """All benchmarks' cap response."""
+
+    rows: list[PerformanceRow]
+
+    def row(self, benchmark: str) -> PerformanceRow:
+        """Look up one benchmark."""
+        for r in self.rows:
+            if r.benchmark == benchmark:
+                return r
+        raise KeyError(f"no row for {benchmark!r}")
+
+
+def run(caps_w: tuple[float, ...] = POWER_CAPS_W) -> Fig12Result:
+    """Compute the cap response with the deterministic estimator.
+
+    Performance ratios are runtime ratios; the estimator applies the same
+    DVFS model the engine uses, without sampling noise.
+    """
+    rows = []
+    for name, case in BENCHMARKS.items():
+        workload = case.build()
+        n = case.optimal_nodes
+        base = estimate_run(workload, n, 400.0).runtime_s
+        normalized = {
+            cap: base / estimate_run(workload, n, cap).runtime_s for cap in caps_w
+        }
+        rows.append(PerformanceRow(benchmark=name, n_nodes=n, normalized=normalized))
+    return Fig12Result(rows=rows)
+
+
+def render(result: Fig12Result) -> str:
+    """ASCII rendering of the cap-response table."""
+    caps = sorted(next(iter(result.rows)).normalized, reverse=True)
+    return format_table(
+        headers=["Benchmark (nodes)"] + [f"{c:.0f} W" for c in caps],
+        rows=[
+            [f"{r.benchmark} ({r.n_nodes})"] + [f"{r.normalized[c]:.3f}" for c in caps]
+            for r in result.rows
+        ],
+        title="Fig 12: performance normalized to the default 400 W power limit",
+    )

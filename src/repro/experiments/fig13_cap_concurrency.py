@@ -1,0 +1,77 @@
+"""Fig 13: cap response of Si256_hse at varied node counts.
+
+Performance is normalized *at each node count* relative to the default
+power limit.  The paper observes the same response everywhere: unaffected
+at 300 W, ~9 % down at 200 W, >60 % slowdown at 100 W — i.e. the capping
+guidance derived at the optimal node count transfers across concurrencies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.capping.scheduler import estimate_run
+from repro.experiments.report import format_table
+from repro.vasp.benchmarks import BENCHMARKS
+
+#: Node counts swept.
+NODE_COUNTS: tuple[int, ...] = (1, 2, 4, 8)
+#: Caps applied.
+POWER_CAPS_W: tuple[float, ...] = (400.0, 300.0, 200.0, 100.0)
+
+
+@dataclass(frozen=True)
+class ConcurrencyCapRow:
+    """Normalized performance per cap, at one node count."""
+
+    n_nodes: int
+    normalized: dict[float, float]
+
+
+@dataclass
+class Fig13Result:
+    """The node-count x cap grid."""
+
+    rows: list[ConcurrencyCapRow]
+
+    def at(self, n_nodes: int, cap_w: float) -> float:
+        """Normalized performance at one grid point."""
+        for r in self.rows:
+            if r.n_nodes == n_nodes:
+                return r.normalized[cap_w]
+        raise KeyError(f"no row for {n_nodes} nodes")
+
+    def response_spread(self, cap_w: float) -> float:
+        """Spread of the normalized performance across node counts."""
+        values = [r.normalized[cap_w] for r in self.rows]
+        return max(values) - min(values)
+
+
+def run(
+    node_counts: tuple[int, ...] = NODE_COUNTS,
+    caps_w: tuple[float, ...] = POWER_CAPS_W,
+) -> Fig13Result:
+    """Compute the grid for Si256_hse."""
+    workload = BENCHMARKS["Si256_hse"].build()
+    rows = []
+    for n in node_counts:
+        base = estimate_run(workload, n, 400.0).runtime_s
+        normalized = {
+            cap: base / estimate_run(workload, n, cap).runtime_s for cap in caps_w
+        }
+        rows.append(ConcurrencyCapRow(n_nodes=n, normalized=normalized))
+    return Fig13Result(rows=rows)
+
+
+def render(result: Fig13Result) -> str:
+    """ASCII rendering of the grid."""
+    caps = sorted(result.rows[0].normalized, reverse=True)
+    return format_table(
+        headers=["Nodes"] + [f"{c:.0f} W" for c in caps],
+        rows=[
+            [r.n_nodes] + [f"{r.normalized[c]:.3f}" for c in caps]
+            for r in result.rows
+        ],
+        title="Fig 13: Si256_hse performance under caps at varied node counts "
+        "(normalized per node count)",
+    )

@@ -1,0 +1,84 @@
+"""ASCII rendering of experiment results.
+
+The benchmark harness prints each experiment the way the paper presents
+it: a table of rows (for Table I and the per-figure series).  Keeping the
+renderer dumb — strings in, fixed-width table out — keeps every experiment
+result printable and diffable.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Fixed-width ASCII table.
+
+    ``rows`` entries are stringified; numeric alignment is right, text
+    alignment left.
+    """
+    if not headers:
+        raise ValueError("table needs at least one column")
+    str_rows = [[_fmt(cell) for cell in row] for row in rows]
+    for i, row in enumerate(str_rows):
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row {i} has {len(row)} cells, expected {len(headers)}"
+            )
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for c, cell in enumerate(row):
+            widths[c] = max(widths[c], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for original, row in zip(rows, str_rows):
+        cells = []
+        for value, cell, width in zip(original, row, widths):
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                cells.append(cell.rjust(width))
+            else:
+                cells.append(cell.ljust(width))
+        lines.append(" | ".join(cells))
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.3f}"
+    if value is None:
+        return ""
+    return str(value)
+
+
+def sparkline(values: Sequence[float], width: int = 40) -> str:
+    """A coarse ASCII sparkline (for power timelines in bench output)."""
+    blocks = " .:-=+*#%@"
+    import numpy as np
+
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        return ""
+    if len(arr) > width:
+        # Block-average down to the requested width.
+        edges = np.linspace(0, len(arr), width + 1).astype(int)
+        arr = np.array([arr[a:b].mean() for a, b in zip(edges[:-1], edges[1:]) if b > a])
+    lo, hi = float(arr.min()), float(arr.max())
+    span = hi - lo if hi > lo else 1.0
+    idx = ((arr - lo) / span * (len(blocks) - 1)).astype(int)
+    return "".join(blocks[i] for i in idx)

@@ -1,0 +1,33 @@
+"""Simulated Perlmutter hardware substrate.
+
+This package models the power-relevant behaviour of a Perlmutter GPU node:
+four NVIDIA A100 GPUs with a DVFS-based power/performance model and a
+power-limit (capping) interface, one AMD Milan CPU, DDR4 memory, Slingshot
+NICs, and node/system aggregation with per-unit manufacturing variability.
+
+The models are *behavioural*: they do not execute CUDA, they answer the two
+questions the paper's measurements depend on — "how much power does this
+component draw while running a given kernel mix?" and "how much slower does
+that kernel mix run under a power cap?".
+"""
+
+from repro.hardware.variability import ManufacturingVariation, unit_rng
+from repro.hardware.gpu import A100Gpu, GpuPowerSample
+from repro.hardware.cpu import MilanCpu
+from repro.hardware.memory import DdrMemory
+from repro.hardware.nic import SlingshotNic
+from repro.hardware.node import GpuNode, NodePowerSample
+from repro.hardware.system import PerlmutterSystem
+
+__all__ = [
+    "A100Gpu",
+    "DdrMemory",
+    "GpuNode",
+    "GpuPowerSample",
+    "ManufacturingVariation",
+    "MilanCpu",
+    "NodePowerSample",
+    "PerlmutterSystem",
+    "SlingshotNic",
+    "unit_rng",
+]

@@ -1,0 +1,199 @@
+"""Behavioural model of an NVIDIA A100 GPU: power, capping and DVFS.
+
+The model answers two questions per kernel phase:
+
+1. *How much power does the GPU draw* while a phase with demand power
+   ``P_d`` runs under power limit ``C``?
+2. *How much slower does the phase run* when the cap binds?
+
+It implements the classic DVFS relationship: sustained board power is
+
+    P(f) = P_static + (P_d - P_static) * f**3
+
+for clock fraction ``f`` (voltage scales with frequency, so dynamic power
+scales roughly cubically), while compute-bound kernel time scales as
+``1/f``.  When a cap binds, the board's power controller picks the largest
+``f`` with ``P(f) <= C``.  Near the 100 W floor the controller's regulation
+error grows, reproducing the overshoot the paper reports in Fig 10.
+
+This cubic law is what makes the paper's headline result possible: capping
+an A100 to 50 % of TDP costs far less than 50 % of performance, because the
+last watts buy very few hertz.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.units.constants import A100_40GB, GPUEnvelope
+from repro.hardware.variability import ManufacturingVariation
+
+#: Lowest clock fraction the board will throttle to (A100: ~210 MHz of
+#: 1410 MHz boost).  Below this the cap simply cannot be honoured.
+MIN_CLOCK_FRACTION: float = 0.15
+
+#: The power controller regulates a few percent *below* the limit so that
+#: sustained power stays inside it (observable in Fig 10: bars sit under
+#: the cap line everywhere the controller has authority).
+CONTROL_MARGIN: float = 0.03
+
+
+@dataclass(frozen=True)
+class GpuPowerSample:
+    """One resolved phase on a GPU: sustained power and slowdown."""
+
+    power_w: float
+    clock_fraction: float
+    slowdown: float
+
+
+class PowerLimitError(ValueError):
+    """Raised when a requested power limit is outside the supported range."""
+
+
+@dataclass
+class A100Gpu:
+    """One A100 board with a settable power limit.
+
+    Parameters
+    ----------
+    serial:
+        Serial number; drives deterministic manufacturing variation.
+    envelope:
+        Static envelope (TDP, cap range, idle/static power).
+    variation:
+        Per-unit bias; defaults to a deterministic draw from ``serial``.
+    """
+
+    serial: str = "GPU-000000"
+    envelope: GPUEnvelope = field(default_factory=lambda: A100_40GB)
+    variation: ManufacturingVariation | None = None
+    _power_limit_w: float = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.variation is None:
+            self.variation = ManufacturingVariation.sample(self.serial)
+        self._power_limit_w = self.envelope.tdp_w
+
+    # ------------------------------------------------------------------
+    # nvidia-smi -pl semantics
+    # ------------------------------------------------------------------
+    @property
+    def power_limit_w(self) -> float:
+        """Current software power limit (default: TDP)."""
+        return self._power_limit_w
+
+    def set_power_limit(self, watts: float) -> None:
+        """Set the power limit, mirroring ``nvidia-smi -pl``.
+
+        Raises
+        ------
+        PowerLimitError
+            If ``watts`` is outside the board's supported cap range.
+        """
+        if not (self.envelope.cap_min_w <= watts <= self.envelope.cap_max_w):
+            raise PowerLimitError(
+                f"power limit {watts:.0f} W outside supported range "
+                f"[{self.envelope.cap_min_w:.0f}, {self.envelope.cap_max_w:.0f}] W"
+            )
+        self._power_limit_w = float(watts)
+
+    def reset_power_limit(self) -> None:
+        """Restore the default power limit (the TDP)."""
+        self._power_limit_w = self.envelope.tdp_w
+
+    # ------------------------------------------------------------------
+    # DVFS power/performance model
+    # ------------------------------------------------------------------
+    @property
+    def idle_power_w(self) -> float:
+        """Idle power including this unit's manufacturing offset."""
+        assert self.variation is not None
+        return self.envelope.idle_w + self.variation.idle_offset_w
+
+    def clock_fraction(self, demand_w: float, cap_w: float | None = None) -> float:
+        """Largest clock fraction whose sustained power fits under the cap.
+
+        ``demand_w`` is the power the kernel mix would draw at full clocks.
+        When the cap does not bind the answer is 1.  When it binds, invert
+        ``P(f) = static + (demand - static) * f**3`` and clamp at the
+        hardware's minimum clock.
+        """
+        cap = self._power_limit_w if cap_w is None else cap_w
+        static = self.envelope.static_w
+        # The controller clocks against an effective target: a margin
+        # below the limit in its authority range, relaxed (slightly above
+        # the limit) by the regulation error near the 100 W floor.
+        target = cap * (1.0 - CONTROL_MARGIN + self.regulation_error(cap))
+        if demand_w <= target:
+            return 1.0
+        if demand_w <= static:
+            # Demand below static power cannot be reduced by clocking down.
+            return 1.0
+        headroom = target - static
+        if headroom <= 0.0:
+            return MIN_CLOCK_FRACTION
+        frac = float((headroom / (demand_w - static)) ** (1.0 / 3.0))
+        return max(MIN_CLOCK_FRACTION, min(1.0, frac))
+
+    def regulation_error(self, cap_w: float | None = None) -> float:
+        """Relative overshoot of the power controller at a given cap.
+
+        The controller holds the cap tightly except near the 100 W floor,
+        where the paper observes sustained power slightly above the cap
+        (Fig 10).  Steep (sixth-power) ramp: negligible at 300/200 W,
+        ~8 % at the floor.
+        """
+        cap = self._power_limit_w if cap_w is None else cap_w
+        env = self.envelope
+        span = env.cap_max_w - env.cap_min_w
+        depth = float(np.clip((env.cap_max_w - cap) / span, 0.0, 1.0))
+        return 0.08 * depth**6
+
+    def resolve_phase(
+        self,
+        demand_w: float,
+        compute_fraction: float = 1.0,
+        cap_w: float | None = None,
+    ) -> GpuPowerSample:
+        """Resolve sustained power and slowdown for one kernel phase.
+
+        Parameters
+        ----------
+        demand_w:
+            Board power the phase would draw at full clocks (nominal unit).
+        compute_fraction:
+            Fraction of the phase's time that scales with core clock
+            (compute-bound part).  Memory-bound time is clock-insensitive.
+        cap_w:
+            Override the GPU's current power limit (for what-if queries).
+
+        Returns
+        -------
+        GpuPowerSample
+            Sustained power in watts (with manufacturing bias and
+            regulation error applied) and the phase time multiplier.
+        """
+        if not 0.0 <= compute_fraction <= 1.0:
+            raise ValueError(f"compute_fraction must be in [0, 1], got {compute_fraction}")
+        cap = self._power_limit_w if cap_w is None else cap_w
+        static = self.envelope.static_w
+        frac = self.clock_fraction(demand_w, cap)
+        if frac >= 1.0:
+            power = min(demand_w, cap)
+            slowdown = 1.0
+        else:
+            # Sustained power lands on the controller's effective target:
+            # slightly under the cap in its authority range, slightly over
+            # near the 100 W floor (the regulation error baked into frac).
+            power = min(static + (demand_w - static) * frac**3, demand_w)
+            slowdown = compute_fraction / frac + (1.0 - compute_fraction)
+        assert self.variation is not None
+        biased = self.variation.apply(max(power, self.envelope.idle_w), self.envelope.idle_w)
+        return GpuPowerSample(power_w=biased, clock_fraction=frac, slowdown=slowdown)
+
+    def idle_sample(self) -> GpuPowerSample:
+        """Power sample for an idle GPU."""
+        return GpuPowerSample(power_w=self.idle_power_w, clock_fraction=1.0, slowdown=1.0)

@@ -1,0 +1,134 @@
+"""A Perlmutter GPU node: one Milan CPU, four A100s, DDR4, four NICs.
+
+The node exposes the same component breakdown as the Cray Power Monitoring
+interface: CPU power, per-GPU power, memory power, and total node power
+(which additionally includes NICs and the baseboard — the "gap" between the
+black node line and the component sum in Fig 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.units.constants import PERLMUTTER_GPU_NODE, NodeEnvelope
+from repro.hardware.cpu import MilanCpu
+from repro.hardware.gpu import A100Gpu
+from repro.hardware.memory import DdrMemory
+from repro.hardware.nic import SlingshotNic
+from repro.hardware.variability import ManufacturingVariation
+
+
+@dataclass(frozen=True)
+class NodePowerSample:
+    """Instantaneous component-resolved power of one node, in watts."""
+
+    cpu_w: float
+    gpu_w: tuple[float, float, float, float]
+    memory_w: float
+    nic_w: float
+    baseboard_w: float
+
+    @property
+    def gpu_total_w(self) -> float:
+        """Sum over the four GPUs."""
+        return float(sum(self.gpu_w))
+
+    @property
+    def node_w(self) -> float:
+        """Total node power: the quantity the node-level sensor reports."""
+        return self.cpu_w + self.gpu_total_w + self.memory_w + self.nic_w + self.baseboard_w
+
+    @property
+    def component_sum_w(self) -> float:
+        """Sum of the *sensed* components (CPU + GPUs + memory).
+
+        The difference ``node_w - component_sum_w`` is the peripheral gap
+        the paper attributes to NICs and other un-sensed parts.
+        """
+        return self.cpu_w + self.gpu_total_w + self.memory_w
+
+
+@dataclass
+class GpuNode:
+    """One GPU-accelerated node with deterministic per-node variability."""
+
+    name: str = "nid001000"
+    envelope: NodeEnvelope = field(default_factory=lambda: PERLMUTTER_GPU_NODE)
+    cpu: MilanCpu = field(init=False)
+    gpus: list[A100Gpu] = field(init=False)
+    memory: DdrMemory = field(init=False)
+    nics: list[SlingshotNic] = field(init=False)
+    baseboard_variation: ManufacturingVariation = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.cpu = MilanCpu(serial=f"{self.name}-cpu0")
+        self.gpus = [
+            A100Gpu(serial=f"{self.name}-gpu{i}") for i in range(self.envelope.gpus_per_node)
+        ]
+        self.memory = DdrMemory(serial=f"{self.name}-mem0")
+        self.nics = [SlingshotNic(serial=f"{self.name}-nic{i}") for i in range(4)]
+        self.baseboard_variation = ManufacturingVariation.sample(
+            f"{self.name}-board", idle_sigma_w=10.0
+        )
+
+    # ------------------------------------------------------------------
+    # Power limits (applied to all GPUs, as in the paper's experiments)
+    # ------------------------------------------------------------------
+    def set_gpu_power_limit(self, watts: float) -> None:
+        """Apply the same power cap to every GPU on the node."""
+        for gpu in self.gpus:
+            gpu.set_power_limit(watts)
+
+    def reset_gpu_power_limit(self) -> None:
+        """Restore the default (TDP) power limit on every GPU."""
+        for gpu in self.gpus:
+            gpu.reset_power_limit()
+
+    @property
+    def gpu_power_limit_w(self) -> float:
+        """The common GPU power limit (asserts all GPUs agree)."""
+        limits = {gpu.power_limit_w for gpu in self.gpus}
+        if len(limits) != 1:
+            raise RuntimeError(f"GPUs on {self.name} have mixed power limits: {sorted(limits)}")
+        return limits.pop()
+
+    # ------------------------------------------------------------------
+    # Sampling
+    # ------------------------------------------------------------------
+    @property
+    def baseboard_power_w(self) -> float:
+        """Baseboard (fans, VRM, BMC) power with per-node offset."""
+        return self.envelope.baseboard_w + self.baseboard_variation.idle_offset_w
+
+    def idle_sample(self) -> NodePowerSample:
+        """Component power of the node at idle."""
+        return NodePowerSample(
+            cpu_w=self.cpu.idle_power_w,
+            gpu_w=tuple(g.idle_power_w for g in self.gpus),  # type: ignore[arg-type]
+            memory_w=self.memory.idle_power_w,
+            nic_w=sum(n.idle_power_w for n in self.nics),
+            baseboard_w=self.baseboard_power_w,
+        )
+
+    def sample(
+        self,
+        gpu_power_w: tuple[float, float, float, float] | list[float],
+        cpu_utilization: float = 0.05,
+        memory_bandwidth_utilization: float = 0.05,
+        nic_utilization: float = 0.0,
+    ) -> NodePowerSample:
+        """Assemble a node sample from already-resolved GPU powers.
+
+        GPU power is resolved by :meth:`A100Gpu.resolve_phase` (it depends
+        on caps and the DVFS state), so the node takes it as input; the
+        other components are resolved from utilization here.
+        """
+        if len(gpu_power_w) != len(self.gpus):
+            raise ValueError(f"expected {len(self.gpus)} GPU powers, got {len(gpu_power_w)}")
+        return NodePowerSample(
+            cpu_w=self.cpu.power_at_utilization(cpu_utilization),
+            gpu_w=tuple(float(p) for p in gpu_power_w),  # type: ignore[arg-type]
+            memory_w=self.memory.power_at_bandwidth(memory_bandwidth_utilization),
+            nic_w=sum(n.power_at_traffic(nic_utilization) for n in self.nics),
+            baseboard_w=self.baseboard_power_w,
+        )

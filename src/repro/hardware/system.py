@@ -1,0 +1,108 @@
+"""System-level view: a pool of GPU nodes with allocation bookkeeping.
+
+``PerlmutterSystem`` stands in for the machine as the batch system sees it:
+a set of named nodes, a facility power envelope, and allocate/release
+primitives the power-aware scheduler (``repro.capping.scheduler``) builds
+on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.units.constants import PERLMUTTER_SYSTEM_TDP_W
+from repro.hardware.node import GpuNode
+
+
+class AllocationError(RuntimeError):
+    """Raised when a node allocation request cannot be satisfied."""
+
+
+@dataclass
+class PerlmutterSystem:
+    """A pool of GPU nodes plus a facility power budget.
+
+    Parameters
+    ----------
+    n_nodes:
+        Number of GPU nodes in the pool (the real machine has 1,536
+        40 GB nodes; tests use far fewer).
+    power_budget_w:
+        Facility budget available to this pool.  Defaults to the GPU
+        partition's share of the 6.9 MW system TDP, scaled by pool size.
+    """
+
+    n_nodes: int = 16
+    power_budget_w: float | None = None
+    nodes: dict[str, GpuNode] = field(init=False)
+    _free: set[str] = field(init=False)
+    _allocations: dict[str, list[str]] = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.n_nodes <= 0:
+            raise ValueError(f"n_nodes must be positive, got {self.n_nodes}")
+        self.nodes = {}
+        for i in range(self.n_nodes):
+            name = f"nid{1000 + i:06d}"
+            self.nodes[name] = GpuNode(name=name)
+        self._free = set(self.nodes)
+        self._allocations = {}
+        if self.power_budget_w is None:
+            # Scale the 1,536-node GPU partition's nominal share of the
+            # facility TDP down to this pool.
+            full_partition_w = 1536 * 2350.0
+            self.power_budget_w = min(PERLMUTTER_SYSTEM_TDP_W, full_partition_w) * (
+                self.n_nodes / 1536
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def free_node_count(self) -> int:
+        """Number of currently unallocated nodes."""
+        return len(self._free)
+
+    def allocate(self, job_id: str, n_nodes: int) -> list[GpuNode]:
+        """Allocate ``n_nodes`` nodes to a job.
+
+        Nodes are handed out in name order for determinism.
+
+        Raises
+        ------
+        AllocationError
+            If the job already holds an allocation or not enough nodes are
+            free.
+        """
+        if job_id in self._allocations:
+            raise AllocationError(f"job {job_id!r} already holds an allocation")
+        if n_nodes <= 0:
+            raise ValueError(f"n_nodes must be positive, got {n_nodes}")
+        if n_nodes > len(self._free):
+            raise AllocationError(
+                f"job {job_id!r} wants {n_nodes} nodes, only {len(self._free)} free"
+            )
+        chosen = sorted(self._free)[:n_nodes]
+        self._free.difference_update(chosen)
+        self._allocations[job_id] = chosen
+        return [self.nodes[name] for name in chosen]
+
+    def release(self, job_id: str) -> None:
+        """Release a job's nodes back to the pool and reset their caps."""
+        try:
+            names = self._allocations.pop(job_id)
+        except KeyError:
+            raise AllocationError(f"job {job_id!r} holds no allocation") from None
+        for name in names:
+            self.nodes[name].reset_gpu_power_limit()
+            self._free.add(name)
+
+    def allocated_nodes(self, job_id: str) -> list[GpuNode]:
+        """The nodes currently held by a job."""
+        try:
+            names = self._allocations[job_id]
+        except KeyError:
+            raise AllocationError(f"job {job_id!r} holds no allocation") from None
+        return [self.nodes[name] for name in names]
+
+    def idle_power_w(self) -> float:
+        """Total idle power of currently free nodes."""
+        return sum(self.nodes[name].idle_sample().node_w for name in self._free)

@@ -1,0 +1,35 @@
+"""Kernel-level performance and power models for the A100.
+
+The VASP workload model (``repro.vasp``) describes execution as a sequence
+of *macro-phases* (exact exchange, FFT/diagonalization, communication,
+host-side sections...).  This package supplies the physics of one phase:
+
+* :mod:`repro.perfmodel.kernels` — the phase descriptor
+  (:class:`GpuKernelProfile`) and a small catalogue of reference kernels;
+* :mod:`repro.perfmodel.roofline` — flop/byte -> time estimates;
+* :mod:`repro.perfmodel.power` — utilization -> demand power;
+* :mod:`repro.perfmodel.dvfs` — cap -> clock -> slowdown relationships and
+  an occupancy (work-saturation) model.
+"""
+
+from repro.perfmodel.kernels import GpuKernelProfile, KernelCatalogue
+from repro.perfmodel.power import demand_power_w, duty_cycle_power_w
+from repro.perfmodel.roofline import RooflineModel
+from repro.perfmodel.dvfs import (
+    capped_clock_fraction,
+    capped_phase_slowdown,
+    occupancy,
+    sustained_power_w,
+)
+
+__all__ = [
+    "GpuKernelProfile",
+    "KernelCatalogue",
+    "RooflineModel",
+    "capped_clock_fraction",
+    "capped_phase_slowdown",
+    "demand_power_w",
+    "duty_cycle_power_w",
+    "occupancy",
+    "sustained_power_w",
+]

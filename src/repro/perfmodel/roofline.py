@@ -1,0 +1,76 @@
+"""Roofline time model: flop and byte counts -> kernel time on an A100.
+
+The VASP workload model derives phase durations from algorithmic flop and
+byte counts (functions of NPLWV, NBANDS, etc.).  The roofline converts a
+(flops, bytes) pair into time at a given achieved utilization:
+
+    t = max(flops / (peak_flops * u_c), bytes / (bw * u_m))
+
+so lowering occupancy lengthens the phase as well as lowering its power —
+both effects the paper observes for small workloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.units.constants import A100_40GB, GPUEnvelope
+from repro.perfmodel.kernels import GpuKernelProfile
+
+
+@dataclass(frozen=True)
+class RooflineModel:
+    """Time estimator for one GPU model."""
+
+    envelope: GPUEnvelope = A100_40GB
+    use_tensor_cores: bool = True
+
+    @property
+    def peak_flops(self) -> float:
+        """Peak FP64 throughput in flop/s (tensor cores if enabled)."""
+        tflops = (
+            self.envelope.peak_fp64_tc_tflops
+            if self.use_tensor_cores
+            else self.envelope.peak_fp64_tflops
+        )
+        return tflops * 1e12
+
+    @property
+    def peak_bandwidth(self) -> float:
+        """Peak HBM bandwidth in byte/s."""
+        return self.envelope.hbm_bw_gbs * 1e9
+
+    def kernel_time_s(
+        self,
+        flops: float | np.ndarray,
+        bytes_moved: float | np.ndarray,
+        profile: GpuKernelProfile,
+    ) -> float | np.ndarray:
+        """Execution time of a kernel at the profile's achieved utilization.
+
+        Utilizations of zero (host sections) make the corresponding roof
+        unreachable; a kernel with zero utilization on both roofs has no
+        defined GPU time and raises.
+        """
+        fl = np.asarray(flops, dtype=float)
+        by = np.asarray(bytes_moved, dtype=float)
+        if np.any(fl < 0) or np.any(by < 0):
+            raise ValueError("flops and bytes_moved must be non-negative")
+        uc = profile.compute_utilization
+        um = profile.memory_utilization
+        if uc <= 0.0 and um <= 0.0:
+            raise ValueError(f"profile {profile.name!r} has no GPU activity; no roofline time")
+        t_compute = fl / (self.peak_flops * uc) if uc > 0 else np.zeros_like(fl)
+        t_memory = by / (self.peak_bandwidth * um) if um > 0 else np.zeros_like(by)
+        out = np.maximum(t_compute, t_memory)
+        return float(out) if out.ndim == 0 else out
+
+    def balance_point_intensity(self, profile: GpuKernelProfile) -> float:
+        """Arithmetic intensity (flop/byte) where the two roofs intersect."""
+        uc = profile.compute_utilization
+        um = profile.memory_utilization
+        if uc <= 0.0 or um <= 0.0:
+            raise ValueError("balance point needs non-zero utilization on both roofs")
+        return (self.peak_flops * uc) / (self.peak_bandwidth * um)

@@ -1,0 +1,40 @@
+"""Power prediction from workload features (the paper's Section VI-C).
+
+"Our in-depth study on VASP power characteristics provides the basis for
+developing power prediction models.  We have identified several key
+contributors to power variations, including system sizes (number of plane
+waves and bands), methods, and concurrency..."
+
+This package implements that next step — plus Section VI-B's top-down
+counterpart: a feature extractor that reads only what a scheduler can see
+(the input files plus the requested node count), a ridge-regression power
+model trained on simulated runs, an evaluation harness, and a
+telemetry-only clustering that discovers workload power classes without
+any application knowledge.
+"""
+
+from repro.prediction.clustering import (
+    ClusterModel,
+    PROFILE_FEATURE_NAMES,
+    classify_jobs,
+    kmeans_profiles,
+    profile_features,
+)
+from repro.prediction.features import FEATURE_NAMES, feature_vector
+from repro.prediction.model import PowerPredictor, TrainingSample
+from repro.prediction.evaluate import EvaluationReport, evaluate, training_corpus
+
+__all__ = [
+    "ClusterModel",
+    "EvaluationReport",
+    "FEATURE_NAMES",
+    "PROFILE_FEATURE_NAMES",
+    "PowerPredictor",
+    "TrainingSample",
+    "classify_jobs",
+    "evaluate",
+    "feature_vector",
+    "kmeans_profiles",
+    "profile_features",
+    "training_corpus",
+]

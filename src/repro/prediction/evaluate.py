@@ -1,0 +1,88 @@
+"""Training-corpus generation and predictor evaluation.
+
+The corpus is generated the way a centre would build one: run a diverse
+sweep (the silicon family across sizes/methods plus the production-like
+benchmark suite at several node counts), measure each run's high power
+mode through the standard telemetry/analysis pipeline, and train on the
+result.  Evaluation reports mean absolute percentage error (MAPE) under
+leave-one-workload-out splits — the realistic deployment question is
+"can we predict a job we have not profiled?".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.modes import high_power_mode_w
+from repro.experiments.common import run_workload
+from repro.prediction.model import PowerPredictor, TrainingSample
+from repro.vasp.benchmarks import BENCHMARKS, silicon_workload
+from repro.vasp.workload import VaspWorkload
+
+
+def _measure_hpm(workload: VaspWorkload, n_nodes: int, seed: int) -> float:
+    measured = run_workload(workload, n_nodes=n_nodes, seed=seed)
+    return high_power_mode_w(measured.telemetry[0].node_power)
+
+
+def training_corpus(seed: int = 13) -> list[TrainingSample]:
+    """A diverse corpus: silicon sweeps plus the benchmark suite."""
+    samples: list[TrainingSample] = []
+    # Silicon sizes x two methods, single node.
+    for n_atoms in (64, 128, 256, 512, 1024):
+        for method in ("dft_normal", "dft_veryfast"):
+            workload = silicon_workload(n_atoms, method, nelm=6)
+            hpm = _measure_hpm(workload, 1, seed)
+            samples.append(TrainingSample.from_run(workload, 1, hpm))
+    # Higher-order silicon workloads.
+    for n_atoms in (128, 256):
+        for method in ("hse", "acfdtr"):
+            workload = silicon_workload(n_atoms, method, nelm=6)
+            hpm = _measure_hpm(workload, 1, seed)
+            samples.append(TrainingSample.from_run(workload, 1, hpm))
+    # The production-like suite at one and two nodes.
+    for case in BENCHMARKS.values():
+        workload = case.build()
+        for n_nodes in (1, 2):
+            hpm = _measure_hpm(workload, n_nodes, seed)
+            samples.append(TrainingSample.from_run(workload, n_nodes, hpm))
+    return samples
+
+
+@dataclass
+class EvaluationReport:
+    """Prediction errors from leave-one-workload-out evaluation."""
+
+    per_workload_ape: dict[str, float]
+
+    @property
+    def mape(self) -> float:
+        """Mean absolute percentage error across held-out workloads."""
+        return float(np.mean(list(self.per_workload_ape.values())))
+
+    @property
+    def worst_ape(self) -> float:
+        """Worst single held-out error."""
+        return float(max(self.per_workload_ape.values()))
+
+
+def evaluate(
+    samples: list[TrainingSample] | None = None, ridge_lambda: float = 1.0e-3
+) -> EvaluationReport:
+    """Leave-one-workload-out evaluation of the predictor."""
+    if samples is None:
+        samples = training_corpus()
+    names = sorted({s.workload_name for s in samples})
+    errors: dict[str, float] = {}
+    for held_out in names:
+        train = [s for s in samples if s.workload_name != held_out]
+        test = [s for s in samples if s.workload_name == held_out]
+        predictor = PowerPredictor(ridge_lambda=ridge_lambda).fit(train)
+        apes = [
+            abs(predictor.predict_features(s.features) - s.hpm_w) / s.hpm_w
+            for s in test
+        ]
+        errors[held_out] = float(np.mean(apes))
+    return EvaluationReport(per_workload_ape=errors)

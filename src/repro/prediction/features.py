@@ -1,0 +1,58 @@
+"""Feature extraction for power prediction.
+
+Features use only scheduler-visible information: INCAR tags, structure
+size, k-mesh and the requested node count — the paper's point is that the
+batch system can classify jobs "without costly computation".  The feature
+set encodes the power drivers Section IV identifies: plane waves
+(occupancy), bands per GPU (duty), method class (kernel mix) and
+concurrency.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.vasp.methods import Functional
+from repro.vasp.parallel import ParallelConfig
+from repro.vasp.workload import VaspWorkload
+
+#: Names of the feature-vector entries, in order.
+FEATURE_NAMES: tuple[str, ...] = (
+    "bias",
+    "log_nplwv",
+    "log_bands_per_rank",
+    "log_electrons",
+    "is_hse",
+    "is_rpa",
+    "kpoint_churn",
+    "log_nodes",
+)
+
+
+def feature_vector(workload: VaspWorkload, n_nodes: int) -> np.ndarray:
+    """Scheduler-visible features for one (workload, node count) pair."""
+    if n_nodes < 1:
+        raise ValueError(f"n_nodes must be >= 1, got {n_nodes}")
+    parallel = ParallelConfig(n_nodes=n_nodes, kpar=workload.incar.kpar)
+    functional = workload.incar.functional
+    bands_per_rank = parallel.bands_per_rank(workload.nbands)
+    k_per_group = workload.kpoints.kpoints_per_group(workload.incar.kpar)
+    # The basic-DFT family (LDA/GGA/vdW) is the reference class; vdW adds
+    # only a minor correction (Section IV-D treats it like DFT), so it
+    # shares the class rather than burning a one-hot no held-out split
+    # could learn.
+    return np.array(
+        [
+            1.0,
+            math.log10(workload.nplwv),
+            math.log10(max(bands_per_rank, 1)),
+            math.log10(max(workload.nelect, 1.0)),
+            1.0 if functional is Functional.HSE else 0.0,
+            1.0 if functional is Functional.ACFDT_RPA else 0.0,
+            # Bounded duty-churn transform of the sequential k-point count.
+            1.0 / (1.0 + 0.05 * (k_per_group - 1)),
+            math.log2(n_nodes),
+        ]
+    )

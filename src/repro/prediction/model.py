@@ -1,0 +1,83 @@
+"""A ridge-regression power predictor over workload features.
+
+Small, interpretable, and trainable from a handful of measured (or, here,
+simulated) runs — the kind of model a computing centre could deploy inside
+a scheduling cycle.  The regression is fitted in log-power space (power
+drivers combine multiplicatively: occupancy x duty x method class), and
+predictions are exponentiated back to watts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.prediction.features import FEATURE_NAMES, feature_vector
+from repro.vasp.workload import VaspWorkload
+
+
+@dataclass(frozen=True)
+class TrainingSample:
+    """One observed run: features plus the measured power."""
+
+    workload_name: str
+    features: np.ndarray
+    hpm_w: float
+
+    @classmethod
+    def from_run(
+        cls, workload: VaspWorkload, n_nodes: int, hpm_w: float
+    ) -> "TrainingSample":
+        """Build a sample from a workload, node count and measured HPM."""
+        if hpm_w <= 0:
+            raise ValueError(f"hpm_w must be positive, got {hpm_w}")
+        return cls(
+            workload_name=workload.name,
+            features=feature_vector(workload, n_nodes),
+            hpm_w=hpm_w,
+        )
+
+
+class PowerPredictor:
+    """Ridge regression: features -> high power mode per node."""
+
+    def __init__(self, ridge_lambda: float = 1.0e-3) -> None:
+        if ridge_lambda < 0:
+            raise ValueError(f"ridge_lambda must be >= 0, got {ridge_lambda}")
+        self.ridge_lambda = ridge_lambda
+        self._weights: np.ndarray | None = None
+
+    @property
+    def is_fitted(self) -> bool:
+        """Whether :meth:`fit` has been called."""
+        return self._weights is not None
+
+    def fit(self, samples: list[TrainingSample]) -> "PowerPredictor":
+        """Fit the weights by regularized least squares."""
+        if len(samples) < len(FEATURE_NAMES):
+            raise ValueError(
+                f"need at least {len(FEATURE_NAMES)} samples, got {len(samples)}"
+            )
+        x = np.stack([s.features for s in samples])
+        y = np.log(np.array([s.hpm_w for s in samples]))
+        n_features = x.shape[1]
+        gram = x.T @ x + self.ridge_lambda * np.eye(n_features)
+        self._weights = np.linalg.solve(gram, x.T @ y)
+        return self
+
+    def predict(self, workload: VaspWorkload, n_nodes: int = 1) -> float:
+        """Predicted high power mode per node, in watts."""
+        return self.predict_features(feature_vector(workload, n_nodes))
+
+    def predict_features(self, features: np.ndarray) -> float:
+        """Prediction from a raw feature vector."""
+        if self._weights is None:
+            raise RuntimeError("predictor is not fitted; call fit() first")
+        return float(np.exp(features @ self._weights))
+
+    def coefficients(self) -> dict[str, float]:
+        """Feature name -> fitted log-space weight (interpretability)."""
+        if self._weights is None:
+            raise RuntimeError("predictor is not fitted; call fit() first")
+        return dict(zip(FEATURE_NAMES, (float(w) for w in self._weights)))

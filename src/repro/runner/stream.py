@@ -1,0 +1,51 @@
+"""The STREAM acceptance segment, plus a real NumPy triad micro-kernel.
+
+Companion of :mod:`repro.runner.dgemm`: the bandwidth-bound half of the
+paper's node-acceptance prologue.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.perfmodel.kernels import KernelCatalogue
+from repro.vasp.phases import MacroPhase
+
+
+def stream_phase(duration_s: float = 60.0) -> MacroPhase:
+    """The modelled STREAM segment: bandwidth-saturating load."""
+    if duration_s <= 0:
+        raise ValueError(f"duration_s must be positive, got {duration_s}")
+    return MacroPhase(
+        name="stream_test",
+        duration_s=duration_s,
+        gpu_profile=KernelCatalogue.STREAM_TEST,
+        cpu_utilization=0.15,
+        mem_bw_utilization=0.60,
+    )
+
+
+def numpy_stream_gbs(n: int = 4_000_000, repeats: int = 3) -> float:
+    """Measured STREAM-triad bandwidth of this host, in GB/s.
+
+    ``a = b + s * c`` over ``n`` doubles; reports the best of ``repeats``.
+    """
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    b = np.ones(n)
+    c = np.full(n, 2.0)
+    a = np.empty(n)
+    scalar = 3.0
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        np.multiply(c, scalar, out=a)
+        a += b
+        elapsed = time.perf_counter() - start
+        best = min(best, elapsed)
+    # Triad moves 3 arrays of 8 bytes each (2 reads + 1 write).
+    return 3.0 * 8.0 * n / best / 1e9

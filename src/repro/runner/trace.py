@@ -1,0 +1,122 @@
+"""Trace records produced by the execution engine.
+
+A :class:`PowerTrace` holds the component-resolved power timeline of one
+node at the engine's base resolution (0.1 s); :class:`RunResult` bundles
+the traces of all nodes in a job with the resolved phase schedule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+#: Component keys in a node trace, matching the Cray PM counters.
+GPU_KEYS = ("gpu0", "gpu1", "gpu2", "gpu3")
+COMPONENT_KEYS = ("cpu",) + GPU_KEYS + ("memory", "node")
+
+
+@dataclass(frozen=True)
+class PhaseRecord:
+    """One resolved phase: schedule plus the slowdown the cap imposed."""
+
+    name: str
+    start_s: float
+    end_s: float
+    nominal_duration_s: float
+    slowdown: float
+
+    @property
+    def duration_s(self) -> float:
+        """Actual wall time of the phase."""
+        return self.end_s - self.start_s
+
+
+@dataclass
+class PowerTrace:
+    """Component power timeline of one node.
+
+    ``times`` are sample midpoints at the base resolution; ``components``
+    maps each key in :data:`COMPONENT_KEYS` to a same-length power array in
+    watts.  ``node`` is the total-node sensor (components + peripherals).
+    """
+
+    node_name: str
+    times: np.ndarray
+    components: dict[str, np.ndarray]
+
+    def __post_init__(self) -> None:
+        n = len(self.times)
+        for key in COMPONENT_KEYS:
+            if key not in self.components:
+                raise ValueError(f"trace for {self.node_name} missing component {key!r}")
+            if len(self.components[key]) != n:
+                raise ValueError(
+                    f"component {key!r} has {len(self.components[key])} samples, "
+                    f"expected {n}"
+                )
+
+    @property
+    def sample_interval_s(self) -> float:
+        """Spacing between samples (assumes a regular grid)."""
+        if len(self.times) < 2:
+            return 0.0
+        return float(self.times[1] - self.times[0])
+
+    @property
+    def node_power(self) -> np.ndarray:
+        """Total node power series."""
+        return self.components["node"]
+
+    def gpu_power(self, index: int) -> np.ndarray:
+        """Power series of one GPU (0-3)."""
+        return self.components[f"gpu{index}"]
+
+    @property
+    def gpu_total(self) -> np.ndarray:
+        """Summed power of the four GPUs."""
+        return sum(self.components[k] for k in GPU_KEYS)
+
+    def energy_j(self) -> float:
+        """Node energy over the trace (trapezoid-free: regular sampling)."""
+        return float(np.sum(self.node_power) * self.sample_interval_s)
+
+    def window(self, start_s: float, end_s: float) -> "PowerTrace":
+        """Sub-trace restricted to a time window."""
+        if end_s < start_s:
+            raise ValueError(f"end {end_s} before start {start_s}")
+        mask = (self.times >= start_s) & (self.times < end_s)
+        return PowerTrace(
+            node_name=self.node_name,
+            times=self.times[mask],
+            components={k: v[mask] for k, v in self.components.items()},
+        )
+
+
+@dataclass
+class RunResult:
+    """Outcome of one run: traces per node plus the resolved schedule."""
+
+    label: str
+    traces: list[PowerTrace]
+    phases: list[PhaseRecord]
+    runtime_s: float
+    gpu_power_cap_w: float
+    metadata: dict[str, object] = field(default_factory=dict)
+
+    @property
+    def n_nodes(self) -> int:
+        """Number of nodes in the job."""
+        return len(self.traces)
+
+    def total_energy_j(self) -> float:
+        """Energy-to-solution summed over all nodes (Figs 7, 8)."""
+        return sum(trace.energy_j() for trace in self.traces)
+
+    def phase_windows(self, name: str) -> list[tuple[float, float]]:
+        """Start/end times of every phase with a given name."""
+        return [(p.start_s, p.end_s) for p in self.phases if p.name == name]
+
+    def phase_time_s(self, name: str) -> float:
+        """Total wall time spent in phases with a given name."""
+        return sum(p.duration_s for p in self.phases if p.name == name)

@@ -1,0 +1,60 @@
+"""Down-sampling of power timelines.
+
+The Fig 2 study measured at 0.1 s and "then down-sampled it to the rest of
+the sampling rates".  Down-sampling a power sensor is *block averaging*
+(each coarse sample reports the mean power over its window — power sensors
+integrate), which is why coarser rates widen the high-power-mode FWHM,
+clip the maximum, and eventually blur short-lived modes away.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.runner.trace import PowerTrace
+
+
+def downsample_series(
+    times: np.ndarray, values: np.ndarray, interval_s: float
+) -> tuple[np.ndarray, np.ndarray]:
+    """Block-average a regularly sampled series to a coarser interval.
+
+    Returns (window midpoints, window means).  The trailing partial window
+    is kept if it holds at least one sample.
+    """
+    times = np.asarray(times, dtype=float)
+    values = np.asarray(values, dtype=float)
+    if times.shape != values.shape:
+        raise ValueError(f"shape mismatch: {times.shape} vs {values.shape}")
+    if interval_s <= 0:
+        raise ValueError(f"interval_s must be positive, got {interval_s}")
+    if len(times) == 0:
+        return times.copy(), values.copy()
+    base = float(times[1] - times[0]) if len(times) > 1 else interval_s
+    if interval_s < base - 1e-12:
+        raise ValueError(
+            f"cannot down-sample to {interval_s} s: base interval is {base} s"
+        )
+    per_window = max(int(round(interval_s / base)), 1)
+    n_windows = int(np.ceil(len(values) / per_window))
+    out_times = np.empty(n_windows)
+    out_values = np.empty(n_windows)
+    for w in range(n_windows):
+        chunk = slice(w * per_window, (w + 1) * per_window)
+        out_times[w] = times[chunk].mean()
+        out_values[w] = values[chunk].mean()
+    return out_times, out_values
+
+
+def downsample_trace(trace: PowerTrace, interval_s: float) -> PowerTrace:
+    """Down-sample every component of a node trace."""
+    new_components: dict[str, np.ndarray] = {}
+    new_times: np.ndarray | None = None
+    for key, series in trace.components.items():
+        t, v = downsample_series(trace.times, series, interval_s)
+        new_components[key] = v
+        new_times = t
+    assert new_times is not None
+    return PowerTrace(
+        node_name=trace.node_name, times=new_times, components=new_components
+    )

@@ -1,0 +1,103 @@
+"""OMNI-like time-series store with job-window queries.
+
+NERSC's OMNI gathers the LDMS streams into a queryable store; the paper's
+power data came from "previously-developed querying scripts" against it.
+:class:`OmniStore` ingests :class:`~repro.telemetry.sampler.SampledSeries`
+records and answers the same kind of queries: per-node, per-component,
+time-windowed power series for a job.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.telemetry.sampler import SampledSeries
+
+
+@dataclass(frozen=True)
+class OmniQuery:
+    """A query: node/component selectors plus an optional time window."""
+
+    node_name: str | None = None
+    component: str | None = None
+    start_s: float | None = None
+    end_s: float | None = None
+
+    def __post_init__(self) -> None:
+        if (
+            self.start_s is not None
+            and self.end_s is not None
+            and self.end_s < self.start_s
+        ):
+            raise ValueError(f"end {self.end_s} before start {self.start_s}")
+
+
+@dataclass
+class OmniStore:
+    """In-memory time-series store keyed by (node, component)."""
+
+    _data: dict[tuple[str, str], list[SampledSeries]] = field(default_factory=dict)
+
+    def ingest(self, series: SampledSeries) -> None:
+        """Add a sampled series to the store."""
+        key = (series.node_name, series.component)
+        self._data.setdefault(key, []).append(series)
+
+    def ingest_all(self, series_by_component: dict[str, SampledSeries]) -> None:
+        """Add every component series of one node."""
+        for series in series_by_component.values():
+            self.ingest(series)
+
+    @property
+    def nodes(self) -> list[str]:
+        """Node names present in the store."""
+        return sorted({node for node, _ in self._data})
+
+    @property
+    def components(self) -> list[str]:
+        """Component names present in the store."""
+        return sorted({component for _, component in self._data})
+
+    def query(self, query: OmniQuery) -> list[SampledSeries]:
+        """All series matching a query, with time windows applied."""
+        out: list[SampledSeries] = []
+        for (node, component), series_list in sorted(self._data.items()):
+            if query.node_name is not None and node != query.node_name:
+                continue
+            if query.component is not None and component != query.component:
+                continue
+            for series in series_list:
+                times, values = series.times, series.values
+                if query.start_s is not None or query.end_s is not None:
+                    lo = query.start_s if query.start_s is not None else -np.inf
+                    hi = query.end_s if query.end_s is not None else np.inf
+                    mask = (times >= lo) & (times < hi)
+                    times, values = times[mask], values[mask]
+                out.append(
+                    SampledSeries(
+                        node_name=node, component=component, times=times, values=values
+                    )
+                )
+        return out
+
+    def concatenated(self, query: OmniQuery) -> SampledSeries:
+        """Matching series merged into one, sorted by time.
+
+        Raises
+        ------
+        LookupError
+            If nothing matches (distinguishes "no data" from empty window).
+        """
+        matches = self.query(query)
+        if not matches:
+            raise LookupError(f"no series match {query}")
+        node = query.node_name if query.node_name is not None else "*"
+        component = query.component if query.component is not None else "*"
+        times = np.concatenate([m.times for m in matches])
+        values = np.concatenate([m.values for m in matches])
+        order = np.argsort(times, kind="stable")
+        return SampledSeries(
+            node_name=node, component=component, times=times[order], values=values[order]
+        )

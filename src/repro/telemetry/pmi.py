@@ -1,0 +1,73 @@
+"""Cray Power Monitoring interface facade.
+
+On real Cray EX nodes, ``/sys/cray/pm_counters`` exposes instantaneous
+power for the CPU, each GPU (accelN), memory, and the node total.  This
+facade provides the same component readout against a simulated node's
+ground-truth trace — the source the LDMS sampler reads from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.runner.trace import COMPONENT_KEYS, PowerTrace
+
+
+@dataclass(frozen=True)
+class PowerMonitoringInterface:
+    """Point-in-time component power readout over a node trace."""
+
+    trace: PowerTrace
+
+    @property
+    def counters(self) -> tuple[str, ...]:
+        """Available counters (pm_counters naming: component keys)."""
+        return COMPONENT_KEYS
+
+    def read(self, counter: str, at_s: float) -> float:
+        """Instantaneous power of a counter at a given time, in watts.
+
+        Uses the nearest ground-truth sample; reading outside the trace
+        raises (a real counter would return the idle value, but out-of-
+        window reads in this library indicate a query bug).
+        """
+        if counter not in self.trace.components:
+            raise KeyError(
+                f"unknown counter {counter!r}; available: {self.counters}"
+            )
+        times = self.trace.times
+        if len(times) == 0:
+            raise ValueError("trace is empty")
+        if not (times[0] - 1.0 <= at_s <= times[-1] + 1.0):
+            raise ValueError(
+                f"time {at_s:.1f} s outside trace window "
+                f"[{times[0]:.1f}, {times[-1]:.1f}] s"
+            )
+        index = int(np.argmin(np.abs(times - at_s)))
+        return float(self.trace.components[counter][index])
+
+    def read_all(self, at_s: float) -> dict[str, float]:
+        """All counters at a given time."""
+        return {key: self.read(key, at_s) for key in self.counters}
+
+    def energy_j(self, counter: str, start_s: float, end_s: float) -> float:
+        """Accumulated energy of a counter over a window, in joules.
+
+        Real pm_counters expose monotonically increasing energy counters;
+        LDMS derives power from their deltas.  Here the accumulation is
+        integrated from the ground-truth trace.
+        """
+        if counter not in self.trace.components:
+            raise KeyError(
+                f"unknown counter {counter!r}; available: {self.counters}"
+            )
+        if end_s < start_s:
+            raise ValueError(f"end {end_s} before start {start_s}")
+        window = self.trace.window(start_s, end_s)
+        if len(window.times) == 0:
+            return 0.0
+        return float(
+            window.components[counter].sum() * self.trace.sample_interval_s
+        )

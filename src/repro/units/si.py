@@ -1,0 +1,48 @@
+"""Scalar unit conversions used throughout the library.
+
+The library's internal units are watts, joules and seconds.  The paper
+reports energy-to-solution in megajoules (Figs 7 and 8) and facility budgets
+in megawatts (Perlmutter TDP: 6.9 MW), hence the converters below.
+"""
+
+from __future__ import annotations
+
+J_PER_MJ: float = 1.0e6
+W_PER_KW: float = 1.0e3
+W_PER_MW: float = 1.0e6
+SECONDS_PER_HOUR: float = 3600.0
+
+
+def joules_to_megajoules(joules: float) -> float:
+    """Convert joules to megajoules."""
+    return joules / J_PER_MJ
+
+
+def megajoules_to_joules(megajoules: float) -> float:
+    """Convert megajoules to joules."""
+    return megajoules * J_PER_MJ
+
+
+def watts_to_kilowatts(watts: float) -> float:
+    """Convert watts to kilowatts."""
+    return watts / W_PER_KW
+
+
+def kilowatts_to_watts(kilowatts: float) -> float:
+    """Convert kilowatts to watts."""
+    return kilowatts * W_PER_KW
+
+
+def watts_to_megawatts(watts: float) -> float:
+    """Convert watts to megawatts."""
+    return watts / W_PER_MW
+
+
+def megawatts_to_watts(megawatts: float) -> float:
+    """Convert megawatts to watts."""
+    return megawatts * W_PER_MW
+
+
+def watt_hours_to_joules(watt_hours: float) -> float:
+    """Convert watt-hours to joules (1 Wh = 3600 J)."""
+    return watt_hours * SECONDS_PER_HOUR

@@ -1,0 +1,79 @@
+"""Directory-level VASP input handling: INCAR + POSCAR + KPOINTS.
+
+Real VASP jobs are directories containing the three input files; this is
+the interface a batch system (and this library's users) actually sees.
+:func:`write_workload` materializes a workload as such a directory and
+:func:`load_workload` builds a workload back from one — round-tripping
+through the same parsers a scheduler-side classifier would use.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.vasp.incar import Incar
+from repro.vasp.kpoints import KpointMesh
+from repro.vasp.poscar import Structure
+from repro.vasp.workload import VaspWorkload
+
+INCAR_NAME = "INCAR"
+POSCAR_NAME = "POSCAR"
+KPOINTS_NAME = "KPOINTS"
+
+
+def write_workload(workload: VaspWorkload, directory: str | Path) -> Path:
+    """Write a workload's input files into a job directory.
+
+    The directory is created if needed; existing input files are
+    overwritten (as VASP users do when staging a run).
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    (directory / INCAR_NAME).write_text(workload.incar.to_string())
+    (directory / POSCAR_NAME).write_text(workload.structure.to_poscar())
+    (directory / KPOINTS_NAME).write_text(
+        workload.kpoints.to_string(comment=workload.name)
+    )
+    return directory
+
+
+def load_workload(
+    directory: str | Path,
+    name: str | None = None,
+    nplwv_override: int | None = None,
+) -> VaspWorkload:
+    """Build a workload from a VASP job directory.
+
+    ``name`` defaults to the directory name.  ``nplwv_override`` pins the
+    plane-wave count (for published benchmarks whose exact grid is known);
+    otherwise NPLWV follows the ENCUT/cell estimator, as VASP itself
+    derives it.
+
+    Raises
+    ------
+    FileNotFoundError
+        If INCAR or POSCAR is missing.  A missing KPOINTS defaults to the
+        Gamma point, matching VASP 6's behaviour.
+    """
+    directory = Path(directory)
+    incar_path = directory / INCAR_NAME
+    poscar_path = directory / POSCAR_NAME
+    if not incar_path.is_file():
+        raise FileNotFoundError(f"no INCAR in {directory}")
+    if not poscar_path.is_file():
+        raise FileNotFoundError(f"no POSCAR in {directory}")
+    incar = Incar.from_string(incar_path.read_text())
+    structure = Structure.from_poscar(poscar_path.read_text())
+    kpoints_path = directory / KPOINTS_NAME
+    kpoints = (
+        KpointMesh.from_string(kpoints_path.read_text())
+        if kpoints_path.is_file()
+        else KpointMesh(1, 1, 1)
+    )
+    return VaspWorkload(
+        name=name if name is not None else directory.name,
+        incar=incar,
+        structure=structure,
+        kpoints=kpoints,
+        nplwv_override=nplwv_override,
+    )

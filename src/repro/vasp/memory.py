@@ -1,0 +1,110 @@
+"""HBM memory estimation: will the job fit on the allocated GPUs?
+
+The paper notes the higher-order methods "require more memory compared to
+their counterparts" (Section IV-D), and every VASP-GPU user sizes node
+counts by whether the orbitals fit in the 40 GB of HBM.  This module
+estimates per-GPU memory the way VASP's own guidelines do — orbitals
+dominate, plus FFT work arrays, projectors, and method-specific extras —
+and validates a (workload, layout) pair against the A100's capacity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.units.constants import A100_40GB
+from repro.vasp.methods import Functional
+from repro.vasp.parallel import ParallelConfig
+from repro.vasp.scf import WorkloadSpec
+
+BYTES_PER_COMPLEX = 16.0
+GIB = 2.0**30
+
+
+@dataclass(frozen=True)
+class MemoryEstimate:
+    """Per-GPU memory breakdown, in GiB."""
+
+    orbitals_gib: float
+    fft_work_gib: float
+    projectors_gib: float
+    method_extra_gib: float
+    runtime_overhead_gib: float
+
+    @property
+    def total_gib(self) -> float:
+        """Total estimated per-GPU memory."""
+        return (
+            self.orbitals_gib
+            + self.fft_work_gib
+            + self.projectors_gib
+            + self.method_extra_gib
+            + self.runtime_overhead_gib
+        )
+
+    def fits(self, hbm_gib: float = A100_40GB.hbm_gib, headroom: float = 0.9) -> bool:
+        """Whether the job fits in HBM with an allocator-headroom margin."""
+        if not 0.0 < headroom <= 1.0:
+            raise ValueError(f"headroom must be in (0, 1], got {headroom}")
+        return self.total_gib <= hbm_gib * headroom
+
+
+def estimate_memory(spec: WorkloadSpec, parallel: ParallelConfig) -> MemoryEstimate:
+    """Estimate per-GPU HBM use for a workload under a layout.
+
+    Follows VASP's sizing rules: local orbitals are ``bands_per_rank x
+    plane-wave sphere`` complex doubles per k-point held by the group;
+    HSE additionally keeps the occupied orbitals resident for exchange;
+    RPA holds response blocks scaling with NBANDSEXACT.
+    """
+    if parallel.kpar != spec.kpar:
+        parallel = ParallelConfig(
+            n_nodes=parallel.n_nodes,
+            gpus_per_node=parallel.gpus_per_node,
+            kpar=spec.kpar,
+        )
+    pw_sphere = spec.nplwv / 8.0
+    bands_local = parallel.bands_per_rank(spec.nbands)
+    k_resident = min(spec.kpoints_per_group(), 4)  # VASP keeps a few resident
+
+    orbitals = bands_local * pw_sphere * BYTES_PER_COMPLEX * k_resident
+    fft_work = 8.0 * spec.nplwv * BYTES_PER_COMPLEX  # batched grids + scratch
+    projectors = 16.0 * spec.n_ions * pw_sphere / max(parallel.ranks_per_kgroup, 1) * 8.0
+
+    extra = 0.0
+    if spec.functional is Functional.HSE:
+        # Occupied orbitals replicated for the exchange pairs.
+        extra = spec.n_occupied * pw_sphere * BYTES_PER_COMPLEX
+    elif spec.functional is Functional.ACFDT_RPA:
+        n_exact = spec.nbandsexact if spec.nbandsexact is not None else spec.nbands * 8
+        # Virtual-orbital blocks for the response construction.
+        extra = (
+            min(float(n_exact), 4096.0) * pw_sphere * BYTES_PER_COMPLEX
+        )
+
+    return MemoryEstimate(
+        orbitals_gib=orbitals / GIB,
+        fft_work_gib=fft_work / GIB,
+        projectors_gib=projectors / GIB,
+        method_extra_gib=extra / GIB,
+        runtime_overhead_gib=2.0,  # CUDA context, NCCL buffers, libraries
+    )
+
+
+def minimum_nodes(spec: WorkloadSpec, max_nodes: int = 64) -> int:
+    """Smallest node count at which the job fits in HBM.
+
+    Raises
+    ------
+    ValueError
+        If the job does not fit even at ``max_nodes``.
+    """
+    n = 1
+    while n <= max_nodes:
+        if estimate_memory(spec, ParallelConfig(n_nodes=n, kpar=spec.kpar)).fits():
+            return n
+        n *= 2
+    raise ValueError(
+        f"{spec.name} does not fit in HBM at {max_nodes} nodes "
+        "(check NBANDS/NPLWV)"
+    )

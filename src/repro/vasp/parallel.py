@@ -1,0 +1,99 @@
+"""VASP's parallel decomposition and an NCCL-like communication model.
+
+VASP's primary parallel level distributes bands across MPI ranks (one rank
+per GPU on Perlmutter), optionally grouped by k-point (KPAR); the secondary
+level distributes plane waves across the cores of each GPU.  Increasing
+node count therefore reduces *bands per GPU* while each band's plane-wave
+work is unchanged — the structural fact behind the paper's finding that
+power barely moves with concurrency (Section IV-C).
+
+The communication model prices NCCL collectives with a latency + bandwidth
+ring model, distinguishing NVLink (intra-node) from Slingshot (inter-node)
+transfers.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ParallelConfig:
+    """Job-level parallel layout: nodes, GPUs per node, KPAR."""
+
+    n_nodes: int = 1
+    gpus_per_node: int = 4
+    kpar: int = 1
+
+    def __post_init__(self) -> None:
+        if self.n_nodes < 1:
+            raise ValueError(f"n_nodes must be >= 1, got {self.n_nodes}")
+        if self.gpus_per_node < 1:
+            raise ValueError(f"gpus_per_node must be >= 1, got {self.gpus_per_node}")
+        if self.kpar < 1:
+            raise ValueError(f"kpar must be >= 1, got {self.kpar}")
+        if self.total_ranks % self.kpar != 0:
+            raise ValueError(
+                f"KPAR={self.kpar} must divide the total rank count {self.total_ranks}"
+            )
+
+    @property
+    def total_ranks(self) -> int:
+        """MPI ranks = GPUs (one rank per GPU, as in the paper's protocol)."""
+        return self.n_nodes * self.gpus_per_node
+
+    @property
+    def ranks_per_kgroup(self) -> int:
+        """Ranks sharing the band distribution within one KPAR group."""
+        return self.total_ranks // self.kpar
+
+    def bands_per_rank(self, nbands: int) -> int:
+        """Bands each rank owns (ceil division, as VASP pads NBANDS)."""
+        if nbands < 1:
+            raise ValueError(f"nbands must be >= 1, got {nbands}")
+        return math.ceil(nbands / self.ranks_per_kgroup)
+
+    def with_nodes(self, n_nodes: int) -> "ParallelConfig":
+        """Same layout at a different node count."""
+        return ParallelConfig(n_nodes=n_nodes, gpus_per_node=self.gpus_per_node, kpar=self.kpar)
+
+
+@dataclass(frozen=True)
+class CommunicationModel:
+    """Latency/bandwidth model for NCCL collectives on Perlmutter.
+
+    Parameters are effective (achieved, not peak) values:
+
+    * NVLink3 all-to-all within a node: ~200 GB/s effective per GPU pair
+      direction;
+    * Slingshot-11: four 25 GB/s NICs per node, ~22 GB/s effective each;
+    * per-collective launch latency ~20 microseconds.
+    """
+
+    latency_s: float = 2.0e-5
+    intra_node_bw_bps: float = 200.0e9
+    inter_node_bw_bps: float = 80.0e9  # 4 NICs x ~20 GB/s effective
+
+    def allreduce_time_s(self, n_bytes: float, ranks: int, n_nodes: int) -> float:
+        """Ring allreduce: latency * log2(ranks) + 2(r-1)/r * bytes / bw."""
+        if n_bytes < 0:
+            raise ValueError(f"n_bytes must be non-negative, got {n_bytes}")
+        if ranks < 1 or n_nodes < 1:
+            raise ValueError("ranks and n_nodes must be >= 1")
+        if ranks == 1:
+            return 0.0
+        bw = self.intra_node_bw_bps if n_nodes == 1 else self.inter_node_bw_bps
+        volume_factor = 2.0 * (ranks - 1) / ranks
+        return self.latency_s * math.log2(ranks) + volume_factor * n_bytes / bw
+
+    def alltoall_time_s(self, n_bytes: float, ranks: int, n_nodes: int) -> float:
+        """All-to-all (band redistribution): pairwise exchange model."""
+        if n_bytes < 0:
+            raise ValueError(f"n_bytes must be non-negative, got {n_bytes}")
+        if ranks < 1 or n_nodes < 1:
+            raise ValueError("ranks and n_nodes must be >= 1")
+        if ranks == 1:
+            return 0.0
+        bw = self.intra_node_bw_bps if n_nodes == 1 else self.inter_node_bw_bps
+        return self.latency_s * (ranks - 1) + n_bytes * (ranks - 1) / ranks / bw

@@ -1,0 +1,60 @@
+"""The macro-phase: the unit of execution the power engine consumes.
+
+A VASP run is modelled as a flat sequence of :class:`MacroPhase` objects —
+segments of seconds-scale duration during which the node's power profile
+is statistically stationary (one phase of one SCF iteration, a host-side
+section, a collective...).  Telemetry at 2-second granularity cannot
+resolve individual kernels, so the macro-phase is exactly the resolution
+the paper's analysis sees.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.perfmodel.kernels import GpuKernelProfile
+
+
+@dataclass(frozen=True)
+class MacroPhase:
+    """One stationary segment of a run.
+
+    Attributes
+    ----------
+    name:
+        Phase label, e.g. ``"exact_exchange"`` or ``"scf_comm"``.
+    duration_s:
+        Wall time at full (uncapped) clocks.
+    gpu_profile:
+        Kernel profile running on *each* GPU of the job (the paper's
+        benchmarks are load-balanced by construction; see Section III-A).
+        Utilizations must already include occupancy scaling.
+    cpu_utilization / mem_bw_utilization / nic_utilization:
+        Host-side activity during the phase.
+    """
+
+    name: str
+    duration_s: float
+    gpu_profile: GpuKernelProfile
+    cpu_utilization: float = 0.06
+    mem_bw_utilization: float = 0.06
+    nic_utilization: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.duration_s < 0:
+            raise ValueError(f"duration_s must be non-negative, got {self.duration_s}")
+        for field_name in ("cpu_utilization", "mem_bw_utilization", "nic_utilization"):
+            value = getattr(self, field_name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{field_name} must be in [0, 1], got {value}")
+
+    def stretched(self, factor: float) -> "MacroPhase":
+        """The same phase with its duration multiplied by ``factor``."""
+        if factor < 0:
+            raise ValueError(f"factor must be non-negative, got {factor}")
+        return replace(self, duration_s=self.duration_s * factor)
+
+
+def total_duration_s(phases: list[MacroPhase]) -> float:
+    """Sum of phase durations (uncapped runtime)."""
+    return sum(p.duration_s for p in phases)

@@ -1,0 +1,98 @@
+"""Plane-wave basis and FFT-grid sizing rules.
+
+VASP discretizes the orbitals on a plane-wave basis truncated at a kinetic
+energy cutoff (ENCUT).  Two derived quantities drive cost and power:
+
+* the FFT grid dimensions ``(n1, n2, n3)`` — VASP picks "nice" FFT sizes
+  (products of 2, 3, 5, 7) proportional to ``G_cut * |a_i|``;
+* ``NPLWV`` — the number of FFT grid points, ``n1 * n2 * n3`` (this is the
+  quantity Table I reports, e.g. 80x80x80 -> 512,000 for Si256_hse).
+
+The proportionality constant is calibrated so a 4x4x4 silicon supercell
+(a = 21.72 Angstrom) at the benchmark's cutoff lands on the published
+80^3 grid.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+#: hbar^2 / 2m_e in eV * Angstrom^2: E = HBAR2_2M * G^2.
+HBAR2_2M_EV_A2: float = 3.81
+
+#: Grid points per (G_cut * lattice-length) unit; calibrated to Si256_hse.
+GRID_FACTOR: float = 0.4592
+
+#: Radix set of VASP's FFT library.
+_FFT_RADICES = (2, 3, 5, 7)
+
+
+def gcut_inv_angstrom(encut_ev: float) -> float:
+    """Cutoff wavevector in 1/Angstrom for a cutoff energy in eV."""
+    if encut_ev <= 0:
+        raise ValueError(f"encut_ev must be positive, got {encut_ev}")
+    return math.sqrt(encut_ev / HBAR2_2M_EV_A2)
+
+
+def _is_fft_size(n: int) -> bool:
+    for radix in _FFT_RADICES:
+        while n % radix == 0:
+            n //= radix
+    return n == 1
+
+
+def next_fft_size(minimum: int) -> int:
+    """Smallest even 2/3/5/7-smooth integer >= ``minimum``."""
+    if minimum < 1:
+        raise ValueError(f"minimum must be >= 1, got {minimum}")
+    n = max(2, minimum + (minimum % 2))
+    while not _is_fft_size(n):
+        n += 2
+    return n
+
+
+def fft_grid(encut_ev: float, lattice_lengths) -> tuple[int, int, int]:
+    """FFT grid dimensions for a cutoff and the three lattice lengths."""
+    gcut = gcut_inv_angstrom(encut_ev)
+    lengths = np.asarray(lattice_lengths, dtype=float)
+    if lengths.shape != (3,):
+        raise ValueError(f"expected three lattice lengths, got shape {lengths.shape}")
+    if np.any(lengths <= 0):
+        raise ValueError("lattice lengths must be positive")
+    dims = tuple(next_fft_size(math.ceil(GRID_FACTOR * gcut * length)) for length in lengths)
+    return dims  # type: ignore[return-value]
+
+
+def nplwv(encut_ev: float, lattice_lengths) -> int:
+    """NPLWV: total FFT grid points (the quantity in Table I)."""
+    n1, n2, n3 = fft_grid(encut_ev, lattice_lengths)
+    return n1 * n2 * n3
+
+
+def n_plane_waves_sphere(encut_ev: float, volume_a3: float) -> int:
+    """Plane waves inside the cutoff sphere (the true basis size).
+
+    ``N = (4 pi / 3) G_cut^3 * V / (2 pi)^3`` — roughly NPLWV / (pi^2 / ...)
+    smaller than the grid count; provided for completeness and used in
+    communication-volume estimates.
+    """
+    if volume_a3 <= 0:
+        raise ValueError(f"volume must be positive, got {volume_a3}")
+    gcut = gcut_inv_angstrom(encut_ev)
+    return int((4.0 * math.pi / 3.0) * gcut**3 * volume_a3 / (2.0 * math.pi) ** 3)
+
+
+def default_nbands(n_electrons: float, n_ions: int, multiple: int = 8) -> int:
+    """VASP's default NBANDS: NELECT/2 + NIONS/2, rounded up.
+
+    Rounded up to a multiple of ``multiple`` (VASP pads to the rank count;
+    8 reproduces Table I's 640 for Si256_hse: 1020/2 + 255/2 = 637.5 -> 640).
+    """
+    if n_electrons <= 0 or n_ions <= 0:
+        raise ValueError("electron and ion counts must be positive")
+    if multiple < 1:
+        raise ValueError(f"multiple must be >= 1, got {multiple}")
+    raw = n_electrons / 2.0 + n_ions / 2.0
+    return int(math.ceil(raw / multiple) * multiple)

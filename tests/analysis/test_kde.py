@@ -1,0 +1,90 @@
+"""Unit tests for the Gaussian KDE, cross-checked against scipy."""
+
+import numpy as np
+import pytest
+from scipy.stats import gaussian_kde
+
+from repro.analysis.kde import GaussianKDE, scott_bandwidth, silverman_bandwidth
+
+
+@pytest.fixture
+def bimodal():
+    rng = np.random.default_rng(0)
+    return np.concatenate([rng.normal(300, 10, 500), rng.normal(150, 8, 200)])
+
+
+class TestBandwidthRules:
+    def test_silverman_positive(self, bimodal):
+        assert silverman_bandwidth(bimodal) > 0
+
+    def test_scott_larger_than_silverman(self, bimodal):
+        assert scott_bandwidth(bimodal) > silverman_bandwidth(bimodal)
+
+    def test_shrinks_with_sample_size(self):
+        rng = np.random.default_rng(1)
+        small = silverman_bandwidth(rng.normal(0, 1, 100))
+        large = silverman_bandwidth(rng.normal(0, 1, 10000))
+        assert large < small
+
+    def test_degenerate_data(self):
+        assert silverman_bandwidth(np.full(10, 42.0)) > 0
+
+    def test_needs_two_points(self):
+        with pytest.raises(ValueError):
+            silverman_bandwidth(np.array([1.0]))
+
+
+class TestGaussianKDE:
+    def test_integrates_to_one(self, bimodal):
+        kde = GaussianKDE(bimodal)
+        grid = kde.grid(n_points=2000, pad_bandwidths=8.0)
+        density = kde.evaluate(grid)
+        integral = np.trapezoid(density, grid)
+        assert integral == pytest.approx(1.0, abs=0.01)
+
+    def test_matches_scipy(self, bimodal):
+        h = silverman_bandwidth(bimodal)
+        ours = GaussianKDE(bimodal, bandwidth=h)
+        theirs = gaussian_kde(bimodal, bw_method=h / bimodal.std(ddof=1))
+        grid = ours.grid(256)
+        np.testing.assert_allclose(ours.evaluate(grid), theirs(grid), rtol=1e-6)
+
+    def test_density_nonnegative(self, bimodal):
+        kde = GaussianKDE(bimodal)
+        assert np.all(kde.evaluate(kde.grid()) >= 0)
+
+    def test_peak_near_dominant_mode(self, bimodal):
+        kde = GaussianKDE(bimodal)
+        grid = kde.grid(1024)
+        assert abs(grid[np.argmax(kde.evaluate(grid))] - 300.0) < 5.0
+
+    def test_scalar_grid(self, bimodal):
+        kde = GaussianKDE(bimodal)
+        assert kde.evaluate(300.0).shape == (1,)
+
+    def test_bandwidth_string_rules(self, bimodal):
+        assert GaussianKDE(bimodal, "silverman").bandwidth == pytest.approx(
+            silverman_bandwidth(bimodal)
+        )
+        assert GaussianKDE(bimodal, "scott").bandwidth == pytest.approx(
+            scott_bandwidth(bimodal)
+        )
+
+    def test_rejects_bad_bandwidth(self, bimodal):
+        with pytest.raises(ValueError):
+            GaussianKDE(bimodal, bandwidth=-1.0)
+        with pytest.raises(ValueError):
+            GaussianKDE(bimodal, bandwidth="sturges")
+
+    def test_rejects_empty_data(self):
+        with pytest.raises(ValueError):
+            GaussianKDE(np.array([]))
+
+    def test_chunked_evaluation_consistent(self):
+        """Long inputs take the chunked path; result must be identical."""
+        rng = np.random.default_rng(2)
+        data = rng.normal(0, 1, 50_000)
+        kde = GaussianKDE(data, bandwidth=0.2)
+        grid = np.linspace(-3, 3, 200)
+        full = gaussian_kde(data, bw_method=0.2 / data.std(ddof=1))(grid)
+        np.testing.assert_allclose(kde.evaluate(grid), full, rtol=1e-6)

@@ -1,0 +1,95 @@
+"""Unit tests for mode finding, the high power mode and FWHM."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.modes import find_modes, fwhm, high_power_mode, high_power_mode_w
+
+
+@pytest.fixture
+def trimodal():
+    rng = np.random.default_rng(3)
+    return np.concatenate(
+        [
+            rng.normal(70, 5, 300),  # comm/idle mode
+            rng.normal(190, 8, 400),  # fft mode
+            rng.normal(330, 10, 800),  # exchange mode
+        ]
+    )
+
+
+class TestFindModes:
+    def test_finds_three_modes(self, trimodal):
+        modes = find_modes(trimodal, min_prominence=0.05)
+        assert len(modes) == 3
+
+    def test_modes_sorted_by_power(self, trimodal):
+        modes = find_modes(trimodal)
+        powers = [m.power_w for m in modes]
+        assert powers == sorted(powers)
+
+    def test_mode_positions(self, trimodal):
+        modes = find_modes(trimodal)
+        for expected, mode in zip((70, 190, 330), modes):
+            assert abs(mode.power_w - expected) < 10
+
+    def test_global_max_has_full_prominence(self, trimodal):
+        modes = find_modes(trimodal)
+        top = max(modes, key=lambda m: m.density)
+        assert top.prominence == pytest.approx(1.0)
+
+    def test_prominence_filters_noise(self):
+        rng = np.random.default_rng(4)
+        unimodal = rng.normal(200, 15, 3000)
+        modes = find_modes(unimodal, min_prominence=0.05)
+        assert len(modes) == 1
+
+    def test_min_prominence_validation(self, trimodal):
+        with pytest.raises(ValueError):
+            find_modes(trimodal, min_prominence=1.5)
+
+
+class TestHighPowerMode:
+    def test_picks_highest_power_not_most_frequent(self):
+        """Paper definition: the mode corresponding to the *highest power*,
+        even if another mode holds more samples."""
+        rng = np.random.default_rng(5)
+        data = np.concatenate([rng.normal(100, 5, 2000), rng.normal(320, 5, 600)])
+        assert high_power_mode_w(data) == pytest.approx(320, abs=8)
+
+    def test_unimodal(self):
+        rng = np.random.default_rng(6)
+        data = rng.normal(250, 10, 1000)
+        assert high_power_mode_w(data) == pytest.approx(250, abs=5)
+
+    def test_mode_within_data_range(self, trimodal):
+        mode = high_power_mode(trimodal)
+        assert trimodal.min() <= mode.power_w <= trimodal.max()
+
+
+class TestFwhm:
+    def test_gaussian_fwhm(self):
+        """For a Gaussian, FWHM = 2 sqrt(2 ln 2) sigma ~ 2.355 sigma."""
+        rng = np.random.default_rng(7)
+        sigma = 12.0
+        data = rng.normal(200, sigma, 20_000)
+        width = fwhm(data)
+        expected = 2.354820045 * sigma
+        # KDE smoothing adds the bandwidth in quadrature; allow 15 %.
+        assert width == pytest.approx(expected, rel=0.15)
+
+    def test_fwhm_positive(self, trimodal):
+        assert fwhm(trimodal) > 0
+
+    def test_fwhm_of_specific_mode(self, trimodal):
+        modes = find_modes(trimodal)
+        narrow = fwhm(trimodal, mode=modes[0])
+        wide = fwhm(trimodal, mode=modes[2])
+        # comm mode has sigma 5, exchange mode sigma 10.
+        assert narrow < wide
+
+    def test_wider_data_wider_fwhm(self):
+        rng = np.random.default_rng(8)
+        narrow = fwhm(rng.normal(200, 5, 5000))
+        wide = fwhm(rng.normal(200, 20, 5000))
+        assert wide > narrow

@@ -1,0 +1,93 @@
+"""Unit tests for distribution summaries and scaling metrics."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.efficiency import (
+    energy_to_solution_mj,
+    parallel_efficiency,
+    scaling_table,
+    speedup,
+)
+from repro.analysis.stats import summarize, violin_stats
+
+
+@pytest.fixture
+def sample():
+    rng = np.random.default_rng(10)
+    return np.concatenate([rng.normal(800, 30, 500), rng.normal(1500, 40, 1500)])
+
+
+class TestSummarize:
+    def test_fields_consistent(self, sample):
+        s = summarize(sample)
+        assert s.min_w <= s.median_w <= s.max_w
+        assert s.min_w <= s.high_power_mode_w <= s.max_w
+        assert s.n_samples == len(sample)
+        assert s.fwhm_w > 0
+
+    def test_high_power_mode_is_upper_mode(self, sample):
+        s = summarize(sample)
+        assert s.high_power_mode_w == pytest.approx(1500, abs=25)
+
+    def test_as_dict(self, sample):
+        d = summarize(sample).as_dict()
+        assert set(d) == {
+            "max_w", "median_w", "min_w", "mean_w",
+            "high_power_mode_w", "fwhm_w", "n_samples",
+        }
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            summarize(np.array([]))
+
+
+class TestViolinStats:
+    def test_quartile_ordering(self, sample):
+        v = violin_stats(sample, label="test")
+        assert v.min_w <= v.q1_w <= v.median_w <= v.q3_w <= v.max_w
+        assert v.iqr_w == pytest.approx(v.q3_w - v.q1_w)
+
+    def test_density_matches_grid(self, sample):
+        v = violin_stats(sample)
+        assert len(v.density) == len(v.density_grid_w)
+        assert np.all(v.density >= 0)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            violin_stats(np.array([]))
+
+
+class TestScalingMetrics:
+    def test_speedup(self):
+        assert speedup(100.0, 25.0) == pytest.approx(4.0)
+
+    def test_speedup_validation(self):
+        with pytest.raises(ValueError):
+            speedup(0.0, 10.0)
+
+    def test_parallel_efficiency_perfect(self):
+        assert parallel_efficiency(100.0, 25.0, 4) == pytest.approx(1.0)
+
+    def test_parallel_efficiency_with_reference(self):
+        # Reference at 2 nodes, measured at 8: S = 3, scale = 4.
+        assert parallel_efficiency(90.0, 30.0, 8, reference_nodes=2) == pytest.approx(0.75)
+
+    def test_energy_units(self):
+        assert energy_to_solution_mj(2.5e6) == pytest.approx(2.5)
+        with pytest.raises(ValueError):
+            energy_to_solution_mj(-1.0)
+
+    def test_scaling_table(self):
+        points = scaling_table([1, 2, 4], [100.0, 55.0, 32.0], [1e6, 1.1e6, 1.3e6])
+        assert points[0].parallel_efficiency == pytest.approx(1.0)
+        assert points[1].speedup == pytest.approx(100 / 55)
+        assert points[2].energy_mj == pytest.approx(1.3)
+
+    def test_scaling_table_validation(self):
+        with pytest.raises(ValueError):
+            scaling_table([1, 2], [100.0])
+        with pytest.raises(ValueError):
+            scaling_table([], [])
+        with pytest.raises(ValueError):
+            scaling_table([1], [1.0], [1.0, 2.0])

@@ -1,0 +1,139 @@
+"""Unit tests for timeline segmentation and energy/performance metrics."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.metrics import (
+    CapTradeoff,
+    energy_delay_product,
+    energy_delay_squared,
+)
+from repro.analysis.timeline import (
+    detect_changepoints,
+    duty_cycle_estimate,
+    low_power_dwell_s,
+    segment_timeline,
+)
+
+
+def step_signal(levels, seg_len=200, dt=0.5, noise=5.0, seed=0):
+    rng = np.random.default_rng(seed)
+    values = np.concatenate([np.full(seg_len, lvl) for lvl in levels])
+    values = values + rng.normal(0, noise, len(values))
+    times = (np.arange(len(values)) + 0.5) * dt
+    return times, values
+
+
+class TestChangepoints:
+    def test_detects_single_step(self):
+        times, values = step_signal([500.0, 1500.0])
+        cuts = detect_changepoints(times, values)
+        assert len(cuts) == 1
+        assert abs(cuts[0] - 200) < 10
+
+    def test_detects_multiple_steps(self):
+        times, values = step_signal([500.0, 1500.0, 800.0, 1700.0])
+        cuts = detect_changepoints(times, values)
+        assert len(cuts) == 3
+
+    def test_no_false_positives_on_flat(self):
+        times, values = step_signal([1000.0], seg_len=800)
+        assert detect_changepoints(times, values) == []
+
+    def test_respects_min_segment(self):
+        times, values = step_signal([500.0, 1500.0], seg_len=8, dt=0.5)
+        # Segments are 4 s, below the 10 s minimum: nothing may be found.
+        assert detect_changepoints(times, values, min_segment_s=10.0) == []
+
+    def test_short_input(self):
+        assert detect_changepoints(np.arange(3.0), np.arange(3.0)) == []
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            detect_changepoints(np.arange(4.0), np.arange(3.0))
+        with pytest.raises(ValueError):
+            detect_changepoints(np.arange(10.0), np.arange(10.0), min_segment_s=0.0)
+
+
+class TestSegmentTimeline:
+    def test_segments_cover_and_match_levels(self):
+        times, values = step_signal([600.0, 1600.0, 900.0])
+        segments = segment_timeline(times, values)
+        assert len(segments) == 3
+        for segment, level in zip(segments, (600.0, 1600.0, 900.0)):
+            assert segment.mean_w == pytest.approx(level, abs=15.0)
+        total = sum(s.duration_s for s in segments)
+        assert total == pytest.approx(times[-1] - times[0] + 0.5, rel=0.02)
+
+    def test_empty(self):
+        assert segment_timeline(np.array([]), np.array([])) == []
+
+    def test_low_power_dwell(self):
+        times, values = step_signal([600.0, 1600.0, 600.0])
+        segments = segment_timeline(times, values)
+        dwell = low_power_dwell_s(segments, threshold_w=1000.0)
+        assert dwell == pytest.approx(200.0, rel=0.05)  # 2 x 100 s at 600 W
+
+
+class TestDutyCycleEstimate:
+    def test_two_level_signal(self):
+        rng = np.random.default_rng(1)
+        values = np.concatenate(
+            [np.full(700, 350.0), np.full(300, 60.0)]
+        ) + rng.normal(0, 5, 1000)
+        assert duty_cycle_estimate(values, 60.0, 350.0) == pytest.approx(0.70, abs=0.02)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            duty_cycle_estimate(np.array([1.0]), 100.0, 50.0)
+        with pytest.raises(ValueError):
+            duty_cycle_estimate(np.array([]), 50.0, 100.0)
+
+
+class TestMetrics:
+    def test_edp_and_et2(self):
+        assert energy_delay_product(10.0, 2.0) == 20.0
+        assert energy_delay_squared(10.0, 2.0) == 40.0
+        with pytest.raises(ValueError):
+            energy_delay_product(-1.0, 1.0)
+
+    def test_cap_tradeoff_win(self):
+        """Fig 12's regime: half power, ~10 % slowdown -> big EDP win."""
+        t = CapTradeoff(
+            cap_w=200.0,
+            runtime_s=110.0,
+            energy_j=55.0e6,
+            reference_runtime_s=100.0,
+            reference_energy_j=100.0e6,
+        )
+        assert t.slowdown == pytest.approx(1.10)
+        assert t.energy_saving == pytest.approx(0.45)
+        assert t.edp_ratio < 0.70
+        assert t.et2_ratio < 0.80
+        assert t.acceptable(max_slowdown=1.10)
+        assert not t.acceptable(max_slowdown=1.05)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CapTradeoff(200.0, 0.0, 1.0, 1.0, 1.0)
+        t = CapTradeoff(200.0, 1.0, 1.0, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            t.acceptable(max_slowdown=0.9)
+
+
+class TestOnRealPipeline:
+    def test_detects_acfdtr_host_section_from_power_alone(self):
+        """Top-down analysis: recover Si128_acfdtr's CPU section without
+        the schedule, from the node power series."""
+        from repro.experiments.common import run_workload
+        from repro.vasp.benchmarks import benchmark
+
+        measured = run_workload(benchmark("Si128_acfdtr").build(), n_nodes=1, seed=7)
+        telem = measured.telemetry[0]
+        segments = segment_timeline(
+            telem.times, telem.node_power, min_segment_s=60.0
+        )
+        assert len(segments) >= 2
+        dwell = low_power_dwell_s(segments, threshold_w=900.0)
+        true_dwell = measured.result.phase_time_s("exact_diag_host")
+        assert dwell == pytest.approx(true_dwell, rel=0.30)

@@ -1,0 +1,76 @@
+"""Unit tests for the DVFS-vs-capping control comparison (Section V)."""
+
+import pytest
+
+from repro.capping.dvfsctl import (
+    CLOCK_LADDER,
+    compare_control,
+    run_with_capping,
+    run_with_static_dvfs,
+)
+from repro.vasp.benchmarks import benchmark
+
+
+@pytest.fixture(scope="module")
+def hse():
+    return benchmark("Si256_hse").build()
+
+
+@pytest.fixture(scope="module")
+def rpa():
+    return benchmark("Si128_acfdtr").build()
+
+
+class TestCappingControl:
+    def test_capping_respects_target(self, hse):
+        for target in (300.0, 200.0, 150.0):
+            outcome = run_with_capping(hse, target)
+            assert not outcome.target_violated
+            assert outcome.peak_power_w <= target
+
+    def test_lower_target_slower(self, hse):
+        t200 = run_with_capping(hse, 200.0)
+        t150 = run_with_capping(hse, 150.0)
+        assert t150.runtime_s > t200.runtime_s
+        assert t150.mean_power_w < t200.mean_power_w
+
+
+class TestStaticDvfs:
+    def test_safe_provisioning_never_violates(self, hse):
+        outcome = run_with_static_dvfs(hse, 200.0, provision_for="worst")
+        assert not outcome.target_violated
+
+    def test_mean_provisioning_can_violate(self, rpa):
+        """Provisioning for the average demand overshoots during hot
+        phases — the inaccuracy static DVFS trades for speed."""
+        safe = run_with_static_dvfs(rpa, 150.0, provision_for="worst")
+        mean = run_with_static_dvfs(rpa, 150.0, provision_for="mean")
+        assert mean.runtime_s <= safe.runtime_s
+        assert mean.peak_power_w >= safe.peak_power_w
+
+    def test_ladder_is_descending(self):
+        assert list(CLOCK_LADDER) == sorted(CLOCK_LADDER, reverse=True)
+
+    def test_validation(self, hse):
+        with pytest.raises(ValueError):
+            run_with_static_dvfs(hse, 200.0, provision_for="median")
+
+
+class TestComparison:
+    @pytest.mark.parametrize("name", ["Si256_hse", "Si128_acfdtr", "PdO4"])
+    @pytest.mark.parametrize("target", [200.0, 150.0])
+    def test_capping_more_efficient_and_accurate(self, name, target):
+        """The paper's §V rationale, quantified."""
+        comparison = compare_control(benchmark(name).build(), target)
+        assert comparison.capping_wins()
+
+    def test_tracking_error_ordering(self, hse):
+        comparison = compare_control(hse, 200.0)
+        assert (
+            comparison.capping.tracking_error_w
+            < comparison.dvfs_safe.tracking_error_w
+        )
+
+    def test_capping_not_slower_than_safe_dvfs(self, rpa):
+        comparison = compare_control(rpa, 150.0)
+        assert comparison.capping.runtime_s <= comparison.dvfs_safe.runtime_s * 1.001

@@ -1,0 +1,95 @@
+"""Tests for the fleet simulation and system-power study."""
+
+import pytest
+
+from repro.capping.fleet import (
+    DEFAULT_MIX,
+    compare_fleet_policies,
+    job_stream,
+    simulate_fleet,
+)
+from repro.capping.policy import CapPolicy
+from repro.experiments import system_power
+
+
+class TestJobStream:
+    def test_deterministic_per_seed(self):
+        a = job_stream(n_jobs=10, seed=5)
+        b = job_stream(n_jobs=10, seed=5)
+        assert [(j.job_id, j.n_nodes, j.submit_s) for j in a] == [
+            (j.job_id, j.n_nodes, j.submit_s) for j in b
+        ]
+
+    def test_arrivals_monotone(self):
+        jobs = job_stream(n_jobs=20, seed=1)
+        submits = [j.submit_s for j in jobs]
+        assert submits == sorted(submits)
+        assert submits[0] == 0.0
+
+    def test_node_counts_within_healthy_range(self):
+        from repro.vasp.benchmarks import BENCHMARKS
+
+        for job in job_stream(n_jobs=30, seed=2):
+            name = job.job_id.split("@")[0]
+            assert job.n_nodes <= BENCHMARKS[name].optimal_nodes
+
+    def test_mix_respected(self):
+        jobs = job_stream(n_jobs=200, seed=3)
+        names = {j.job_id.split("@")[0] for j in jobs}
+        # With 200 draws every mix entry should appear.
+        assert names == set(DEFAULT_MIX)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            job_stream(n_jobs=0)
+        with pytest.raises(ValueError):
+            job_stream(mean_interarrival_s=0.0)
+        with pytest.raises(ValueError):
+            job_stream(mix={"NotABenchmark": 1.0})
+        with pytest.raises(ValueError):
+            job_stream(mix={"PdO2": 0.0})
+
+
+class TestFleetSimulation:
+    @pytest.fixture(scope="class")
+    def reports(self):
+        return compare_fleet_policies(n_jobs=16, n_nodes=16, seed=3)
+
+    def test_all_jobs_complete_under_both(self, reports):
+        capped, uncapped = reports
+        assert capped.jobs_completed == uncapped.jobs_completed == 16
+
+    def test_capping_reduces_peak_and_variability(self, reports):
+        """The system-level payoff of application capping."""
+        capped, uncapped = reports
+        assert capped.peak_power_w < uncapped.peak_power_w
+        assert capped.power_std_w < uncapped.power_std_w
+        assert capped.coefficient_of_variation < uncapped.coefficient_of_variation
+
+    def test_makespan_penalty_small_when_unconstrained(self, reports):
+        capped, uncapped = reports
+        assert capped.makespan_s < uncapped.makespan_s * 1.10
+
+    def test_simulate_fleet_report_fields(self):
+        jobs = job_stream(n_jobs=4, seed=9)
+        report = simulate_fleet(jobs, CapPolicy.uncapped(), "baseline", n_nodes=8)
+        assert report.policy_name == "baseline"
+        assert report.mean_power_w > 0
+        assert report.peak_power_w >= report.mean_power_w
+
+
+class TestSystemPowerExperiment:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return system_power.run(n_jobs=16, seed=3)
+
+    def test_reductions_positive(self, result):
+        assert result.peak_reduction() > 0.10
+        assert result.variability_reduction() > 0.10
+
+    def test_makespan_penalty_bounded(self, result):
+        assert result.makespan_penalty() < 0.10
+
+    def test_render(self, result):
+        text = system_power.render(result)
+        assert "system power peak" in text

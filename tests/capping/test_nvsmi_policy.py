@@ -1,0 +1,91 @@
+"""Unit tests for the nvidia-smi facade and the cap policy."""
+
+import pytest
+
+from repro.capping.nvsmi import NvidiaSmi
+from repro.capping.policy import CapPolicy, WorkloadClass, classify_workload
+from repro.hardware.gpu import PowerLimitError
+from repro.hardware.node import GpuNode
+from repro.vasp.benchmarks import benchmark
+from repro.vasp.incar import Incar
+from repro.vasp.methods import Algorithm
+
+
+@pytest.fixture
+def nodes():
+    return [GpuNode(f"nid{7000 + i:06d}") for i in range(2)]
+
+
+class TestNvidiaSmi:
+    def test_query_lists_all_gpus(self, nodes):
+        rows = NvidiaSmi(nodes).query()
+        assert len(rows) == 8
+        assert all(r.default_limit_w == 400.0 for r in rows)
+
+    def test_set_power_limit(self, nodes):
+        smi = NvidiaSmi(nodes)
+        changed = smi.set_power_limit(250.0)
+        assert changed == 8
+        assert all(r.power_limit_w == 250.0 for r in smi.query())
+
+    def test_invalid_limit_changes_nothing(self, nodes):
+        smi = NvidiaSmi(nodes)
+        with pytest.raises(PowerLimitError):
+            smi.set_power_limit(50.0)
+        assert all(r.power_limit_w == 400.0 for r in smi.query())
+
+    def test_reset(self, nodes):
+        smi = NvidiaSmi(nodes)
+        smi.set_power_limit(150.0)
+        assert smi.reset_power_limit() == 8
+        assert all(r.power_limit_w == 400.0 for r in smi.query())
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            NvidiaSmi([])
+
+
+class TestClassifyWorkload:
+    def test_hse_is_higher_order(self):
+        incar = Incar(lhfcalc=True, algo=Algorithm.DAMPED)
+        assert classify_workload(incar) is WorkloadClass.HIGHER_ORDER
+
+    def test_rpa_is_higher_order(self):
+        assert (
+            classify_workload(benchmark("Si128_acfdtr").build())
+            is WorkloadClass.HIGHER_ORDER
+        )
+
+    def test_dft_and_vdw_are_basic(self):
+        assert classify_workload(benchmark("PdO4").build()) is WorkloadClass.BASIC_DFT
+        assert classify_workload(benchmark("CuC_vdw").build()) is WorkloadClass.BASIC_DFT
+
+    def test_classification_needs_only_incar(self):
+        """The scheduler's 'no costly computation' property."""
+        for name in ("Si256_hse", "PdO2"):
+            workload = benchmark(name).build()
+            assert classify_workload(workload.incar) is classify_workload(workload)
+
+
+class TestCapPolicy:
+    def test_half_tdp_default(self):
+        policy = CapPolicy.half_tdp()
+        assert policy.cap_for(benchmark("Si256_hse").build()) == 200.0
+        assert policy.cap_for(benchmark("PdO4").build()) == 200.0
+
+    def test_uncapped_policy(self):
+        policy = CapPolicy.uncapped()
+        assert policy.cap_for(benchmark("Si256_hse").build()) == 400.0
+
+    def test_custom_caps(self):
+        policy = CapPolicy(
+            caps_w={WorkloadClass.HIGHER_ORDER: 300.0, WorkloadClass.BASIC_DFT: 150.0}
+        )
+        assert policy.cap_for(benchmark("Si256_hse").build()) == 300.0
+        assert policy.cap_for(benchmark("PdO2").build()) == 150.0
+
+    def test_validates_cap_range(self):
+        with pytest.raises(ValueError):
+            CapPolicy(
+                caps_w={WorkloadClass.HIGHER_ORDER: 50.0, WorkloadClass.BASIC_DFT: 200.0}
+            )

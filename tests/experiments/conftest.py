@@ -1,0 +1,101 @@
+"""Session-scoped experiment results shared across integration tests.
+
+Experiments are deterministic for a fixed seed, so running each once per
+session keeps the suite fast while every test asserts on real pipeline
+output.
+"""
+
+import pytest
+
+from repro.experiments import (
+    fig01_node_variation,
+    fig02_sampling,
+    fig03_timelines,
+    fig04_parallel_efficiency,
+    fig05_workload_power,
+    fig06_system_size,
+    fig07_internal_params,
+    fig08_concurrency,
+    fig09_methods,
+    fig10_cap_efficacy,
+    fig11_cap_timeline,
+    fig12_cap_performance,
+    fig13_cap_concurrency,
+    scheduling,
+    table1,
+)
+
+
+@pytest.fixture(scope="session")
+def table1_rows():
+    return table1.run()
+
+
+@pytest.fixture(scope="session")
+def fig01_result():
+    return fig01_node_variation.run()
+
+
+@pytest.fixture(scope="session")
+def fig02_result():
+    return fig02_sampling.run()
+
+
+@pytest.fixture(scope="session")
+def fig03_result():
+    return fig03_timelines.run()
+
+
+@pytest.fixture(scope="session")
+def fig04_result():
+    return fig04_parallel_efficiency.run()
+
+
+@pytest.fixture(scope="session")
+def fig05_result():
+    return fig05_workload_power.run()
+
+
+@pytest.fixture(scope="session")
+def fig06_result():
+    return fig06_system_size.run()
+
+
+@pytest.fixture(scope="session")
+def fig07_result():
+    return fig07_internal_params.run()
+
+
+@pytest.fixture(scope="session")
+def fig08_result():
+    return fig08_concurrency.run()
+
+
+@pytest.fixture(scope="session")
+def fig09_result():
+    return fig09_methods.run()
+
+
+@pytest.fixture(scope="session")
+def fig10_result():
+    return fig10_cap_efficacy.run()
+
+
+@pytest.fixture(scope="session")
+def fig11_result():
+    return fig11_cap_timeline.run()
+
+
+@pytest.fixture(scope="session")
+def fig12_result():
+    return fig12_cap_performance.run()
+
+
+@pytest.fixture(scope="session")
+def fig13_result():
+    return fig13_cap_concurrency.run()
+
+
+@pytest.fixture(scope="session")
+def scheduling_result():
+    return scheduling.run()

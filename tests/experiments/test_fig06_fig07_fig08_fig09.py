@@ -1,0 +1,151 @@
+"""Integration tests: Figs 6-9 (the Section IV decomposition)."""
+
+import pytest
+
+from repro.experiments import fig06_system_size, fig07_internal_params
+from repro.units.constants import A100_40GB
+
+
+class TestFig06:
+    def test_power_rises_with_size(self, fig06_result):
+        points = fig06_result.points
+        # Monotone (small tolerance for mode-finding noise at the cold end).
+        hpms = [p.node_hpm_w for p in points]
+        for a, b in zip(hpms, hpms[1:]):
+            assert b > a * 0.96
+        assert hpms[-1] > 2.5 * hpms[0]
+
+    def test_plateau_at_2048_atoms(self, fig06_result):
+        """Paper: ~2,048 atoms are needed to saturate the GPUs."""
+        assert fig06_result.plateau_ratio() == pytest.approx(1.0, abs=0.12)
+
+    def test_gpu_sum_approaches_combined_tdp(self, fig06_result):
+        four_tdp = 4 * A100_40GB.tdp_w
+        largest = fig06_result.points[-1]
+        assert 0.80 * four_tdp < largest.gpu4_hpm_w < four_tdp
+
+    def test_small_sizes_far_from_tdp(self, fig06_result):
+        smallest = fig06_result.points[0]
+        assert smallest.gpu4_hpm_w < 0.30 * 4 * A100_40GB.tdp_w
+
+    def test_nplwv_covers_paper_range(self, fig06_result):
+        """The paper's sweep spans NPLWV 88,200 .. 3,175,200."""
+        nplwvs = [p.nplwv for p in fig06_result.points]
+        assert min(nplwvs) < 88_200
+        assert max(nplwvs) > 3_175_200
+
+    def test_nbands_covers_paper_range(self, fig06_result):
+        nbands = [p.nbands for p in fig06_result.points]
+        assert min(nbands) <= 164
+        assert max(nbands) >= 5_764
+
+    def test_fwhm_positive(self, fig06_result):
+        for p in fig06_result.points:
+            assert p.node_fwhm_w > 0
+            assert p.gpu4_fwhm_w > 0
+
+    def test_render(self, fig06_result):
+        assert "supercell" in fig06_system_size.render(fig06_result)
+
+
+class TestFig07:
+    def test_power_rises_with_nplwv(self, fig07_result):
+        hpms = [p.high_power_mode_w for p in fig07_result.nplwv_points]
+        assert all(b > a for a, b in zip(hpms, hpms[1:]))
+        assert fig07_result.nplwv_power_spread_w() > 100.0
+
+    def test_power_flat_in_nbands(self, fig07_result):
+        """Paper: 'the high power mode remains constant when the number of
+        bands changes'."""
+        mean_hpm = sum(p.high_power_mode_w for p in fig07_result.nbands_points) / len(
+            fig07_result.nbands_points
+        )
+        assert fig07_result.nbands_power_spread_w() < 0.03 * mean_hpm
+
+    def test_nplwv_moves_power_more_than_nbands(self, fig07_result):
+        assert (
+            fig07_result.nplwv_power_spread_w()
+            > 5.0 * fig07_result.nbands_power_spread_w()
+        )
+
+    def test_energy_linear_in_nbands(self, fig07_result):
+        """More bands -> proportionally longer runtime -> more energy."""
+        assert fig07_result.nbands_energy_linearity() > 0.98
+        energies = [p.energy_mj for p in fig07_result.nbands_points]
+        assert all(b > a for a, b in zip(energies, energies[1:]))
+
+    def test_runtime_grows_with_nbands(self, fig07_result):
+        runtimes = [p.runtime_s for p in fig07_result.nbands_points]
+        assert all(b > a for a, b in zip(runtimes, runtimes[1:]))
+
+    def test_render(self, fig07_result):
+        text = fig07_internal_params.render(fig07_result)
+        assert "NPLWV" in text and "NBANDS" in text
+
+
+class TestFig08:
+    def test_power_steady_at_healthy_efficiency(self, fig08_result):
+        points = [p for p in fig08_result.points if p.parallel_efficiency >= 0.80]
+        assert len(points) >= 3
+        hpms = [p.high_power_mode_w for p in points]
+        assert max(hpms) - min(hpms) < 0.07 * max(hpms)
+
+    def test_power_drops_at_poor_efficiency(self, fig08_result):
+        healthy = [
+            p.high_power_mode_w
+            for p in fig08_result.points
+            if p.parallel_efficiency >= 0.80
+        ]
+        poor = [
+            p.high_power_mode_w
+            for p in fig08_result.points
+            if p.parallel_efficiency < 0.70
+        ]
+        assert poor and min(poor) < 0.92 * max(healthy)
+
+    def test_energy_monotonically_increases(self, fig08_result):
+        """Paper: 'VASP's energy consumption increases monotonically with
+        increasing concurrency'."""
+        energies = fig08_result.energies()
+        assert all(b > a for a, b in zip(energies, energies[1:]))
+
+    def test_runtime_decreases(self, fig08_result):
+        runtimes = [p.runtime_s for p in fig08_result.points]
+        assert all(b < a for a, b in zip(runtimes, runtimes[1:]))
+
+
+class TestFig09:
+    def test_higher_order_gap_exceeds_600w(self, fig09_result):
+        """Paper: 'the high power mode varies by more than 600 W per node
+        on average' between higher-order and DFT methods."""
+        for n_atoms in (128, 256):
+            assert fig09_result.mean_gap_w(n_atoms) > 600.0
+
+    def test_larger_supercell_draws_more_for_every_method(self, fig09_result):
+        methods = {v.method for v in fig09_result.violins}
+        for method in methods:
+            small = fig09_result.violin(method, 128).stats.high_power_mode_w
+            large = fig09_result.violin(method, 256).stats.high_power_mode_w
+            assert large > small * 0.98, method
+
+    def test_hse_and_acfdtr_are_hottest(self, fig09_result):
+        for n_atoms in (128, 256):
+            by_method = {
+                v.method: v.stats.high_power_mode_w
+                for v in fig09_result.violins
+                if v.n_atoms == n_atoms
+            }
+            hottest = sorted(by_method, key=by_method.get, reverse=True)[:2]
+            assert set(hottest) == {"hse", "acfdtr"}
+
+    def test_violin_quartiles_consistent(self, fig09_result):
+        for violin in fig09_result.violins:
+            stats = violin.stats
+            assert stats.min_w <= stats.q1_w <= stats.median_w <= stats.q3_w <= stats.max_w
+
+    def test_fourteen_violins(self, fig09_result):
+        assert len(fig09_result.violins) == 14
+
+    def test_lookup_validation(self, fig09_result):
+        with pytest.raises(KeyError):
+            fig09_result.violin("mp2", 128)

@@ -1,0 +1,146 @@
+"""Integration tests: Figs 10-13 (power capping) and Section VI-A."""
+
+import pytest
+
+from repro.experiments import fig12_cap_performance
+
+
+class TestFig10:
+    """Capping efficacy: within the cap everywhere except the 100 W floor."""
+
+    def test_within_cap_at_authority_range(self, fig10_result):
+        for cap in (400.0, 300.0, 200.0):
+            for name, fraction in fig10_result.fractions(cap).items():
+                assert fraction <= 1.05, (name, cap)
+
+    def test_overshoot_at_floor(self, fig10_result):
+        """Paper: 'a larger error is observed' at 100 W."""
+        floor = fig10_result.fractions(100.0)
+        authority = fig10_result.fractions(200.0)
+        # The hot benchmarks exceed the floor cap...
+        assert floor["Si256_hse"] > 1.05
+        assert floor["Si128_acfdtr"] > 1.05
+        # ...and every benchmark's error grows toward the floor.
+        for name in floor:
+            assert floor[name] > authority[name] - 1e-9
+
+    def test_hot_benchmarks_track_every_cap(self, fig10_result):
+        """The power-hungry workloads push against all four caps."""
+        for cap in (300.0, 200.0, 100.0):
+            fractions = fig10_result.fractions(cap)
+            assert fractions["Si256_hse"] > 0.9
+            assert fractions["Si128_acfdtr"] > 0.9
+
+    def test_cold_benchmark_never_touches_high_caps(self, fig10_result):
+        fractions = fig10_result.fractions(400.0)
+        assert fractions["GaAsBi-64"] < 0.5
+
+
+class TestFig11:
+    def test_peak_reduced_roughly_half_on_gpu(self, fig11_result):
+        """Paper: 'the peak power is reduced by about 50 %'."""
+        import numpy as np
+
+        gpu_un = np.percentile(fig11_result.uncapped.telemetry[0].gpu_power(0), 95)
+        gpu_cap = np.percentile(fig11_result.capped.telemetry[0].gpu_power(0), 95)
+        assert 1.0 - gpu_cap / gpu_un == pytest.approx(0.5, abs=0.12)
+
+    def test_node_peak_reduced(self, fig11_result):
+        assert fig11_result.peak_reduction() > 0.30
+
+    def test_troughs_unchanged(self, fig11_result):
+        """The CPU-resident section is untouched by a GPU cap."""
+        assert fig11_result.trough_change() < 0.03
+
+    def test_capped_run_is_slower(self, fig11_result):
+        assert 1.05 < fig11_result.slowdown() < 1.30
+
+    def test_cap_narrows_power_variation(self, fig11_result):
+        """Capping 'also mitigates power variations within a job'."""
+        assert fig11_result.power_variation_reduction() > 0.25
+
+
+class TestFig12:
+    def test_no_loss_at_300w(self, fig12_result):
+        """Paper: performance is not affected at a 300 W cap."""
+        for row in fig12_result.rows:
+            assert row.at(300.0) > 0.95
+
+    def test_200w_hits_only_the_power_hungry(self, fig12_result):
+        """Paper: ~9 % slowdown for Si256_hse and Si128_acfdtr at 200 W."""
+        assert fig12_result.row("Si256_hse").at(200.0) == pytest.approx(0.91, abs=0.05)
+        assert fig12_result.row("Si128_acfdtr").at(200.0) == pytest.approx(0.91, abs=0.05)
+        for name in ("PdO4", "PdO2", "GaAsBi-64", "CuC_vdw"):
+            assert fig12_result.row(name).at(200.0) > 0.97
+
+    def test_100w_drastic_for_hot_benchmarks(self, fig12_result):
+        """Paper: ~60 % slowdown for the two hottest at 100 W."""
+        for name in ("Si256_hse", "Si128_acfdtr"):
+            perf = fig12_result.row(name).at(100.0)
+            slowdown = 1.0 / perf - 1.0
+            assert 0.40 <= slowdown <= 0.90, name
+
+    def test_100w_insignificant_for_cold_benchmarks(self, fig12_result):
+        """Paper: GaAsBi-64 and PdO2 lose <5 % even at 100 W."""
+        for name in ("GaAsBi-64", "PdO2"):
+            assert fig12_result.row(name).at(100.0) > 0.92
+
+    def test_half_tdp_headline(self, fig12_result):
+        """The headline: a 50 % TDP cap costs every workload <= ~10 %."""
+        for row in fig12_result.rows:
+            assert row.at(200.0) >= 0.87, row.benchmark
+
+    def test_normalization(self, fig12_result):
+        for row in fig12_result.rows:
+            assert row.at(400.0) == pytest.approx(1.0)
+
+    def test_render(self, fig12_result):
+        assert "400 W" in fig12_cap_performance.render(fig12_result)
+
+
+class TestFig13:
+    def test_response_consistent_across_node_counts(self, fig13_result):
+        """Paper: 'At all node counts, VASP responds to power caps
+        similarly to its optimal node count'."""
+        for cap in (300.0, 200.0):
+            assert fig13_result.response_spread(cap) < 0.06
+
+    def test_300w_unaffected_everywhere(self, fig13_result):
+        for row in fig13_result.rows:
+            assert row.normalized[300.0] > 0.94
+
+    def test_200w_mild_everywhere(self, fig13_result):
+        for row in fig13_result.rows:
+            assert 0.84 <= row.normalized[200.0] <= 0.95
+
+    def test_100w_drastic_everywhere(self, fig13_result):
+        for row in fig13_result.rows:
+            slowdown = 1.0 / row.normalized[100.0] - 1.0
+            assert slowdown > 0.40
+
+
+class TestScheduling:
+    def test_both_schedules_respect_budget(self, scheduling_result):
+        assert scheduling_result.capped.budget_respected
+        assert scheduling_result.uncapped.budget_respected
+
+    def test_all_jobs_complete_under_both(self, scheduling_result):
+        assert len(scheduling_result.capped.records) == 14
+        assert len(scheduling_result.uncapped.records) == 14
+
+    def test_capping_wins_under_tight_budget(self, scheduling_result):
+        """The Section VI-A story: capped jobs fit the budget concurrently,
+        so the capped schedule finishes sooner despite per-job slowdowns."""
+        assert scheduling_result.makespan_ratio() < 0.95
+
+    def test_capped_peak_power_lower(self, scheduling_result):
+        assert (
+            scheduling_result.capped.peak_power_w
+            < scheduling_result.uncapped.peak_power_w
+        )
+
+    def test_caps_recorded_at_half_tdp(self, scheduling_result):
+        for record in scheduling_result.capped.records:
+            assert record.cap_w == 200.0
+        for record in scheduling_result.uncapped.records:
+            assert record.cap_w == 400.0

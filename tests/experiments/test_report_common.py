@@ -1,0 +1,87 @@
+"""Tests for the report renderer and the shared experiment plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.common import MeasuredRun, make_nodes, run_workload
+from repro.experiments.report import format_table, sparkline
+from repro.vasp.benchmarks import benchmark
+
+
+class TestFormatTable:
+    def test_basic_layout(self):
+        text = format_table(
+            headers=["Name", "Watts"],
+            rows=[["a", 1200.5], ["bb", 75.25]],
+            title="demo",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "Name" in lines[1] and "Watts" in lines[1]
+        assert "-+-" in lines[2]
+        # Numbers right-aligned, text left-aligned.
+        assert lines[3].startswith("a ")
+        assert lines[3].rstrip().endswith("1,200")
+
+    def test_number_formatting(self):
+        text = format_table(["x"], [[0.123456], [12.3456], [12345.6], [True], [None]])
+        assert "0.123" in text
+        assert "12.3" in text
+        assert "12,346" in text
+        assert "yes" in text
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ValueError):
+            format_table([], [])
+        with pytest.raises(ValueError, match="row 0"):
+            format_table(["a", "b"], [["only one"]])
+
+
+class TestSparkline:
+    def test_length_capped(self):
+        line = sparkline(np.linspace(0, 1, 500), width=40)
+        assert len(line) <= 40
+
+    def test_monotone_ramp(self):
+        line = sparkline([0.0, 0.5, 1.0], width=10)
+        assert line[0] == " "
+        assert line[-1] == "@"
+
+    def test_constant_series(self):
+        line = sparkline([5.0, 5.0, 5.0])
+        assert len(set(line)) == 1
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+
+class TestRunWorkloadPlumbing:
+    def test_telemetry_interval(self):
+        measured = run_workload(benchmark("PdO2").build(), n_nodes=1, seed=1)
+        telem = measured.telemetry[0]
+        assert telem.sample_interval_s == pytest.approx(2.0, rel=0.01)
+
+    def test_cap_applied_and_reset_semantics(self):
+        nodes = make_nodes(1)
+        run_workload(benchmark("PdO2").build(), n_nodes=1, gpu_cap_w=200.0, nodes=nodes)
+        assert nodes[0].gpu_power_limit_w == 200.0
+        # A subsequent uncapped run on the same nodes resets the limit.
+        run_workload(benchmark("PdO2").build(), n_nodes=1, nodes=nodes)
+        assert nodes[0].gpu_power_limit_w == 400.0
+
+    def test_node_count_mismatch(self):
+        with pytest.raises(ValueError):
+            run_workload(benchmark("PdO2").build(), n_nodes=2, nodes=make_nodes(1))
+
+    def test_measured_run_accessors(self):
+        measured: MeasuredRun = run_workload(benchmark("PdO2").build(), seed=1)
+        assert measured.runtime_s > 0
+        assert measured.energy_mj() > 0
+        summary = measured.node_summary()
+        assert summary.min_w < summary.high_power_mode_w <= summary.max_w
+        gpu = measured.gpu_summary(gpu_index=2)
+        assert gpu.max_w < 450.0
+
+    def test_make_nodes_validation(self):
+        with pytest.raises(ValueError):
+            make_nodes(0)

@@ -1,0 +1,111 @@
+"""Integration tests: Table I, Fig 1 (node variation), Fig 2 (sampling)."""
+
+import pytest
+
+from repro.experiments import fig01_node_variation, fig02_sampling, table1
+
+
+class TestTable1:
+    def test_seven_rows(self, table1_rows):
+        assert len(table1_rows) == 7
+
+    def test_nplwv_equals_grid_product(self, table1_rows):
+        for row in table1_rows:
+            n1, n2, n3 = row.fft_grid
+            assert row.nplwv == n1 * n2 * n3
+
+    def test_published_values(self, table1_rows):
+        by_name = {r.name: r for r in table1_rows}
+        assert by_name["Si256_hse"].electrons == 1020
+        assert by_name["Si256_hse"].ions == 255
+        assert by_name["Si256_hse"].nbands == 640
+        assert by_name["PdO4"].nplwv == 518400
+        assert by_name["Si128_acfdtr"].nbandsexact == 23506
+        assert by_name["GaAsBi-64"].kpar == 2
+
+    def test_render(self, table1_rows):
+        text = table1.render(table1_rows)
+        assert "Si256_hse" in text
+        assert "80x120x54" in text
+
+
+class TestFig01:
+    """Shape claims: per-node offsets consistent across segments; idle
+    spread bounded; segments ordered DGEMM > VASP-mean > STREAM > idle."""
+
+    def test_four_nodes(self, fig01_result):
+        assert len(fig01_result.segments) == 4
+
+    def test_idle_spread_below_observed_maximum(self, fig01_result):
+        assert 0.0 < fig01_result.idle_spread_w <= 100.0
+
+    def test_idle_levels_in_window(self, fig01_result):
+        for segment in fig01_result.segments:
+            assert 400.0 <= segment.idle_w <= 520.0
+
+    def test_segment_ordering(self, fig01_result):
+        for segment in fig01_result.segments:
+            assert segment.dgemm_w > segment.stream_w > segment.idle_w
+            assert segment.vasp_w > segment.idle_w
+
+    def test_node_offsets_consistent_across_load_segments(self, fig01_result):
+        """Manufacturing offsets, not workload, set the per-node power
+        differences (paper: 'identical DGEMM and STREAM runs exhibit
+        similar power differences across nodes'): the per-node offsets in
+        the STREAM and DGEMM segments must be strongly correlated."""
+        import numpy as np
+
+        stream = np.array([s.stream_w for s in fig01_result.segments])
+        dgemm = np.array([s.dgemm_w for s in fig01_result.segments])
+        stream -= stream.mean()
+        dgemm -= dgemm.mean()
+        correlation = float(
+            np.dot(stream, dgemm)
+            / (np.linalg.norm(stream) * np.linalg.norm(dgemm))
+        )
+        assert correlation > 0.6
+
+    def test_dgemm_near_node_tdp_share(self, fig01_result):
+        for segment in fig01_result.segments:
+            assert 1600.0 < segment.dgemm_w < 2100.0
+
+    def test_render(self, fig01_result):
+        assert "idle spread" in fig01_node_variation.render(fig01_result)
+
+
+class TestFig02:
+    """Shape claims from the paper's sampling study."""
+
+    def rate_point(self, result, rate):
+        return next(p for p in result.points if p.rate_s == rate)
+
+    def test_high_power_mode_invariant(self, fig02_result):
+        base = self.rate_point(fig02_result, 0.1).high_power_mode_w
+        for point in fig02_result.points:
+            assert point.high_power_mode_w == pytest.approx(base, rel=0.05)
+
+    def test_max_non_increasing_with_rate(self, fig02_result):
+        maxima = [p.max_w for p in fig02_result.points]
+        assert all(b <= a + 1e-9 for a, b in zip(maxima, maxima[1:]))
+
+    def test_fwhm_widens_at_coarse_rates(self, fig02_result):
+        base = self.rate_point(fig02_result, 0.1).fwhm_w
+        coarse = self.rate_point(fig02_result, 10.0).fwhm_w
+        assert coarse > base * 1.5
+
+    def test_mid_mode_visible_up_to_five_seconds(self, fig02_result):
+        """Paper: 'at five seconds or finer, all three modes are visible'."""
+        for point in fig02_result.points:
+            if point.rate_s <= 5.0:
+                assert point.mid_mode_detected, f"mid mode lost at {point.rate_s} s"
+
+    def test_mid_mode_lost_at_ten_seconds(self, fig02_result):
+        """Paper: 'at a 10-second sampling rate, the second power mode is
+        not detected'."""
+        assert not self.rate_point(fig02_result, 10.0).mid_mode_detected
+
+    def test_at_least_three_modes_at_base_rate(self, fig02_result):
+        assert fig02_result.base_mode_count >= 3
+
+    def test_render(self, fig02_result):
+        assert "Mid mode" in fig02_sampling.render(fig02_result)

@@ -1,0 +1,76 @@
+"""Unit tests for CPU, memory and NIC power models."""
+
+import pytest
+
+from repro.hardware.cpu import MilanCpu
+from repro.hardware.memory import DdrMemory
+from repro.hardware.nic import SlingshotNic
+from repro.hardware.variability import ManufacturingVariation
+
+NOMINAL = ManufacturingVariation.nominal()
+
+
+class TestMilanCpu:
+    def test_idle_power(self):
+        cpu = MilanCpu(variation=NOMINAL)
+        assert cpu.idle_power_w == pytest.approx(cpu.envelope.idle_w)
+
+    def test_power_monotone_in_utilization(self):
+        cpu = MilanCpu(variation=NOMINAL)
+        powers = [cpu.power_at_utilization(u) for u in (0.0, 0.25, 0.5, 0.75, 1.0)]
+        assert powers == sorted(powers)
+
+    def test_full_utilization_hits_tdp(self):
+        cpu = MilanCpu(variation=NOMINAL)
+        assert cpu.power_at_utilization(1.0) == pytest.approx(cpu.envelope.tdp_w)
+
+    def test_zero_utilization_is_idle(self):
+        cpu = MilanCpu(variation=NOMINAL)
+        assert cpu.power_at_utilization(0.0) == pytest.approx(cpu.envelope.idle_w)
+
+    @pytest.mark.parametrize("bad", [-0.1, 1.1])
+    def test_rejects_bad_utilization(self, bad):
+        with pytest.raises(ValueError):
+            MilanCpu(variation=NOMINAL).power_at_utilization(bad)
+
+    def test_concavity(self):
+        """The 0.9 exponent means half utilization draws more than half
+        the dynamic range."""
+        cpu = MilanCpu(variation=NOMINAL)
+        half = cpu.power_at_utilization(0.5)
+        mid = (cpu.envelope.idle_w + cpu.envelope.tdp_w) / 2.0
+        assert half > mid
+
+
+class TestDdrMemory:
+    def test_bandwidth_power_range(self):
+        mem = DdrMemory(variation=NOMINAL)
+        assert mem.power_at_bandwidth(0.0) == pytest.approx(mem.envelope.idle_w)
+        assert mem.power_at_bandwidth(1.0) == pytest.approx(mem.envelope.max_w)
+
+    def test_linear_midpoint(self):
+        mem = DdrMemory(variation=NOMINAL)
+        expected = (mem.envelope.idle_w + mem.envelope.max_w) / 2.0
+        assert mem.power_at_bandwidth(0.5) == pytest.approx(expected)
+
+    def test_rejects_bad_utilization(self):
+        with pytest.raises(ValueError):
+            DdrMemory(variation=NOMINAL).power_at_bandwidth(2.0)
+
+
+class TestSlingshotNic:
+    def test_traffic_power_range(self):
+        nic = SlingshotNic(variation=NOMINAL)
+        assert nic.power_at_traffic(0.0) == pytest.approx(nic.envelope.idle_w)
+        assert nic.power_at_traffic(1.0) == pytest.approx(nic.envelope.max_w)
+
+    def test_nic_swing_is_small(self):
+        """NIC power swing is a few watts — part of the flat 'peripheral
+        gap' in Fig 3."""
+        nic = SlingshotNic(variation=NOMINAL)
+        swing = nic.power_at_traffic(1.0) - nic.power_at_traffic(0.0)
+        assert 0.0 < swing <= 15.0
+
+    def test_rejects_bad_utilization(self):
+        with pytest.raises(ValueError):
+            SlingshotNic(variation=NOMINAL).power_at_traffic(-0.5)

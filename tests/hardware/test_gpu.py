@@ -1,0 +1,119 @@
+"""Unit tests for the A100 power/DVFS model."""
+
+import pytest
+
+from repro.hardware.gpu import A100Gpu, PowerLimitError, MIN_CLOCK_FRACTION
+from repro.hardware.variability import ManufacturingVariation
+
+
+@pytest.fixture
+def gpu() -> A100Gpu:
+    """A variation-free GPU so assertions are exact."""
+    return A100Gpu(serial="TEST", variation=ManufacturingVariation.nominal())
+
+
+class TestPowerLimit:
+    def test_default_limit_is_tdp(self, gpu):
+        assert gpu.power_limit_w == 400.0
+
+    def test_set_and_reset(self, gpu):
+        gpu.set_power_limit(250.0)
+        assert gpu.power_limit_w == 250.0
+        gpu.reset_power_limit()
+        assert gpu.power_limit_w == 400.0
+
+    @pytest.mark.parametrize("bad", [99.9, 401.0, 0.0, -100.0])
+    def test_rejects_out_of_range(self, gpu, bad):
+        with pytest.raises(PowerLimitError):
+            gpu.set_power_limit(bad)
+
+    @pytest.mark.parametrize("ok", [100.0, 200.0, 300.0, 400.0])
+    def test_accepts_paper_caps(self, gpu, ok):
+        gpu.set_power_limit(ok)
+        assert gpu.power_limit_w == ok
+
+
+class TestClockFraction:
+    def test_full_clocks_when_uncapped(self, gpu):
+        assert gpu.clock_fraction(350.0, cap_w=400.0) == 1.0
+
+    def test_full_clocks_when_demand_below_static(self, gpu):
+        # Static power cannot be clocked away.
+        assert gpu.clock_fraction(80.0, cap_w=100.0) == 1.0
+        assert gpu.clock_fraction(89.0, cap_w=50.0) == 1.0
+
+    def test_throttles_when_cap_binds(self, gpu):
+        frac = gpu.clock_fraction(350.0, cap_w=200.0)
+        assert MIN_CLOCK_FRACTION <= frac < 1.0
+
+    def test_lower_cap_lower_clock(self, gpu):
+        f300 = gpu.clock_fraction(380.0, cap_w=300.0)
+        f200 = gpu.clock_fraction(380.0, cap_w=200.0)
+        f100 = gpu.clock_fraction(380.0, cap_w=100.0)
+        assert f300 > f200 > f100 >= MIN_CLOCK_FRACTION
+
+    def test_cubic_law_half_power_keeps_most_clocks(self, gpu):
+        """The crux of the paper's headline: 50 % of TDP keeps ~3/4 clocks."""
+        frac = gpu.clock_fraction(390.0, cap_w=200.0)
+        assert frac > 0.70
+
+
+class TestRegulationError:
+    def test_negligible_at_high_caps(self, gpu):
+        assert gpu.regulation_error(400.0) == pytest.approx(0.0)
+        assert gpu.regulation_error(300.0) < 0.01
+        assert gpu.regulation_error(200.0) < 0.01
+
+    def test_visible_at_floor(self, gpu):
+        assert gpu.regulation_error(100.0) == pytest.approx(0.08)
+
+    def test_monotone_in_depth(self, gpu):
+        errors = [gpu.regulation_error(c) for c in (400.0, 300.0, 200.0, 100.0)]
+        assert errors == sorted(errors)
+
+
+class TestResolvePhase:
+    def test_uncapped_power_equals_demand(self, gpu):
+        sample = gpu.resolve_phase(320.0)
+        assert sample.power_w == pytest.approx(320.0)
+        assert sample.slowdown == 1.0
+
+    def test_capped_power_below_cap_in_authority_range(self, gpu):
+        gpu.set_power_limit(200.0)
+        sample = gpu.resolve_phase(380.0, compute_fraction=0.6)
+        assert sample.power_w <= 200.0
+        assert sample.slowdown > 1.0
+
+    def test_floor_cap_overshoots(self, gpu):
+        gpu.set_power_limit(100.0)
+        sample = gpu.resolve_phase(380.0, compute_fraction=0.6)
+        assert sample.power_w > 100.0  # Fig 10's 100 W error
+        assert sample.power_w < 120.0
+
+    def test_memory_bound_phase_barely_slows(self, gpu):
+        gpu.set_power_limit(200.0)
+        sample = gpu.resolve_phase(380.0, compute_fraction=0.1)
+        assert sample.slowdown < 1.08
+
+    def test_compute_bound_phase_slows_more(self, gpu):
+        gpu.set_power_limit(200.0)
+        memory = gpu.resolve_phase(380.0, compute_fraction=0.1)
+        compute = gpu.resolve_phase(380.0, compute_fraction=0.9)
+        assert compute.slowdown > memory.slowdown
+
+    def test_rejects_bad_compute_fraction(self, gpu):
+        with pytest.raises(ValueError):
+            gpu.resolve_phase(300.0, compute_fraction=1.5)
+
+    def test_idle_sample(self, gpu):
+        sample = gpu.idle_sample()
+        assert sample.power_w == pytest.approx(gpu.envelope.idle_w)
+        assert sample.slowdown == 1.0
+
+    def test_variation_biases_power(self):
+        biased = A100Gpu(
+            serial="X", variation=ManufacturingVariation(power_factor=1.05, idle_offset_w=2.0)
+        )
+        sample = biased.resolve_phase(355.0)
+        # idle 55 + 2 offset + 300 dynamic * 1.05
+        assert sample.power_w == pytest.approx(55.0 + 2.0 + 315.0)

@@ -1,0 +1,74 @@
+"""Unit tests for node-level aggregation."""
+
+import pytest
+
+from repro.hardware.node import GpuNode
+
+
+@pytest.fixture
+def node() -> GpuNode:
+    return GpuNode(name="nid009999")
+
+
+class TestGpuNodeStructure:
+    def test_has_four_gpus_and_nics(self, node):
+        assert len(node.gpus) == 4
+        assert len(node.nics) == 4
+
+    def test_serials_are_stable(self):
+        a = GpuNode(name="nid000001")
+        b = GpuNode(name="nid000001")
+        assert [g.serial for g in a.gpus] == [g.serial for g in b.gpus]
+        assert a.idle_sample().node_w == pytest.approx(b.idle_sample().node_w)
+
+    def test_distinct_nodes_have_distinct_idle(self):
+        idles = {GpuNode(name=f"nid{i:06d}").idle_sample().node_w for i in range(8)}
+        assert len(idles) == 8
+
+
+class TestPowerLimits:
+    def test_set_applies_to_all_gpus(self, node):
+        node.set_gpu_power_limit(250.0)
+        assert all(g.power_limit_w == 250.0 for g in node.gpus)
+        assert node.gpu_power_limit_w == 250.0
+
+    def test_reset(self, node):
+        node.set_gpu_power_limit(150.0)
+        node.reset_gpu_power_limit()
+        assert node.gpu_power_limit_w == 400.0
+
+    def test_mixed_limits_detected(self, node):
+        node.gpus[0].set_power_limit(200.0)
+        with pytest.raises(RuntimeError):
+            _ = node.gpu_power_limit_w
+
+
+class TestSampling:
+    def test_idle_sample_in_observed_window(self):
+        """Idle node power must land inside the paper's 410-510 W band."""
+        for i in range(20):
+            node = GpuNode(name=f"nid{2000 + i:06d}")
+            idle = node.idle_sample().node_w
+            assert 400.0 <= idle <= 520.0
+
+    def test_sample_component_accounting(self, node):
+        sample = node.sample(gpu_power_w=[300.0, 310.0, 305.0, 295.0])
+        assert sample.gpu_total_w == pytest.approx(1210.0)
+        assert sample.node_w > sample.component_sum_w  # peripheral gap
+        gap = sample.node_w - sample.component_sum_w
+        assert 30.0 < gap < 200.0  # NICs + baseboard
+
+    def test_sample_rejects_wrong_gpu_count(self, node):
+        with pytest.raises(ValueError):
+            node.sample(gpu_power_w=[300.0, 300.0])
+
+    def test_full_load_below_node_tdp(self, node):
+        sample = node.sample(
+            gpu_power_w=[400.0] * 4,
+            cpu_utilization=1.0,
+            memory_bandwidth_utilization=1.0,
+            nic_utilization=1.0,
+        )
+        # Even flat out, the configured components stay at/below node TDP
+        # with a small margin for manufacturing bias.
+        assert sample.node_w <= node.envelope.tdp_w * 1.02

@@ -1,0 +1,67 @@
+"""Unit tests for the system-level node pool."""
+
+import pytest
+
+from repro.hardware.system import AllocationError, PerlmutterSystem
+
+
+@pytest.fixture
+def system() -> PerlmutterSystem:
+    return PerlmutterSystem(n_nodes=8)
+
+
+class TestAllocation:
+    def test_allocate_release_roundtrip(self, system):
+        nodes = system.allocate("job1", 3)
+        assert len(nodes) == 3
+        assert system.free_node_count == 5
+        system.release("job1")
+        assert system.free_node_count == 8
+
+    def test_allocation_is_deterministic(self, system):
+        nodes = system.allocate("job1", 2)
+        assert [n.name for n in nodes] == ["nid001000", "nid001001"]
+
+    def test_double_allocation_rejected(self, system):
+        system.allocate("job1", 1)
+        with pytest.raises(AllocationError):
+            system.allocate("job1", 1)
+
+    def test_overcommit_rejected(self, system):
+        with pytest.raises(AllocationError):
+            system.allocate("big", 9)
+
+    def test_release_unknown_job(self, system):
+        with pytest.raises(AllocationError):
+            system.release("ghost")
+
+    def test_release_resets_power_limits(self, system):
+        nodes = system.allocate("job1", 2)
+        for node in nodes:
+            node.set_gpu_power_limit(200.0)
+        system.release("job1")
+        for node in nodes:
+            assert node.gpu_power_limit_w == 400.0
+
+    def test_allocated_nodes_lookup(self, system):
+        system.allocate("job1", 2)
+        assert len(system.allocated_nodes("job1")) == 2
+        with pytest.raises(AllocationError):
+            system.allocated_nodes("nope")
+
+
+class TestBudget:
+    def test_default_budget_scales_with_pool(self):
+        small = PerlmutterSystem(n_nodes=4)
+        large = PerlmutterSystem(n_nodes=8)
+        assert large.power_budget_w == pytest.approx(2 * small.power_budget_w)
+
+    def test_idle_power_positive_and_scales(self, system):
+        full = system.idle_power_w()
+        system.allocate("job1", 4)
+        assert system.idle_power_w() < full
+        assert full > 8 * 400.0  # each idle node >= ~410 W
+
+    def test_rejects_empty_pool(self):
+        with pytest.raises(ValueError):
+            PerlmutterSystem(n_nodes=0)

@@ -1,0 +1,56 @@
+"""Unit tests for manufacturing-variability modelling."""
+
+import numpy as np
+import pytest
+
+from repro.hardware.variability import ManufacturingVariation, unit_rng
+
+
+class TestUnitRng:
+    def test_deterministic_per_serial(self):
+        a = unit_rng("GPU-123").standard_normal(4)
+        b = unit_rng("GPU-123").standard_normal(4)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_serials_differ(self):
+        a = unit_rng("GPU-123").standard_normal(4)
+        b = unit_rng("GPU-124").standard_normal(4)
+        assert not np.array_equal(a, b)
+
+    def test_salt_changes_stream(self):
+        a = unit_rng("GPU-123", "x").standard_normal(4)
+        b = unit_rng("GPU-123", "y").standard_normal(4)
+        assert not np.array_equal(a, b)
+
+
+class TestManufacturingVariation:
+    def test_nominal_is_identity(self):
+        nominal = ManufacturingVariation.nominal()
+        assert nominal.apply(300.0, idle_w=55.0) == pytest.approx(300.0)
+
+    def test_sample_is_deterministic(self):
+        a = ManufacturingVariation.sample("node-gpu0")
+        b = ManufacturingVariation.sample("node-gpu0")
+        assert a == b
+
+    def test_sample_within_three_sigma(self):
+        for i in range(50):
+            v = ManufacturingVariation.sample(f"unit-{i}", rel_sigma=0.02, idle_sigma_w=6.0)
+            assert 1 - 0.06 <= v.power_factor <= 1 + 0.06
+            assert -18.0 <= v.idle_offset_w <= 18.0
+
+    def test_apply_scales_dynamic_only(self):
+        v = ManufacturingVariation(power_factor=1.1, idle_offset_w=5.0)
+        # Idle gets only the offset.
+        assert v.apply(55.0, idle_w=55.0) == pytest.approx(60.0)
+        # 100 W of dynamic power is scaled by 1.1.
+        assert v.apply(155.0, idle_w=55.0) == pytest.approx(55.0 + 5.0 + 110.0)
+
+    def test_population_spread_realistic(self):
+        """Across many units, the idle-offset spread stays below the
+        100 W node-level spread the paper observed."""
+        offsets = [
+            ManufacturingVariation.sample(f"gpu-{i}").idle_offset_w for i in range(200)
+        ]
+        assert max(offsets) - min(offsets) < 40.0
+        assert np.std(offsets) > 1.0  # not degenerate

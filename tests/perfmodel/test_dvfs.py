@@ -1,0 +1,92 @@
+"""Unit tests for the standalone DVFS/occupancy math."""
+
+import numpy as np
+import pytest
+
+from repro.perfmodel.dvfs import (
+    MIN_CLOCK_FRACTION,
+    capped_clock_fraction,
+    capped_phase_slowdown,
+    occupancy,
+    sustained_power_w,
+)
+
+
+class TestOccupancy:
+    def test_zero_work_zero_occupancy(self):
+        assert occupancy(0.0) == 0.0
+
+    def test_monotone(self):
+        values = occupancy(np.array([1e5, 1e6, 1e7, 1e8]))
+        assert np.all(np.diff(values) > 0)
+
+    def test_half_saturation(self):
+        assert occupancy(2.0e6, w_half=2.0e6) == pytest.approx(0.5)
+
+    def test_saturates_below_one(self):
+        assert 0.99 < occupancy(1e12) < 1.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            occupancy(-1.0)
+
+
+class TestCappedClockFraction:
+    def test_uncapped(self):
+        assert capped_clock_fraction(300.0, 400.0, static_w=90.0) == 1.0
+
+    def test_cubic_inversion(self):
+        # static 90, demand 390, cap 240: f^3 = 150/300 = 0.5
+        frac = capped_clock_fraction(390.0, 240.0, static_w=90.0)
+        assert frac == pytest.approx(0.5 ** (1.0 / 3.0))
+
+    def test_linear_law_option(self):
+        frac = capped_clock_fraction(390.0, 240.0, static_w=90.0, exponent=1.0)
+        assert frac == pytest.approx(0.5)
+
+    def test_clamped_at_minimum(self):
+        frac = capped_clock_fraction(400.0, 90.0, static_w=90.0)
+        assert frac == MIN_CLOCK_FRACTION
+
+    def test_vectorized(self):
+        fracs = capped_clock_fraction(
+            np.array([390.0, 200.0]), np.array([240.0, 240.0]), static_w=90.0
+        )
+        assert fracs.shape == (2,)
+        assert fracs[1] == 1.0
+
+
+class TestSustainedPower:
+    def test_full_clock_full_power(self):
+        assert sustained_power_w(390.0, 1.0, static_w=90.0) == pytest.approx(390.0)
+
+    def test_consistency_with_clock_fraction(self):
+        """sustained(frac(cap)) == cap when the cap binds (no clamping)."""
+        demand, cap, static = 390.0, 240.0, 90.0
+        frac = capped_clock_fraction(demand, cap, static_w=static)
+        assert sustained_power_w(demand, frac, static_w=static) == pytest.approx(cap)
+
+    def test_never_exceeds_demand(self):
+        assert sustained_power_w(200.0, 1.0, static_w=90.0) <= 200.0
+
+
+class TestCappedPhaseSlowdown:
+    def test_no_throttle_no_slowdown(self):
+        assert capped_phase_slowdown(1.0, 0.8) == pytest.approx(1.0)
+
+    def test_fully_compute_bound(self):
+        assert capped_phase_slowdown(0.5, 1.0) == pytest.approx(2.0)
+
+    def test_fully_memory_bound(self):
+        assert capped_phase_slowdown(0.5, 0.0) == pytest.approx(1.0)
+
+    def test_duty_dilutes_slowdown(self):
+        full = capped_phase_slowdown(0.5, 1.0, duty_cycle=1.0)
+        half = capped_phase_slowdown(0.5, 1.0, duty_cycle=0.5)
+        assert half == pytest.approx((full + 1.0) / 2.0)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            capped_phase_slowdown(0.0, 0.5)
+        with pytest.raises(ValueError):
+            capped_phase_slowdown(0.5, 1.5)

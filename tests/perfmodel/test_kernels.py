@@ -1,0 +1,58 @@
+"""Unit tests for kernel profiles and the catalogue."""
+
+import pytest
+
+from repro.perfmodel.kernels import GpuKernelProfile, KernelCatalogue
+
+
+class TestGpuKernelProfile:
+    def test_validates_ranges(self):
+        with pytest.raises(ValueError):
+            GpuKernelProfile("x", compute_utilization=1.2, memory_utilization=0.1, compute_fraction=0.5)
+        with pytest.raises(ValueError):
+            GpuKernelProfile("x", compute_utilization=0.5, memory_utilization=-0.1, compute_fraction=0.5)
+        with pytest.raises(ValueError):
+            GpuKernelProfile("x", 0.5, 0.5, 0.5, duty_cycle=2.0)
+
+    def test_scaled_reduces_utilization(self):
+        base = KernelCatalogue.GEMM_FP64_TC
+        scaled = base.scaled(0.5)
+        assert scaled.compute_utilization == pytest.approx(base.compute_utilization / 2)
+        assert scaled.memory_utilization == pytest.approx(base.memory_utilization / 2)
+        # compute_fraction and duty are structural, not occupancy-scaled
+        assert scaled.compute_fraction == base.compute_fraction
+
+    def test_scaled_validates(self):
+        with pytest.raises(ValueError):
+            KernelCatalogue.GEMM_FP64_TC.scaled(1.5)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            KernelCatalogue.GEMM_FP64_TC.compute_utilization = 0.5  # type: ignore
+
+
+class TestKernelCatalogue:
+    def test_lookup_by_name(self):
+        assert KernelCatalogue.by_name("fft_batched") is KernelCatalogue.FFT_BATCHED
+
+    def test_lookup_unknown_raises(self):
+        with pytest.raises(KeyError):
+            KernelCatalogue.by_name("warp_drive")
+
+    def test_names_cover_catalogue(self):
+        names = KernelCatalogue.names()
+        assert "gemm_fp64_tc" in names
+        assert "nccl_collective" in names
+        assert len(names) == len(set(names))
+
+    def test_gemm_is_compute_bound_fft_is_memory_bound(self):
+        gemm = KernelCatalogue.GEMM_FP64_TC
+        fft = KernelCatalogue.FFT_BATCHED
+        assert gemm.compute_fraction > 0.5 > fft.compute_fraction
+        assert gemm.compute_utilization > fft.compute_utilization
+        assert fft.memory_utilization > gemm.memory_utilization
+
+    def test_host_section_is_idle(self):
+        host = KernelCatalogue.HOST_SECTION
+        assert host.duty_cycle == 0.0
+        assert host.compute_utilization == 0.0

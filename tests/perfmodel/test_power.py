@@ -1,0 +1,56 @@
+"""Unit tests for the demand-power model."""
+
+import pytest
+
+from repro.perfmodel.kernels import GpuKernelProfile, KernelCatalogue
+from repro.perfmodel.power import demand_power_w, duty_cycle_power_w
+from repro.units.constants import A100_40GB
+
+
+class TestDemandPower:
+    def test_idle_profile_draws_idle(self):
+        profile = GpuKernelProfile("idle", 0.0, 0.0, 0.0)
+        assert demand_power_w(profile, A100_40GB) == pytest.approx(A100_40GB.idle_w)
+
+    def test_saturated_profile_draws_tdp(self):
+        profile = GpuKernelProfile("hot", 1.0, 1.0, 0.8)
+        assert demand_power_w(profile, A100_40GB) == pytest.approx(A100_40GB.tdp_w)
+
+    def test_dgemm_lands_near_tdp(self):
+        """Published A100 DGEMM power: ~380-400 W."""
+        power = demand_power_w(KernelCatalogue.DGEMM_TEST, A100_40GB)
+        assert 360.0 <= power <= 400.0
+
+    def test_stream_lands_near_half_tdp(self):
+        """Published A100 STREAM power: ~200-240 W."""
+        power = demand_power_w(KernelCatalogue.STREAM_TEST, A100_40GB)
+        assert 190.0 <= power <= 250.0
+
+    def test_monotone_in_compute_utilization(self):
+        lo = GpuKernelProfile("a", 0.2, 0.4, 0.5)
+        hi = GpuKernelProfile("b", 0.6, 0.4, 0.5)
+        assert demand_power_w(hi, A100_40GB) > demand_power_w(lo, A100_40GB)
+
+    def test_monotone_in_memory_utilization(self):
+        lo = GpuKernelProfile("a", 0.3, 0.2, 0.5)
+        hi = GpuKernelProfile("b", 0.3, 0.8, 0.5)
+        assert demand_power_w(hi, A100_40GB) > demand_power_w(lo, A100_40GB)
+
+    def test_never_exceeds_tdp(self):
+        profile = GpuKernelProfile("max", 1.0, 1.0, 1.0)
+        assert demand_power_w(profile, A100_40GB) <= A100_40GB.tdp_w
+
+
+class TestDutyCyclePower:
+    def test_full_duty_is_active_power(self):
+        assert duty_cycle_power_w(300.0, 1.0, 55.0) == pytest.approx(300.0)
+
+    def test_zero_duty_is_idle(self):
+        assert duty_cycle_power_w(300.0, 0.0, 55.0) == pytest.approx(55.0)
+
+    def test_half_duty_is_midpoint(self):
+        assert duty_cycle_power_w(300.0, 0.5, 55.0) == pytest.approx(177.5)
+
+    def test_rejects_bad_duty(self):
+        with pytest.raises(ValueError):
+            duty_cycle_power_w(300.0, 1.5, 55.0)

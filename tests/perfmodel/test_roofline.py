@@ -1,0 +1,72 @@
+"""Unit tests for the roofline time model."""
+
+import pytest
+
+from repro.perfmodel.kernels import GpuKernelProfile, KernelCatalogue
+from repro.perfmodel.roofline import RooflineModel
+
+
+@pytest.fixture
+def roofline() -> RooflineModel:
+    return RooflineModel()
+
+
+class TestPeaks:
+    def test_tensor_core_peak(self, roofline):
+        assert roofline.peak_flops == pytest.approx(19.5e12)
+
+    def test_vector_peak(self):
+        assert RooflineModel(use_tensor_cores=False).peak_flops == pytest.approx(9.7e12)
+
+    def test_bandwidth(self, roofline):
+        assert roofline.peak_bandwidth == pytest.approx(1.555e12)
+
+
+class TestKernelTime:
+    def test_compute_bound_kernel(self, roofline):
+        profile = GpuKernelProfile("g", 1.0, 1.0, 0.8)
+        # 19.5 Tflop at full efficiency -> 1 second.
+        t = roofline.kernel_time_s(19.5e12, 1.0, profile)
+        assert t == pytest.approx(1.0)
+
+    def test_memory_bound_kernel(self, roofline):
+        profile = GpuKernelProfile("m", 1.0, 1.0, 0.1)
+        t = roofline.kernel_time_s(1.0, 1.555e12, profile)
+        assert t == pytest.approx(1.0)
+
+    def test_max_of_roofs(self, roofline):
+        profile = GpuKernelProfile("x", 0.5, 0.5, 0.5)
+        t_c = roofline.kernel_time_s(1e13, 0.0, profile)
+        t_m = roofline.kernel_time_s(0.0, 1e12, profile)
+        t_both = roofline.kernel_time_s(1e13, 1e12, profile)
+        assert t_both == pytest.approx(max(t_c, t_m))
+
+    def test_lower_utilization_longer_time(self, roofline):
+        fast = GpuKernelProfile("f", 0.8, 0.8, 0.5)
+        slow = GpuKernelProfile("s", 0.2, 0.2, 0.5)
+        assert roofline.kernel_time_s(1e13, 1e12, slow) > roofline.kernel_time_s(
+            1e13, 1e12, fast
+        )
+
+    def test_rejects_negative_volumes(self, roofline):
+        with pytest.raises(ValueError):
+            roofline.kernel_time_s(-1.0, 0.0, KernelCatalogue.GEMM_FP64_TC)
+
+    def test_rejects_zero_activity_profile(self, roofline):
+        with pytest.raises(ValueError):
+            roofline.kernel_time_s(1.0, 1.0, KernelCatalogue.HOST_SECTION)
+
+
+class TestBalancePoint:
+    def test_balance_intensity_positive(self, roofline):
+        intensity = roofline.balance_point_intensity(KernelCatalogue.GEMM_FP64_TC)
+        assert intensity > 0
+
+    def test_a100_balance_scale(self, roofline):
+        """At full utilization the TC balance point is ~12.5 flop/byte."""
+        profile = GpuKernelProfile("b", 1.0, 1.0, 0.5)
+        assert roofline.balance_point_intensity(profile) == pytest.approx(12.54, rel=0.01)
+
+    def test_rejects_one_sided_profile(self, roofline):
+        with pytest.raises(ValueError):
+            roofline.balance_point_intensity(GpuKernelProfile("c", 0.5, 0.0, 0.5))

@@ -1,0 +1,120 @@
+"""Property-based tests for sampling, plane waves and the scheduler."""
+
+import math
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.telemetry.downsample import downsample_series
+from repro.vasp.parallel import ParallelConfig
+from repro.vasp.planewaves import default_nbands, fft_grid, next_fft_size, nplwv
+
+
+class TestDownsampleProperties:
+    @given(
+        arrays(
+            dtype=np.float64,
+            shape=st.integers(min_value=10, max_value=500),
+            elements=st.floats(min_value=0.0, max_value=3000.0, allow_nan=False),
+        ),
+        st.sampled_from([0.2, 0.5, 1.0, 2.0, 5.0]),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_mean_power_preserved(self, values, interval):
+        """Block averaging preserves total energy when windows divide the
+        series evenly; within one trailing window otherwise."""
+        times = (np.arange(len(values)) + 0.5) * 0.1
+        _, coarse = downsample_series(times, values, interval)
+        per_window = max(int(round(interval / 0.1)), 1)
+        if len(values) % per_window == 0:
+            # Exact: every window has equal weight.
+            assert np.mean(coarse) == np.mean(
+                values.reshape(-1, per_window).mean(axis=1)
+            )
+        # Always: extrema bound the coarse series.
+        assert coarse.max() <= values.max() + 1e-9
+        assert coarse.min() >= values.min() - 1e-9
+
+    @given(
+        arrays(
+            dtype=np.float64,
+            shape=st.integers(min_value=10, max_value=300),
+            elements=st.floats(min_value=0.0, max_value=3000.0, allow_nan=False),
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_coarser_never_raises_max(self, values):
+        times = (np.arange(len(values)) + 0.5) * 0.1
+        maxima = []
+        for interval in (0.1, 0.5, 1.0, 2.0):
+            _, coarse = downsample_series(times, values, interval)
+            maxima.append(coarse.max())
+        assert all(b <= a + 1e-9 for a, b in zip(maxima, maxima[1:]))
+
+
+class TestPlanewaveProperties:
+    @given(st.integers(min_value=2, max_value=400))
+    @settings(max_examples=100, deadline=None)
+    def test_next_fft_size_is_valid(self, n):
+        size = next_fft_size(n)
+        assert size >= n
+        assert size % 2 == 0
+        m = size
+        for radix in (2, 3, 5, 7):
+            while m % radix == 0:
+                m //= radix
+        assert m == 1
+
+    @given(
+        st.floats(min_value=100.0, max_value=800.0),
+        st.floats(min_value=100.0, max_value=800.0),
+        st.floats(min_value=5.0, max_value=40.0),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_nplwv_monotone_in_cutoff(self, e_a, e_b, length):
+        lo, hi = sorted((e_a, e_b))
+        lengths = [length] * 3
+        assert nplwv(hi, lengths) >= nplwv(lo, lengths)
+
+    @given(
+        st.floats(min_value=100.0, max_value=600.0),
+        st.floats(min_value=5.0, max_value=30.0),
+        st.floats(min_value=5.0, max_value=30.0),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_nplwv_monotone_in_volume(self, encut, l_a, l_b):
+        lo, hi = sorted((l_a, l_b))
+        assert nplwv(encut, [hi] * 3) >= nplwv(encut, [lo] * 3)
+
+    @given(
+        st.floats(min_value=2.0, max_value=10000.0),
+        st.integers(min_value=1, max_value=5000),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_default_nbands_sufficient(self, electrons, ions):
+        """NBANDS must hold all occupied orbitals."""
+        nbands = default_nbands(electrons, ions)
+        assert nbands >= math.ceil(electrons / 2.0)
+        assert nbands % 8 == 0
+
+    @given(st.floats(min_value=150.0, max_value=700.0), st.floats(min_value=6.0, max_value=35.0))
+    @settings(max_examples=60, deadline=None)
+    def test_grid_dims_are_fft_sizes(self, encut, length):
+        for dim in fft_grid(encut, [length, length * 1.3, length * 0.8]):
+            assert dim == next_fft_size(dim)
+
+
+class TestParallelProperties:
+    @given(
+        st.integers(min_value=1, max_value=64),
+        st.integers(min_value=1, max_value=8192),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_band_distribution_covers_all_bands(self, n_nodes, nbands):
+        config = ParallelConfig(n_nodes=n_nodes)
+        per_rank = config.bands_per_rank(nbands)
+        assert per_rank * config.ranks_per_kgroup >= nbands
+        # No rank holds more than one extra block's worth.
+        assert (per_rank - 1) * config.ranks_per_kgroup < nbands + config.ranks_per_kgroup

@@ -1,0 +1,93 @@
+"""Property-based tests for the scheduler and the engine's accounting."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.capping.policy import CapPolicy
+from repro.capping.scheduler import Job, PowerAwareScheduler, SchedulerConfig
+from repro.vasp.benchmarks import benchmark
+
+#: Small benchmark reused across generated schedules (building workloads
+#: inside hypothesis examples would dominate runtime).
+_WORKLOAD = benchmark("PdO2").build()
+
+
+def _jobs(sizes_and_submits):
+    return [
+        Job(job_id=f"j{i}", workload=_WORKLOAD, n_nodes=n, submit_s=s)
+        for i, (n, s) in enumerate(sizes_and_submits)
+    ]
+
+
+class TestSchedulerProperties:
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=1, max_value=4),
+                st.floats(min_value=0.0, max_value=600.0),
+            ),
+            min_size=1,
+            max_size=6,
+        ),
+        st.floats(min_value=900.0, max_value=2400.0),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_budget_never_exceeded_and_all_jobs_run(self, spec, per_node_budget):
+        config = SchedulerConfig(
+            n_nodes=4,
+            power_budget_w=4 * per_node_budget,
+            policy=CapPolicy.half_tdp(),
+        )
+        result = PowerAwareScheduler(config).schedule(_jobs(spec))
+        # Invariants: budget respected, every job completes exactly once,
+        # no job starts before submission.
+        assert result.budget_respected
+        assert len(result.records) == len(spec)
+        assert len({r.job_id for r in result.records}) == len(spec)
+        by_id = {r.job_id: r for r in result.records}
+        for i, (n, submit) in enumerate(spec):
+            record = by_id[f"j{i}"]
+            assert record.n_nodes == n
+            assert record.start_s >= submit - 1e-6
+            assert record.end_s > record.start_s
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=1, max_value=4),
+                st.just(0.0),
+            ),
+            min_size=1,
+            max_size=5,
+        )
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_node_capacity_never_oversubscribed(self, spec):
+        config = SchedulerConfig(n_nodes=4, power_budget_w=1e9)
+        result = PowerAwareScheduler(config).schedule(_jobs(spec))
+        # At every job boundary, concurrently running jobs fit the pool.
+        events = sorted(
+            {r.start_s for r in result.records} | {r.end_s for r in result.records}
+        )
+        for t in events:
+            concurrent = sum(
+                r.n_nodes
+                for r in result.records
+                if r.start_s <= t + 1e-9 and r.end_s > t + 1e-9
+            )
+            assert concurrent <= 4
+
+
+class TestEngineAccounting:
+    @given(st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=10, deadline=None)
+    def test_trace_energy_matches_mean_power(self, seed):
+        """Energy = mean power x runtime, for any noise seed."""
+        from repro.experiments.common import run_workload
+
+        measured = run_workload(_WORKLOAD, n_nodes=1, seed=seed)
+        trace = measured.result.traces[0]
+        energy = trace.energy_j()
+        reconstructed = float(np.mean(trace.node_power)) * measured.runtime_s
+        assert abs(energy - reconstructed) / energy < 0.01

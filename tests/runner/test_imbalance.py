@@ -1,0 +1,77 @@
+"""Tests for load-imbalance modelling (the Section III-A ablation)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.common import make_nodes
+from repro.perfmodel.kernels import KernelCatalogue
+from repro.runner.engine import EngineConfig, PowerEngine
+from repro.vasp.phases import MacroPhase
+
+
+def hot_phase(duration=60.0):
+    return MacroPhase(
+        name="hot", duration_s=duration, gpu_profile=KernelCatalogue.DGEMM_TEST
+    )
+
+
+def run_with_imbalance(imbalance: float, seed: int = 4):
+    engine = PowerEngine(
+        make_nodes(1),
+        EngineConfig(rank_imbalance=imbalance, noise_rel_sigma=0.0, noise_floor_w=0.0),
+    )
+    return engine.run([hot_phase()], seed=seed)
+
+
+class TestRankImbalance:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EngineConfig(rank_imbalance=1.0)
+        with pytest.raises(ValueError):
+            EngineConfig(rank_imbalance=-0.1)
+
+    def test_zero_imbalance_is_default_behaviour(self):
+        balanced = run_with_imbalance(0.0)
+        default = PowerEngine(
+            make_nodes(1), EngineConfig(noise_rel_sigma=0.0, noise_floor_w=0.0)
+        ).run([hot_phase()], seed=4)
+        assert balanced.runtime_s == pytest.approx(default.runtime_s)
+
+    def test_imbalance_lengthens_run(self):
+        """Synchronized ranks run at the most-loaded rank's pace."""
+        balanced = run_with_imbalance(0.0)
+        skewed = run_with_imbalance(0.25)
+        assert skewed.runtime_s > balanced.runtime_s * 1.05
+        assert skewed.runtime_s < balanced.runtime_s * 1.30
+
+    def test_imbalance_spreads_gpu_power(self):
+        """Idle-waiting ranks draw less: per-GPU means diverge."""
+        balanced = run_with_imbalance(0.0)
+        skewed = run_with_imbalance(0.3)
+
+        def gpu_mean_spread(result):
+            means = [result.traces[0].gpu_power(i).mean() for i in range(4)]
+            return max(means) - min(means)
+
+        assert gpu_mean_spread(skewed) > gpu_mean_spread(balanced) + 10.0
+
+    def test_most_loaded_rank_unaffected(self):
+        """The pace-setting rank still draws its full active power: its
+        per-GPU mean is unchanged between the balanced and skewed runs,
+        while every other rank's mean drops."""
+        skewed = run_with_imbalance(0.3)
+        balanced = run_with_imbalance(0.0)
+        ratios = [
+            skewed.traces[0].gpu_power(i).mean()
+            / balanced.traces[0].gpu_power(i).mean()
+            for i in range(4)
+        ]
+        assert max(ratios) == pytest.approx(1.0, abs=0.01)
+        assert min(ratios) < 0.95
+
+    def test_skew_is_deterministic_per_gpu(self):
+        a = run_with_imbalance(0.3, seed=1)
+        b = run_with_imbalance(0.3, seed=2)
+        means_a = [a.traces[0].gpu_power(i).mean() for i in range(4)]
+        means_b = [b.traces[0].gpu_power(i).mean() for i in range(4)]
+        np.testing.assert_allclose(means_a, means_b, rtol=1e-9)

@@ -1,0 +1,70 @@
+"""Unit tests for the job protocol (prologue, five repeats, min pick)."""
+
+import pytest
+
+from repro.hardware.node import GpuNode
+from repro.runner.job import JobScript, idle_phase
+from repro.vasp.benchmarks import benchmark
+
+
+@pytest.fixture(scope="module")
+def workload():
+    # A small, fast benchmark keeps this module quick.
+    return benchmark("PdO2").build()
+
+
+@pytest.fixture
+def nodes():
+    return [GpuNode(f"nid{6000 + i:06d}") for i in range(2)]
+
+
+class TestJobScript:
+    def test_five_repeats_default(self, workload, nodes):
+        job = JobScript(workload=workload, nodes=nodes)
+        result = job.run(seed=1)
+        assert len(result.repeats) == 5
+
+    def test_representative_is_minimum_runtime(self, workload, nodes):
+        result = JobScript(workload=workload, nodes=nodes, n_repeats=3).run(seed=2)
+        runtimes = result.runtimes_s
+        assert result.representative.metadata["vasp_runtime_s"] == min(runtimes)
+
+    def test_prologue_segments_present(self, workload, nodes):
+        result = JobScript(workload=workload, nodes=nodes, n_repeats=1).run(seed=3)
+        rep = result.representative
+        names = [p.name for p in rep.phases[:3]]
+        assert names == ["stream_test", "dgemm_test", "idle"]
+
+    def test_prologue_can_be_disabled(self, workload, nodes):
+        result = JobScript(
+            workload=workload, nodes=nodes, include_prologue=False, n_repeats=1
+        ).run(seed=3)
+        assert result.representative.phases[0].name == "startup"
+        assert result.representative.metadata["vasp_start_s"] == 0.0
+
+    def test_jitter_only_inflates(self, workload, nodes):
+        """Run-to-run variation can only slow a run down (min pick works)."""
+        result = JobScript(workload=workload, nodes=nodes, n_repeats=5).run(seed=4)
+        jitters = [r.metadata["jitter"] for r in result.repeats]
+        assert all(j >= 1.0 for j in jitters)
+
+    def test_validation(self, workload, nodes):
+        with pytest.raises(ValueError):
+            JobScript(workload=workload, nodes=[])
+        with pytest.raises(ValueError):
+            JobScript(workload=workload, nodes=nodes, n_repeats=0)
+
+    def test_traces_per_node(self, workload, nodes):
+        result = JobScript(workload=workload, nodes=nodes, n_repeats=1).run(seed=5)
+        assert result.representative.n_nodes == 2
+
+
+class TestIdlePhase:
+    def test_idle_phase_is_idle(self):
+        phase = idle_phase(15.0)
+        assert phase.duration_s == 15.0
+        assert phase.gpu_profile.duty_cycle == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            idle_phase(0.0)

@@ -1,0 +1,44 @@
+"""Unit tests for the real NumPy DGEMM/STREAM micro-kernels."""
+
+import pytest
+
+from repro.runner.dgemm import dgemm_phase, numpy_dgemm_gflops
+from repro.runner.stream import numpy_stream_gbs, stream_phase
+
+
+class TestModelledPhases:
+    def test_dgemm_phase_is_compute_heavy(self):
+        phase = dgemm_phase(30.0)
+        assert phase.duration_s == 30.0
+        assert phase.gpu_profile.compute_utilization > 0.9
+
+    def test_stream_phase_is_bandwidth_heavy(self):
+        phase = stream_phase(30.0)
+        assert phase.gpu_profile.memory_utilization > 0.9
+        assert phase.gpu_profile.compute_utilization < 0.2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            dgemm_phase(0.0)
+        with pytest.raises(ValueError):
+            stream_phase(-1.0)
+
+
+class TestRealKernels:
+    def test_dgemm_measures_something(self):
+        rate = numpy_dgemm_gflops(n=128, repeats=2)
+        assert rate > 0.1  # even unoptimized BLAS beats 100 Mflop/s
+
+    def test_dgemm_validation(self):
+        with pytest.raises(ValueError):
+            numpy_dgemm_gflops(n=1)
+        with pytest.raises(ValueError):
+            numpy_dgemm_gflops(repeats=0)
+
+    def test_stream_measures_something(self):
+        rate = numpy_stream_gbs(n=100_000, repeats=2)
+        assert rate > 0.1  # any host moves >100 MB/s
+
+    def test_stream_validation(self):
+        with pytest.raises(ValueError):
+            numpy_stream_gbs(n=0)

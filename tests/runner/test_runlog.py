@@ -1,0 +1,60 @@
+"""Tests for the OUTCAR-flavoured run log."""
+
+import pytest
+
+from repro.experiments.common import run_workload
+from repro.runner.runlog import parse_run_log, summarize_run, write_run_log
+from repro.vasp.benchmarks import benchmark
+
+
+@pytest.fixture(scope="module")
+def run_result():
+    return run_workload(benchmark("PdO2").build(), n_nodes=1, seed=2).result
+
+
+class TestSummarize:
+    def test_phase_times_cover_runtime(self, run_result):
+        summary = summarize_run(run_result)
+        assert summary.loop_time_s == pytest.approx(run_result.runtime_s, rel=1e-6)
+
+    def test_phase_counts(self, run_result):
+        summary = summarize_run(run_result)
+        count, seconds = summary.phase_times["orbital_update_fft"]
+        assert count == 60  # one per SCF iteration (NELM)
+        assert seconds > 0
+
+
+class TestRoundTrip:
+    def test_write_parse(self, run_result, tmp_path):
+        path = write_run_log(run_result, tmp_path / "run.log")
+        parsed = parse_run_log(path)
+        original = summarize_run(run_result)
+        assert parsed.label == original.label
+        assert parsed.n_nodes == original.n_nodes
+        assert parsed.gpu_power_cap_w == original.gpu_power_cap_w
+        assert parsed.runtime_s == pytest.approx(original.runtime_s, abs=0.01)
+        assert parsed.total_energy_j == pytest.approx(original.total_energy_j, rel=1e-4)
+        assert set(parsed.phase_times) == set(original.phase_times)
+        for name, (count, seconds) in original.phase_times.items():
+            p_count, p_seconds = parsed.phase_times[name]
+            assert p_count == count
+            assert p_seconds == pytest.approx(seconds, abs=0.01)
+
+    def test_cap_recorded(self, tmp_path):
+        result = run_workload(
+            benchmark("PdO2").build(), n_nodes=1, gpu_cap_w=200.0, seed=2
+        ).result
+        parsed = parse_run_log(write_run_log(result, tmp_path / "capped.log"))
+        assert parsed.gpu_power_cap_w == 200.0
+
+    def test_rejects_non_log(self, tmp_path):
+        bad = tmp_path / "bad.log"
+        bad.write_text("OUTCAR but not really\n")
+        with pytest.raises(ValueError, match="not a repro run log"):
+            parse_run_log(bad)
+
+    def test_rejects_truncated(self, tmp_path):
+        bad = tmp_path / "trunc.log"
+        bad.write_text("repro run log (OUTCAR-flavoured)\n executed on  1 node(s)\n")
+        with pytest.raises(ValueError):
+            parse_run_log(bad)

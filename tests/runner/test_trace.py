@@ -1,0 +1,78 @@
+"""Unit tests for trace containers."""
+
+import numpy as np
+import pytest
+
+from repro.runner.trace import COMPONENT_KEYS, PhaseRecord, PowerTrace, RunResult
+
+
+def make_trace(n=100, dt=0.1, level=1000.0) -> PowerTrace:
+    times = (np.arange(n) + 0.5) * dt
+    components = {key: np.full(n, 50.0) for key in COMPONENT_KEYS}
+    components["node"] = np.full(n, level)
+    return PowerTrace(node_name="nid000001", times=times, components=components)
+
+
+class TestPowerTrace:
+    def test_requires_all_components(self):
+        with pytest.raises(ValueError, match="missing component"):
+            PowerTrace(
+                node_name="x", times=np.arange(3.0), components={"cpu": np.zeros(3)}
+            )
+
+    def test_requires_matching_lengths(self):
+        components = {key: np.zeros(3) for key in COMPONENT_KEYS}
+        components["gpu0"] = np.zeros(2)
+        with pytest.raises(ValueError, match="samples"):
+            PowerTrace(node_name="x", times=np.arange(3.0), components=components)
+
+    def test_energy(self):
+        trace = make_trace(n=100, dt=0.1, level=1000.0)
+        assert trace.energy_j() == pytest.approx(100 * 0.1 * 1000.0)
+
+    def test_gpu_total(self):
+        trace = make_trace()
+        np.testing.assert_allclose(trace.gpu_total, 200.0)
+
+    def test_window(self):
+        trace = make_trace(n=100, dt=0.1)
+        window = trace.window(2.0, 5.0)
+        assert len(window.times) == 30
+        assert window.times[0] >= 2.0
+        assert window.times[-1] < 5.0
+
+    def test_window_validates(self):
+        with pytest.raises(ValueError):
+            make_trace().window(5.0, 2.0)
+
+
+class TestRunResult:
+    def make_result(self):
+        phases = [
+            PhaseRecord("a", 0.0, 4.0, 4.0, 1.0),
+            PhaseRecord("b", 4.0, 6.0, 2.0, 1.0),
+            PhaseRecord("a", 6.0, 10.0, 4.0, 1.0),
+        ]
+        return RunResult(
+            label="test",
+            traces=[make_trace(100, 0.1)],
+            phases=phases,
+            runtime_s=10.0,
+            gpu_power_cap_w=400.0,
+        )
+
+    def test_phase_windows(self):
+        result = self.make_result()
+        assert result.phase_windows("a") == [(0.0, 4.0), (6.0, 10.0)]
+        assert result.phase_windows("missing") == []
+
+    def test_phase_time(self):
+        assert self.make_result().phase_time_s("a") == pytest.approx(8.0)
+
+    def test_total_energy(self):
+        result = self.make_result()
+        assert result.total_energy_j() == pytest.approx(result.traces[0].energy_j())
+
+    def test_phase_record_duration(self):
+        record = PhaseRecord("x", 1.0, 3.5, 2.0, 1.25)
+        assert record.duration_s == pytest.approx(2.5)

@@ -1,0 +1,171 @@
+"""Unit tests for the LDMS-like sampler, the OMNI store and PM counters."""
+
+import numpy as np
+import pytest
+
+from repro.runner.trace import COMPONENT_KEYS, PowerTrace
+from repro.telemetry.omni import OmniQuery, OmniStore
+from repro.telemetry.pmi import PowerMonitoringInterface
+from repro.telemetry.sampler import LdmsSampler, SampledSeries, SamplerConfig
+
+
+def make_trace(n=2000, dt=0.1, node="nid000001") -> PowerTrace:
+    times = (np.arange(n) + 0.5) * dt
+    rng = np.random.default_rng(7)
+    components = {}
+    for key in COMPONENT_KEYS:
+        components[key] = 100.0 + 10.0 * rng.standard_normal(n)
+    components["node"] = 1000.0 + 20.0 * rng.standard_normal(n)
+    return PowerTrace(node_name=node, times=times, components=components)
+
+
+class TestSamplerConfig:
+    def test_defaults_match_paper(self):
+        cfg = SamplerConfig()
+        assert cfg.nominal_interval_s == 1.0
+        assert cfg.max_gap_s == 5.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SamplerConfig(nominal_interval_s=0.0)
+        with pytest.raises(ValueError):
+            SamplerConfig(drop_probability=1.0)
+        with pytest.raises(ValueError):
+            SamplerConfig(max_gap_s=0.5)
+
+
+class TestLdmsSampler:
+    def test_effective_interval_near_two_seconds(self):
+        """1 s nominal with 50 % drops -> ~2 s effective (Section II-B)."""
+        sampler = LdmsSampler(SamplerConfig(seed=3))
+        sampled = sampler.sample(make_trace(6000))
+        assert 1.6 <= sampled.effective_interval_s <= 2.5
+
+    def test_max_gap_bounded(self):
+        """Paper: 'the interval did not exceed five seconds'."""
+        sampler = LdmsSampler(SamplerConfig(seed=3))
+        for node in ("nid000001", "nid000002"):
+            sampled = sampler.sample(make_trace(6000, node=node))
+            assert sampled.max_gap_s <= 5.0 + 1e-9
+
+    def test_no_drops_keeps_everything(self):
+        sampler = LdmsSampler(SamplerConfig(drop_probability=0.0))
+        sampled = sampler.sample(make_trace(1000))
+        assert len(sampled.times) == 100  # 100 s at 1 s cadence
+
+    def test_unknown_component(self):
+        with pytest.raises(KeyError):
+            LdmsSampler().sample(make_trace(), component="psu")
+
+    def test_sample_all(self):
+        sampled = LdmsSampler().sample_all(make_trace(500))
+        assert set(sampled) == set(COMPONENT_KEYS)
+
+    def test_deterministic_per_seed(self):
+        a = LdmsSampler(SamplerConfig(seed=9)).sample(make_trace())
+        b = LdmsSampler(SamplerConfig(seed=9)).sample(make_trace())
+        np.testing.assert_array_equal(a.times, b.times)
+
+    def test_energy_estimate_close(self):
+        trace = make_trace(5000)
+        sampled = LdmsSampler(SamplerConfig(seed=1)).sample(trace)
+        # Trapezoid over the irregular samples stays within a few percent.
+        assert sampled.energy_j() == pytest.approx(trace.energy_j(), rel=0.05)
+
+
+class TestOmniStore:
+    def make_store(self):
+        store = OmniStore()
+        sampler = LdmsSampler(SamplerConfig(seed=5))
+        for node in ("nid000001", "nid000002"):
+            store.ingest_all(sampler.sample_all(make_trace(node=node)))
+        return store
+
+    def test_nodes_and_components(self):
+        store = self.make_store()
+        assert store.nodes == ["nid000001", "nid000002"]
+        assert "node" in store.components
+
+    def test_query_by_node_and_component(self):
+        store = self.make_store()
+        out = store.query(OmniQuery(node_name="nid000001", component="node"))
+        assert len(out) == 1
+        assert out[0].node_name == "nid000001"
+
+    def test_query_time_window(self):
+        store = self.make_store()
+        out = store.query(
+            OmniQuery(node_name="nid000001", component="node", start_s=50.0, end_s=100.0)
+        )
+        assert np.all(out[0].times >= 50.0)
+        assert np.all(out[0].times < 100.0)
+
+    def test_query_validation(self):
+        with pytest.raises(ValueError):
+            OmniQuery(start_s=10.0, end_s=5.0)
+
+    def test_concatenated_requires_match(self):
+        store = self.make_store()
+        with pytest.raises(LookupError):
+            store.concatenated(OmniQuery(node_name="nid000099"))
+
+    def test_concatenated_sorted(self):
+        store = self.make_store()
+        merged = store.concatenated(OmniQuery(component="node"))
+        assert np.all(np.diff(merged.times) >= 0)
+
+
+class TestPmi:
+    def test_read_components(self):
+        pmi = PowerMonitoringInterface(make_trace())
+        values = pmi.read_all(at_s=50.0)
+        assert set(values) == set(COMPONENT_KEYS)
+        assert values["node"] > values["cpu"]
+
+    def test_unknown_counter(self):
+        pmi = PowerMonitoringInterface(make_trace())
+        with pytest.raises(KeyError):
+            pmi.read("psu0", 1.0)
+
+    def test_out_of_window(self):
+        pmi = PowerMonitoringInterface(make_trace())
+        with pytest.raises(ValueError):
+            pmi.read("node", 1e6)
+
+
+class TestSampledSeries:
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            SampledSeries("n", "node", np.arange(3.0), np.arange(4.0))
+
+    def test_degenerate_stats(self):
+        s = SampledSeries("n", "node", np.array([1.0]), np.array([5.0]))
+        assert s.effective_interval_s == 0.0
+        assert s.max_gap_s == 0.0
+        assert s.energy_j() == 0.0
+
+
+class TestPmiEnergyCounters:
+    def test_energy_matches_power_integral(self):
+        trace = make_trace(1000)
+        pmi = PowerMonitoringInterface(trace)
+        energy = pmi.energy_j("node", 0.0, 100.0)
+        assert energy == pytest.approx(trace.energy_j(), rel=1e-9)
+
+    def test_windowed_energy(self):
+        trace = make_trace(1000)
+        pmi = PowerMonitoringInterface(trace)
+        first = pmi.energy_j("node", 0.0, 50.0)
+        second = pmi.energy_j("node", 50.0, 100.0)
+        assert first + second == pytest.approx(trace.energy_j(), rel=1e-9)
+
+    def test_empty_window(self):
+        pmi = PowerMonitoringInterface(make_trace(100))
+        assert pmi.energy_j("node", 5.0, 5.0) == 0.0
+
+    def test_validation(self):
+        pmi = PowerMonitoringInterface(make_trace(100))
+        with pytest.raises(KeyError):
+            pmi.energy_j("psu", 0.0, 1.0)
+        with pytest.raises(ValueError):
+            pmi.energy_j("node", 5.0, 1.0)

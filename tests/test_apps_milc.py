@@ -1,0 +1,106 @@
+"""Tests for the MILC application model (Section VI-B extension)."""
+
+import pytest
+
+from repro.apps.milc import (
+    MilcParams,
+    MilcWorkload,
+    expected_class,
+    milc_benchmark,
+    milc_cap_slowdown,
+)
+from repro.experiments import milc_study
+from repro.vasp.parallel import ParallelConfig
+
+
+class TestMilcParams:
+    def test_sites(self):
+        assert MilcParams(lattice=(16, 16, 16, 32)).sites == 16**3 * 32
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MilcParams(lattice=(2, 16, 16, 32))
+        with pytest.raises(ValueError):
+            MilcParams(trajectories=0)
+        with pytest.raises(ValueError):
+            MilcParams(measure_every=0)
+
+
+class TestMilcWorkload:
+    def test_phase_structure(self):
+        phases = milc_benchmark("small").phases(ParallelConfig(1))
+        names = {p.name for p in phases}
+        assert {"startup", "cg_solve", "gauge_force", "measurement", "finalize"} <= names
+
+    def test_cg_dominates_runtime(self):
+        """MILC spends most of its time in the CG solver."""
+        phases = milc_benchmark("medium").phases(ParallelConfig(1))
+        total = sum(p.duration_s for p in phases)
+        cg = sum(p.duration_s for p in phases if p.name == "cg_solve")
+        assert cg > 0.5 * total
+
+    def test_cg_is_memory_bound(self):
+        phases = milc_benchmark("medium").phases(ParallelConfig(1))
+        cg = next(p for p in phases if p.name == "cg_solve")
+        assert cg.gpu_profile.compute_fraction < 0.2
+        assert cg.gpu_profile.memory_utilization > cg.gpu_profile.compute_utilization
+
+    def test_scales_with_nodes(self):
+        wl = milc_benchmark("medium")
+        t1 = wl.uncapped_runtime_s(ParallelConfig(1))
+        t4 = wl.uncapped_runtime_s(ParallelConfig(4))
+        assert t4 < t1
+
+    def test_larger_lattice_longer_run(self):
+        small = milc_benchmark("small").uncapped_runtime_s()
+        large = milc_benchmark("large").uncapped_runtime_s()
+        assert large > small
+
+    def test_unknown_preset(self):
+        with pytest.raises(ValueError, match="unknown MILC size"):
+            milc_benchmark("gigantic")
+
+
+class TestMilcCapResponse:
+    def test_tolerates_deep_caps(self):
+        """The companion study's finding: MILC shrugs off power caps."""
+        wl = milc_benchmark("medium")
+        assert milc_cap_slowdown(wl, 200.0) < 1.02
+        assert milc_cap_slowdown(wl, 100.0) < 1.12
+
+    def test_slowdown_monotone_in_cap(self):
+        wl = milc_benchmark("large")
+        slowdowns = [milc_cap_slowdown(wl, c) for c in (400.0, 300.0, 200.0, 100.0)]
+        assert all(b >= a - 1e-9 for a, b in zip(slowdowns, slowdowns[1:]))
+
+    def test_classified_like_basic_dft(self):
+        assert expected_class() == "basic_dft_like"
+
+
+class TestMilcStudyExperiment:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return milc_study.run(sizes=("small", "medium"))
+
+    def test_power_well_below_hse(self, result):
+        """MILC's HPM sits in the basic-DFT band, far below HSE VASP."""
+        for profile in result.profiles:
+            assert profile.stats.high_power_mode_w < 1400.0
+
+    def test_steady_power(self, result):
+        """MILC's timeline is steady: narrow spread around the mode."""
+        medium = result.profile("milc_medium")
+        spread = medium.stats.max_w - medium.stats.high_power_mode_w
+        assert spread < 0.15 * medium.stats.high_power_mode_w
+
+    def test_cap_tolerance_in_study(self, result):
+        for profile in result.profiles:
+            assert profile.normalized_performance(200.0) > 0.97
+            assert profile.normalized_performance(100.0) > 0.88
+
+    def test_render(self, result):
+        assert "MILC" in milc_study.render(result)
+
+    def test_lookup_validation(self, result):
+        with pytest.raises(KeyError):
+            result.profile("milc_gigantic")

@@ -1,0 +1,70 @@
+"""Calibration lock: the seven benchmarks' power lands in the paper's bands.
+
+These tests pin the end-to-end pipeline (workload model -> engine ->
+2-second telemetry -> KDE high power mode) to the values Section III
+reports.  Absolute watts carry a generous tolerance — the paper's exact
+numbers depend on its hardware population — but orderings and gaps are
+the published findings and are held tighter.
+"""
+
+import pytest
+
+from repro.analysis.modes import high_power_mode_w
+from repro.experiments.common import run_workload
+from repro.vasp.benchmarks import BENCHMARKS
+
+#: Published (or figure-read) high power mode per node, in watts.
+PAPER_HPM_W = {
+    "Si256_hse": 1810.0,
+    "B.hR105_hse": 1430.0,
+    "PdO4": 1100.0,
+    "PdO2": 950.0,
+    "GaAsBi-64": 766.0,
+    "CuC_vdw": 1000.0,
+    "Si128_acfdtr": 1814.0,
+}
+
+
+@pytest.fixture(scope="module")
+def measured_hpm():
+    out = {}
+    for name, case in BENCHMARKS.items():
+        measured = run_workload(case.build(), n_nodes=1, seed=3)
+        out[name] = high_power_mode_w(measured.telemetry[0].node_power)
+    return out
+
+
+class TestAbsoluteBands:
+    @pytest.mark.parametrize("name", list(PAPER_HPM_W))
+    def test_hpm_within_12pct_of_paper(self, measured_hpm, name):
+        assert measured_hpm[name] == pytest.approx(PAPER_HPM_W[name], rel=0.12)
+
+    def test_full_range_matches_paper(self, measured_hpm):
+        """Paper: high power mode spans 766 to 1814 W across workloads."""
+        values = sorted(measured_hpm.values())
+        assert values[0] == pytest.approx(766.0, rel=0.10)
+        assert values[-1] == pytest.approx(1814.0, rel=0.10)
+
+
+class TestOrderings:
+    def test_workload_ordering(self, measured_hpm):
+        """The qualitative ordering the paper's Figs 3, 5 and 9 imply."""
+        m = measured_hpm
+        assert m["GaAsBi-64"] < m["PdO2"] < m["PdO4"]
+        assert m["PdO4"] < m["B.hR105_hse"] < m["Si256_hse"]
+        assert m["Si128_acfdtr"] > m["B.hR105_hse"]
+
+    def test_hse_size_gap(self, measured_hpm):
+        """Si256_hse - B.hR105_hse ~ 380 W (Section III-D)."""
+        gap = measured_hpm["Si256_hse"] - measured_hpm["B.hR105_hse"]
+        assert gap == pytest.approx(380.0, abs=160.0)
+
+    def test_pdo_size_gap(self, measured_hpm):
+        """PdO4 - PdO2 > 150 W (Section III-D)."""
+        assert measured_hpm["PdO4"] - measured_hpm["PdO2"] > 150.0
+
+    def test_higher_order_methods_hottest(self, measured_hpm):
+        hot = {"Si256_hse", "Si128_acfdtr"}
+        coldest_hot = min(measured_hpm[n] for n in hot)
+        hottest_rest = max(v for k, v in measured_hpm.items() if k not in hot)
+        assert coldest_hot > hottest_rest

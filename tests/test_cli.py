@@ -1,0 +1,70 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import ARTIFACTS, build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_rejects_unknown_benchmark(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "NotABenchmark"])
+
+    def test_rejects_unknown_artifact(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["reproduce", "fig99"])
+
+    def test_artifact_registry_complete(self):
+        expected = {"table1", "scheduling", "milc", "topdown", "system-power"} | {
+            f"fig{i:02d}" for i in range(1, 14)
+        }
+        assert set(ARTIFACTS) == expected
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "Si256_hse" in out
+        assert "fig12" in out
+
+    def test_run(self, capsys):
+        assert main(["run", "PdO2", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "high power mode" in out
+        assert "PdO2" in out
+
+    def test_run_with_cap(self, capsys):
+        assert main(["run", "PdO2", "--cap", "200"]) == 0
+        assert "GPU cap 200 W" in capsys.readouterr().out
+
+    def test_run_export_trace(self, capsys, tmp_path):
+        target = tmp_path / "trace.csv"
+        assert main(["run", "PdO2", "--export-trace", str(target)]) == 0
+        assert target.exists()
+        from repro.io import load_trace_csv
+
+        trace = load_trace_csv(target)
+        assert len(trace.times) > 100
+
+    def test_reproduce_table1(self, capsys):
+        assert main(["reproduce", "table1"]) == 0
+        assert "80x120x54" in capsys.readouterr().out
+
+    def test_reproduce_with_json(self, capsys, tmp_path):
+        target = tmp_path / "fig13.json"
+        assert main(["reproduce", "fig13", "--json", str(target)]) == 0
+        parsed = json.loads(target.read_text())
+        assert len(parsed["rows"]) == 4
+
+    def test_cap_sweep(self, capsys):
+        assert main(["cap-sweep", "PdO2", "--caps", "400", "200", "--nodes", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "cap sweep" in out
+        assert "HPM/cap" in out

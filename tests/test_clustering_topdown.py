@@ -1,0 +1,112 @@
+"""Tests for the top-down clustering (Section VI-B statistical approach)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import topdown
+from repro.prediction.clustering import (
+    PROFILE_FEATURE_NAMES,
+    classify_jobs,
+    kmeans_profiles,
+    profile_features,
+)
+
+
+def synthetic_series(mode_w: float, n: int = 600, seed: int = 0) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    low = rng.normal(mode_w * 0.4, mode_w * 0.02, n // 4)
+    high = rng.normal(mode_w, mode_w * 0.02, 3 * n // 4)
+    return np.concatenate([low, high])
+
+
+class TestProfileFeatures:
+    def test_feature_length(self):
+        feats = profile_features(synthetic_series(1500.0))
+        assert feats.shape == (len(PROFILE_FEATURE_NAMES),)
+
+    def test_hpm_is_first_feature(self):
+        feats = profile_features(synthetic_series(1500.0))
+        assert feats[0] == pytest.approx(1500.0, rel=0.05)
+
+    def test_rejects_tiny_sample(self):
+        with pytest.raises(ValueError):
+            profile_features(np.ones(4))
+
+
+class TestKmeans:
+    def test_separates_two_obvious_groups(self):
+        matrix = np.stack(
+            [profile_features(synthetic_series(w, seed=i)) for i, w in
+             enumerate([700, 750, 800, 1700, 1750, 1800])]
+        )
+        model = kmeans_profiles(matrix, k=2, seed=3)
+        labels = model.labels
+        assert len(set(labels[:3])) == 1
+        assert len(set(labels[3:])) == 1
+        assert labels[0] != labels[3]
+
+    def test_k_one_is_trivial(self):
+        matrix = np.stack(
+            [profile_features(synthetic_series(w, seed=i)) for i, w in
+             enumerate([700, 1700])]
+        )
+        model = kmeans_profiles(matrix, k=1)
+        assert set(model.labels) == {0}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            kmeans_profiles(np.zeros((3, 2)), k=5)
+        with pytest.raises(ValueError):
+            kmeans_profiles(np.zeros(3), k=1)
+
+    def test_deterministic_per_seed(self):
+        matrix = np.stack(
+            [profile_features(synthetic_series(w, seed=i)) for i, w in
+             enumerate([700, 900, 1500, 1800])]
+        )
+        a = kmeans_profiles(matrix, k=2, seed=5)
+        b = kmeans_profiles(matrix, k=2, seed=5)
+        np.testing.assert_array_equal(a.labels, b.labels)
+
+    def test_assign_matches_training_labels(self):
+        matrix = np.stack(
+            [profile_features(synthetic_series(w, seed=i)) for i, w in
+             enumerate([700, 750, 1700, 1750])]
+        )
+        model = kmeans_profiles(matrix, k=2, seed=1)
+        for features, label in zip(matrix, model.labels):
+            assert model.assign(features) == label
+
+
+class TestClassifyJobs:
+    def test_class_zero_is_lowest_power(self):
+        jobs = {
+            "cold": synthetic_series(700.0, seed=1),
+            "hot": synthetic_series(1800.0, seed=2),
+        }
+        classes = classify_jobs(jobs, k=2, seed=4)
+        assert classes["cold"] == 0
+        assert classes["hot"] == 1
+
+
+class TestTopDownExperiment:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return topdown.run()
+
+    def test_rediscovers_bottom_up_taxonomy(self, result):
+        """The §VI-B prerequisite: the statistical route agrees with the
+        application-knowledge route."""
+        assert result.agreement() == 1.0
+
+    def test_higher_order_jobs_in_high_class(self, result):
+        for name in ("Si256_hse", "B.hR105_hse", "Si128_acfdtr"):
+            assert result.assigned[name] == 1
+
+    def test_milc_lands_in_dft_class(self, result):
+        assert result.assigned["milc_medium"] == 0
+        assert result.assigned["milc_small"] == 0
+
+    def test_render(self, result):
+        text = topdown.render(result)
+        assert "agreement: 100%" in text

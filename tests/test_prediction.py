@@ -1,0 +1,112 @@
+"""Tests for the power-prediction extension (Section VI-C)."""
+
+import numpy as np
+import pytest
+
+from repro.prediction import (
+    FEATURE_NAMES,
+    PowerPredictor,
+    TrainingSample,
+    evaluate,
+    feature_vector,
+    training_corpus,
+)
+from repro.vasp.benchmarks import benchmark, silicon_workload
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return training_corpus(seed=13)
+
+
+class TestFeatures:
+    def test_feature_length_matches_names(self):
+        features = feature_vector(benchmark("PdO2").build(), 1)
+        assert features.shape == (len(FEATURE_NAMES),)
+
+    def test_bias_first(self):
+        features = feature_vector(benchmark("PdO2").build(), 1)
+        assert features[0] == 1.0
+
+    def test_method_one_hots(self):
+        hse = feature_vector(benchmark("Si256_hse").build(), 1)
+        rpa = feature_vector(benchmark("Si128_acfdtr").build(), 1)
+        dft = feature_vector(benchmark("PdO4").build(), 1)
+        idx_hse = FEATURE_NAMES.index("is_hse")
+        idx_rpa = FEATURE_NAMES.index("is_rpa")
+        assert hse[idx_hse] == 1.0 and hse[idx_rpa] == 0.0
+        assert rpa[idx_rpa] == 1.0 and rpa[idx_hse] == 0.0
+        assert dft[idx_hse] == 0.0 and dft[idx_rpa] == 0.0
+
+    def test_nodes_enter_via_bands_and_lognodes(self):
+        a = feature_vector(benchmark("PdO4").build(), 1)
+        b = feature_vector(benchmark("PdO4").build(), 4)
+        idx_bands = FEATURE_NAMES.index("log_bands_per_rank")
+        idx_nodes = FEATURE_NAMES.index("log_nodes")
+        assert b[idx_bands] < a[idx_bands]
+        assert b[idx_nodes] == 2.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            feature_vector(benchmark("PdO4").build(), 0)
+
+
+class TestPowerPredictor:
+    def test_requires_fit_before_predict(self):
+        with pytest.raises(RuntimeError):
+            PowerPredictor().predict(benchmark("PdO2").build())
+
+    def test_requires_enough_samples(self):
+        workload = silicon_workload(64, "dft_normal")
+        samples = [TrainingSample.from_run(workload, 1, 800.0)] * 3
+        with pytest.raises(ValueError, match="samples"):
+            PowerPredictor().fit(samples)
+
+    def test_fit_predict_roundtrip(self, corpus):
+        predictor = PowerPredictor().fit(corpus)
+        assert predictor.is_fitted
+        prediction = predictor.predict(benchmark("Si256_hse").build(), 1)
+        assert 400.0 < prediction < 2350.0
+
+    def test_in_sample_accuracy(self, corpus):
+        predictor = PowerPredictor().fit(corpus)
+        errors = [
+            abs(predictor.predict_features(s.features) - s.hpm_w) / s.hpm_w
+            for s in corpus
+        ]
+        assert float(np.mean(errors)) < 0.10
+
+    def test_coefficients_interpretable(self, corpus):
+        coeffs = PowerPredictor().fit(corpus).coefficients()
+        assert set(coeffs) == set(FEATURE_NAMES)
+        # Higher-order methods raise power: positive method weights.
+        assert coeffs["is_hse"] > 0.0
+        assert coeffs["is_rpa"] > 0.0
+
+    def test_predicts_method_ordering(self, corpus):
+        """The predictor reproduces the paper's key qualitative facts."""
+        predictor = PowerPredictor().fit(corpus)
+        hse = predictor.predict(benchmark("Si256_hse").build(), 1)
+        gaas = predictor.predict(benchmark("GaAsBi-64").build(), 1)
+        pdo4 = predictor.predict(benchmark("PdO4").build(), 1)
+        pdo2 = predictor.predict(benchmark("PdO2").build(), 1)
+        assert hse > pdo4 > gaas
+        assert pdo4 > pdo2
+
+    def test_sample_validation(self):
+        with pytest.raises(ValueError):
+            TrainingSample.from_run(benchmark("PdO2").build(), 1, -5.0)
+
+    def test_ridge_validation(self):
+        with pytest.raises(ValueError):
+            PowerPredictor(ridge_lambda=-1.0)
+
+
+class TestEvaluation:
+    def test_leave_one_workload_out(self, corpus):
+        report = evaluate(corpus)
+        # Every workload held out once.
+        assert len(report.per_workload_ape) == len({s.workload_name for s in corpus})
+        # Deployable accuracy on unseen workloads.
+        assert report.mape < 0.15
+        assert report.worst_ape < 0.50

@@ -1,0 +1,62 @@
+"""Tests for directory-level VASP input handling."""
+
+import pytest
+
+from repro.capping.policy import classify_workload
+from repro.vasp.benchmarks import BENCHMARKS, benchmark
+from repro.vasp.inputs import load_workload, write_workload
+from repro.vasp.kpoints import KpointMesh
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("name", list(BENCHMARKS))
+    def test_every_benchmark_roundtrips(self, name, tmp_path):
+        original = benchmark(name).build()
+        job_dir = write_workload(original, tmp_path / name)
+        loaded = load_workload(job_dir, nplwv_override=original.nplwv_override)
+        assert loaded.incar == original.incar
+        assert loaded.structure.species == original.structure.species
+        assert loaded.kpoints == original.kpoints
+        assert loaded.nbands == original.nbands
+        assert loaded.nelect == original.nelect
+        assert loaded.nplwv == original.nplwv
+
+    def test_classification_survives_roundtrip(self, tmp_path):
+        """The scheduler-side classification works from files alone."""
+        for name in ("Si256_hse", "PdO4"):
+            original = benchmark(name).build()
+            loaded = load_workload(write_workload(original, tmp_path / name))
+            assert classify_workload(loaded) is classify_workload(original)
+
+    def test_loaded_workload_runs(self, tmp_path):
+        from repro.vasp.parallel import ParallelConfig
+
+        original = benchmark("PdO2").build()
+        loaded = load_workload(
+            write_workload(original, tmp_path / "job"),
+            nplwv_override=original.nplwv_override,
+        )
+        phases = loaded.phases(ParallelConfig(1))
+        assert len(phases) > 2
+
+
+class TestErrors:
+    def test_missing_incar(self, tmp_path):
+        with pytest.raises(FileNotFoundError, match="INCAR"):
+            load_workload(tmp_path)
+
+    def test_missing_poscar(self, tmp_path):
+        (tmp_path / "INCAR").write_text("ENCUT = 245\n")
+        with pytest.raises(FileNotFoundError, match="POSCAR"):
+            load_workload(tmp_path)
+
+    def test_missing_kpoints_defaults_to_gamma(self, tmp_path):
+        original = benchmark("PdO2").build()
+        job_dir = write_workload(original, tmp_path / "job")
+        (job_dir / "KPOINTS").unlink()
+        loaded = load_workload(job_dir)
+        assert loaded.kpoints == KpointMesh(1, 1, 1)
+
+    def test_default_name_is_directory(self, tmp_path):
+        job_dir = write_workload(benchmark("PdO2").build(), tmp_path / "my_pdo_run")
+        assert load_workload(job_dir).name == "my_pdo_run"

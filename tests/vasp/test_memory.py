@@ -1,0 +1,72 @@
+"""Tests for HBM memory estimation."""
+
+import pytest
+
+from repro.vasp.benchmarks import BENCHMARKS, silicon_workload
+from repro.vasp.memory import MemoryEstimate, estimate_memory, minimum_nodes
+from repro.vasp.parallel import ParallelConfig
+
+
+class TestMemoryEstimate:
+    def test_total_is_sum(self):
+        est = MemoryEstimate(1.0, 2.0, 3.0, 4.0, 5.0)
+        assert est.total_gib == pytest.approx(15.0)
+
+    def test_fits_headroom(self):
+        est = MemoryEstimate(30.0, 0.0, 0.0, 0.0, 5.0)
+        assert est.fits(hbm_gib=40.0, headroom=0.9)
+        assert not est.fits(hbm_gib=40.0, headroom=0.8)
+
+    def test_fits_validation(self):
+        with pytest.raises(ValueError):
+            MemoryEstimate(1, 1, 1, 1, 1).fits(headroom=0.0)
+
+
+class TestBenchmarkFootprints:
+    @pytest.mark.parametrize("name", list(BENCHMARKS))
+    def test_all_benchmarks_fit_one_node(self, name):
+        """The published benchmarks were run at 1 node, so they must fit."""
+        spec = BENCHMARKS[name].build().spec()
+        est = estimate_memory(spec, ParallelConfig(1, kpar=spec.kpar))
+        assert est.fits()
+        assert minimum_nodes(spec) == 1
+
+    def test_higher_order_needs_more_memory(self):
+        """Paper §IV-D: HSE/ACFDTR 'require more memory'."""
+        hse = silicon_workload(256, "hse").spec()
+        rpa = silicon_workload(256, "acfdtr").spec()
+        dft = silicon_workload(256, "dft_normal").spec()
+        layout = ParallelConfig(1)
+        mem_dft = estimate_memory(dft, layout).total_gib
+        assert estimate_memory(hse, layout).total_gib > mem_dft
+        assert estimate_memory(rpa, layout).total_gib > mem_dft
+        assert estimate_memory(hse, layout).method_extra_gib > 0
+
+    def test_memory_grows_with_system_size(self):
+        layout = ParallelConfig(1)
+        totals = [
+            estimate_memory(silicon_workload(n, "dft_normal").spec(), layout).total_gib
+            for n in (256, 1024, 4096)
+        ]
+        assert totals == sorted(totals)
+        assert totals[-1] > 5 * totals[0]
+
+    def test_big_supercell_needs_multiple_nodes(self):
+        """Si4096 blows the 40 GB HBM at one node; more nodes shrink the
+        per-GPU share."""
+        spec = silicon_workload(4096, "dft_normal").spec()
+        assert not estimate_memory(spec, ParallelConfig(1)).fits()
+        needed = minimum_nodes(spec)
+        assert needed > 1
+        assert estimate_memory(spec, ParallelConfig(needed)).fits()
+
+    def test_more_nodes_less_memory_per_gpu(self):
+        spec = silicon_workload(2048, "dft_normal").spec()
+        one = estimate_memory(spec, ParallelConfig(1)).total_gib
+        four = estimate_memory(spec, ParallelConfig(4)).total_gib
+        assert four < one
+
+    def test_minimum_nodes_unsatisfiable(self):
+        spec = silicon_workload(4096, "dft_normal").spec()
+        with pytest.raises(ValueError, match="does not fit"):
+            minimum_nodes(spec, max_nodes=1)

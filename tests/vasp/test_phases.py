@@ -1,0 +1,44 @@
+"""Unit tests for the MacroPhase container."""
+
+import pytest
+
+from repro.perfmodel.kernels import KernelCatalogue
+from repro.vasp.phases import MacroPhase, total_duration_s
+
+
+def make_phase(duration: float = 5.0, **overrides) -> MacroPhase:
+    kwargs = dict(
+        name="test",
+        duration_s=duration,
+        gpu_profile=KernelCatalogue.FFT_BATCHED,
+    )
+    kwargs.update(overrides)
+    return MacroPhase(**kwargs)
+
+
+class TestMacroPhase:
+    def test_validates_duration(self):
+        with pytest.raises(ValueError):
+            make_phase(duration=-1.0)
+
+    def test_validates_host_utilizations(self):
+        with pytest.raises(ValueError):
+            make_phase(cpu_utilization=1.5)
+        with pytest.raises(ValueError):
+            make_phase(nic_utilization=-0.1)
+
+    def test_stretched(self):
+        phase = make_phase(duration=4.0)
+        assert phase.stretched(1.5).duration_s == pytest.approx(6.0)
+        assert phase.duration_s == 4.0  # frozen original
+
+    def test_stretched_rejects_negative(self):
+        with pytest.raises(ValueError):
+            make_phase().stretched(-0.5)
+
+    def test_total_duration(self):
+        phases = [make_phase(1.0), make_phase(2.5), make_phase(0.5)]
+        assert total_duration_s(phases) == pytest.approx(4.0)
+
+    def test_total_duration_empty(self):
+        assert total_duration_s([]) == 0.0

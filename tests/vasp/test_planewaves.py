@@ -1,0 +1,113 @@
+"""Unit tests for plane-wave and FFT-grid sizing rules."""
+
+import pytest
+
+from repro.vasp.planewaves import (
+    default_nbands,
+    fft_grid,
+    gcut_inv_angstrom,
+    n_plane_waves_sphere,
+    next_fft_size,
+    nplwv,
+)
+from repro.vasp.poscar import silicon_supercell
+
+
+class TestGcut:
+    def test_scales_as_sqrt_energy(self):
+        assert gcut_inv_angstrom(400.0) == pytest.approx(2 * gcut_inv_angstrom(100.0))
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            gcut_inv_angstrom(0.0)
+
+
+class TestNextFftSize:
+    @pytest.mark.parametrize("n,expected", [(1, 2), (79, 80), (80, 80), (81, 84), (149, 150)])
+    def test_values(self, n, expected):
+        assert next_fft_size(n) == expected
+
+    def test_always_even_and_smooth(self):
+        for n in range(1, 300):
+            size = next_fft_size(n)
+            assert size >= n
+            assert size % 2 == 0
+            m = size
+            for radix in (2, 3, 5, 7):
+                while m % radix == 0:
+                    m //= radix
+            assert m == 1
+
+    def test_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            next_fft_size(0)
+
+
+class TestFftGrid:
+    def test_si256_hse_grid_matches_table1(self):
+        """A 4x4x4-sized silicon edge at ENCUT=245 gives the published 80."""
+        grid = fft_grid(245.0, [21.72, 21.72, 21.72])
+        assert grid == (80, 80, 80)
+
+    def test_grid_monotone_in_cutoff(self):
+        lengths = silicon_supercell(2).lattice_lengths
+        g_low = fft_grid(150.0, lengths)
+        g_high = fft_grid(500.0, lengths)
+        assert all(h >= l for h, l in zip(g_high, g_low))
+
+    def test_grid_monotone_in_length(self):
+        g_small = fft_grid(245.0, [10.0, 10.0, 10.0])
+        g_large = fft_grid(245.0, [20.0, 20.0, 20.0])
+        assert all(l >= s for l, s in zip(g_large, g_small))
+
+    def test_anisotropic_cell(self):
+        g = fft_grid(245.0, [10.86, 10.86, 21.72])
+        assert g[0] == g[1]
+        assert g[2] > g[0]
+
+    def test_rejects_bad_lengths(self):
+        with pytest.raises(ValueError):
+            fft_grid(245.0, [1.0, 2.0])
+        with pytest.raises(ValueError):
+            fft_grid(245.0, [1.0, -2.0, 3.0])
+
+    def test_nplwv_is_grid_product(self):
+        lengths = [21.72, 21.72, 10.86]
+        g = fft_grid(245.0, lengths)
+        assert nplwv(245.0, lengths) == g[0] * g[1] * g[2]
+
+
+class TestSphereCount:
+    def test_sphere_smaller_than_grid(self):
+        cell = silicon_supercell(4)
+        sphere = n_plane_waves_sphere(245.0, cell.volume)
+        grid = nplwv(245.0, cell.lattice_lengths)
+        assert 0 < sphere < grid
+
+    def test_scales_with_volume(self):
+        assert n_plane_waves_sphere(245.0, 2000.0) == pytest.approx(
+            2 * n_plane_waves_sphere(245.0, 1000.0), rel=0.01
+        )
+
+    def test_rejects_bad_volume(self):
+        with pytest.raises(ValueError):
+            n_plane_waves_sphere(245.0, -1.0)
+
+
+class TestDefaultNbands:
+    def test_si256_hse_default(self):
+        """Table I: 1020 electrons, 255 ions -> NBANDS 640."""
+        assert default_nbands(1020, 255) == 640
+
+    def test_rounds_up_to_multiple(self):
+        assert default_nbands(100, 10) % 8 == 0
+        assert default_nbands(100, 10) >= 100 / 2 + 10 / 2
+
+    def test_monotone_in_electrons(self):
+        assert default_nbands(2000, 100) >= default_nbands(1000, 100)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            default_nbands(0, 10)
+        with pytest.raises(ValueError):
+            default_nbands(10, 10, multiple=0)

@@ -1,0 +1,163 @@
+"""Unit tests for the SCF phase generator."""
+
+import pytest
+
+from repro.perfmodel.power import demand_power_w
+from repro.units.constants import A100_40GB
+from repro.vasp.methods import Algorithm, Functional
+from repro.vasp.parallel import ParallelConfig
+from repro.vasp.phases import total_duration_s
+from repro.vasp.scf import (
+    CostModel,
+    ScfPhaseBuilder,
+    WorkloadSpec,
+    build_phases,
+)
+
+
+def make_spec(**overrides) -> WorkloadSpec:
+    base = dict(
+        name="test",
+        functional=Functional.GGA,
+        algo=Algorithm.VERYFAST,
+        nplwv=259200,
+        nbands=1024,
+        nelect=1644.0,
+        n_ions=174,
+        nelm=10,
+    )
+    base.update(overrides)
+    return WorkloadSpec(**base)
+
+
+class TestWorkloadSpec:
+    def test_n_occupied(self):
+        assert make_spec(nelect=1644.0).n_occupied == 822.0
+
+    def test_kpar_validation(self):
+        with pytest.raises(ValueError):
+            make_spec(kpar=2, irreducible_kpoints=1)
+
+    def test_kpoints_per_group(self):
+        spec = make_spec(irreducible_kpoints=33, kpar=2)
+        assert spec.kpoints_per_group() == 17
+
+    def test_rejects_bad_sizes(self):
+        with pytest.raises(ValueError):
+            make_spec(nplwv=0)
+        with pytest.raises(ValueError):
+            make_spec(nelect=-1.0)
+
+
+class TestPhaseGeneration:
+    def test_starts_and_ends_with_bookkeeping(self):
+        phases = build_phases(make_spec(), ParallelConfig(1))
+        assert phases[0].name == "startup"
+        assert phases[-1].name == "finalize"
+
+    def test_dft_iteration_structure(self):
+        phases = build_phases(make_spec(nelm=3), ParallelConfig(1))
+        names = {p.name for p in phases}
+        assert {"orbital_update_fft", "projector", "subspace_diag", "scf_comm"} <= names
+
+    def test_phase_count_scales_with_nelm(self):
+        few = build_phases(make_spec(nelm=3), ParallelConfig(1))
+        many = build_phases(make_spec(nelm=9), ParallelConfig(1))
+        assert len(many) > len(few)
+
+    def test_hse_has_exchange_phase(self):
+        spec = make_spec(functional=Functional.HSE, algo=Algorithm.DAMPED, nelm=3)
+        phases = build_phases(spec, ParallelConfig(1))
+        assert any(p.name == "exact_exchange" for p in phases)
+
+    def test_acfdtr_structure(self):
+        spec = make_spec(
+            functional=Functional.ACFDT_RPA,
+            algo=Algorithm.ACFDTR,
+            nbandsexact=4096,
+            nelm=8,
+        )
+        phases = build_phases(spec, ParallelConfig(1))
+        names = [p.name for p in phases]
+        assert "exact_diag_host" in names
+        assert "rpa_chi0_gemm" in names
+        # Host section really is host-only.
+        host = next(p for p in phases if p.name == "exact_diag_host")
+        assert host.gpu_profile.duty_cycle == 0.0
+        assert host.cpu_utilization > 0.5
+
+    def test_fast_mixes_davidson_and_rmm(self):
+        spec = make_spec(algo=Algorithm.FAST, nelm=10)
+        phases = build_phases(spec, ParallelConfig(1))
+        assert any(p.name == "subspace_diag" for p in phases)
+
+    def test_vdw_adds_correction_phase(self):
+        phases = build_phases(make_spec(functional=Functional.VDW), ParallelConfig(1))
+        assert any(p.name == "vdw_correction" for p in phases)
+
+    def test_all_durations_positive(self):
+        for algo in (Algorithm.NORMAL, Algorithm.VERYFAST, Algorithm.FAST, Algorithm.ALL):
+            phases = build_phases(make_spec(algo=algo, nelm=2), ParallelConfig(1))
+            assert all(p.duration_s > 0 for p in phases)
+
+
+class TestScalingBehaviour:
+    def test_more_nodes_shorter_runtime(self):
+        spec = make_spec(nelm=5)
+        t1 = total_duration_s(build_phases(spec, ParallelConfig(1)))
+        t4 = total_duration_s(build_phases(spec, ParallelConfig(4)))
+        assert t4 < t1
+
+    def test_more_bands_longer_runtime_same_power(self):
+        """The Fig 7 right-panel mechanism, at phase level."""
+        p_small = build_phases(make_spec(nbands=512, nelm=3), ParallelConfig(1))
+        p_large = build_phases(make_spec(nbands=1024, nelm=3), ParallelConfig(1))
+        assert total_duration_s(p_large) > total_duration_s(p_small)
+        fft_small = next(p for p in p_small if p.name == "orbital_update_fft")
+        fft_large = next(p for p in p_large if p.name == "orbital_update_fft")
+        d_small = demand_power_w(fft_small.gpu_profile, A100_40GB)
+        d_large = demand_power_w(fft_large.gpu_profile, A100_40GB)
+        assert d_large == pytest.approx(d_small, rel=0.02)
+
+    def test_more_planewaves_higher_power(self):
+        """The Fig 7 left-panel mechanism, at phase level."""
+        p_small = build_phases(make_spec(nplwv=129600, nelm=3), ParallelConfig(1))
+        p_large = build_phases(make_spec(nplwv=518400, nelm=3), ParallelConfig(1))
+        fft_small = next(p for p in p_small if p.name == "orbital_update_fft")
+        fft_large = next(p for p in p_large if p.name == "orbital_update_fft")
+        assert demand_power_w(fft_large.gpu_profile, A100_40GB) > demand_power_w(
+            fft_small.gpu_profile, A100_40GB
+        )
+
+    def test_kpoint_churn_lowers_duty(self):
+        many_k = make_spec(irreducible_kpoints=33)
+        one_k = make_spec(irreducible_kpoints=1)
+        duty_many = ScfPhaseBuilder(many_k, ParallelConfig(1))._duty()
+        duty_one = ScfPhaseBuilder(one_k, ParallelConfig(1))._duty()
+        assert duty_many < duty_one
+
+    def test_kpar_mismatch_reconciled(self):
+        spec = make_spec(kpar=2, irreducible_kpoints=4)
+        builder = ScfPhaseBuilder(spec, ParallelConfig(1, kpar=1))
+        assert builder.parallel.kpar == 2
+
+
+class TestCostModel:
+    def test_defaults_cover_all_algorithms(self):
+        costs = CostModel()
+        for algo in Algorithm:
+            assert costs.fft_passes_for(algo) > 0
+            assert costs.subspace_scale_for(algo) > 0
+
+    def test_custom_tables(self):
+        costs = CostModel(fft_passes={a.value: 1.0 for a in Algorithm})
+        assert costs.fft_passes_for(Algorithm.NORMAL) == 1.0
+
+    def test_time_efficiency_validation(self):
+        from repro.perfmodel.kernels import KernelCatalogue
+
+        builder = ScfPhaseBuilder(make_spec(), ParallelConfig(1))
+        with pytest.raises(ValueError):
+            builder._gpu_phase(
+                "x", KernelCatalogue.FFT_BATCHED, 8.0, 1e9, 1e9, time_efficiency=0.0
+            )
