@@ -7,17 +7,17 @@ crossovers fall).  Run with::
 
     pytest benchmarks/ --benchmark-only
 
-Experiments are deterministic; one round per bench keeps total wall time
-reasonable while still producing timing data.
+Experiments are deterministic; three rounds per bench give a usable
+spread (min/mean) for regression comparison at acceptable wall time.
 """
 
 import pytest
 
 
 def run_experiment(benchmark, run_fn, render_fn=None, **kwargs):
-    """Time an experiment once and print its rendering."""
+    """Time an experiment over three rounds and print its rendering."""
     result = benchmark.pedantic(
-        lambda: run_fn(**kwargs), rounds=1, iterations=1, warmup_rounds=0
+        lambda: run_fn(**kwargs), rounds=3, iterations=1, warmup_rounds=0
     )
     if render_fn is not None:
         print()

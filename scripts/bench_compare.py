@@ -1,0 +1,158 @@
+"""Compare benchmark timings against the committed baseline.
+
+Runs the benchmark suite with pytest-benchmark's JSON output, then diffs
+each bench's mean time against ``BENCH_BASELINE.json`` at the repo root.
+Grid-sweep benches (names containing ``sweep``) are the guarded series:
+any of them regressing by more than the threshold (20 % by default)
+fails the script.  Other benches are reported but only warn.
+
+Usage::
+
+    python scripts/bench_compare.py              # run + compare
+    python scripts/bench_compare.py --update     # run + rewrite baseline
+    python scripts/bench_compare.py --json out.json --no-run  # compare only
+
+Timings are host-dependent; regenerate the baseline (``--update``) when
+benchmarking hardware changes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BASELINE_PATH = REPO_ROOT / "BENCH_BASELINE.json"
+#: Benches guarded against regression (substring match on the test name).
+GUARDED_SUBSTRING = "sweep"
+DEFAULT_THRESHOLD = 0.20
+
+
+def run_benchmarks(json_path: Path) -> None:
+    """Run the benchmark suite, writing pytest-benchmark JSON output."""
+    cmd = [
+        sys.executable,
+        "-m",
+        "pytest",
+        "benchmarks/",
+        "--benchmark-only",
+        f"--benchmark-json={json_path}",
+        "-q",
+    ]
+    result = subprocess.run(cmd, cwd=REPO_ROOT)
+    if result.returncode != 0:
+        raise SystemExit(f"benchmark run failed (exit {result.returncode})")
+
+
+def extract_means(json_path: Path) -> dict[str, float]:
+    """Bench name -> mean seconds from a pytest-benchmark JSON file."""
+    data = json.loads(json_path.read_text())
+    return {
+        bench["name"]: float(bench["stats"]["mean"])
+        for bench in data.get("benchmarks", [])
+    }
+
+
+def write_baseline(means: dict[str, float], machine_note: str = "") -> None:
+    """Write the committed baseline file."""
+    payload = {
+        "note": (
+            "Benchmark baseline for scripts/bench_compare.py. Mean seconds "
+            "per bench; regenerate with --update when hardware changes."
+        ),
+        "machine": machine_note,
+        "threshold": DEFAULT_THRESHOLD,
+        "guarded_substring": GUARDED_SUBSTRING,
+        "benchmarks": {name: {"mean_s": mean} for name, mean in sorted(means.items())},
+    }
+    BASELINE_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {BASELINE_PATH} ({len(means)} benches)")
+
+
+def compare(means: dict[str, float], threshold: float) -> int:
+    """Diff current means against the baseline; return the exit code."""
+    if not BASELINE_PATH.is_file():
+        print(f"no baseline at {BASELINE_PATH}; run with --update to create one")
+        return 1
+    baseline = json.loads(BASELINE_PATH.read_text())
+    base_means = {
+        name: entry["mean_s"] for name, entry in baseline["benchmarks"].items()
+    }
+    failures = []
+    print(f"{'bench':<42} {'base (s)':>10} {'now (s)':>10} {'delta':>8}")
+    for name in sorted(set(base_means) | set(means)):
+        base = base_means.get(name)
+        now = means.get(name)
+        guarded = GUARDED_SUBSTRING in name
+        if base is None:
+            print(f"{name:<42} {'-':>10} {now:>10.4f}   (new)")
+            continue
+        if now is None:
+            print(f"{name:<42} {base:>10.4f} {'-':>10}   (missing)")
+            if guarded:
+                failures.append(f"{name}: guarded bench missing from this run")
+            continue
+        delta = (now - base) / base
+        marker = ""
+        if delta > threshold:
+            marker = " REGRESSION" if guarded else " (slower; unguarded)"
+            if guarded:
+                failures.append(f"{name}: {delta:+.0%} vs baseline (> {threshold:.0%})")
+        print(f"{name:<42} {base:>10.4f} {now:>10.4f} {delta:>+7.0%}{marker}")
+    if failures:
+        print("\nguarded benches regressed:")
+        for line in failures:
+            print(f"  - {line}")
+        return 1
+    print("\nno guarded regressions")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--update", action="store_true", help="rewrite BENCH_BASELINE.json"
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=DEFAULT_THRESHOLD,
+        help="relative slowdown that fails a guarded bench (default 0.20)",
+    )
+    parser.add_argument(
+        "--json",
+        type=Path,
+        default=None,
+        help="pytest-benchmark JSON file to reuse (skips running with --no-run)",
+    )
+    parser.add_argument(
+        "--no-run",
+        action="store_true",
+        help="do not run the suite; requires --json",
+    )
+    args = parser.parse_args()
+
+    if args.no_run:
+        if args.json is None:
+            parser.error("--no-run requires --json")
+        json_path = args.json
+    else:
+        json_path = args.json or Path(tempfile.mkstemp(suffix=".json")[1])
+        run_benchmarks(json_path)
+
+    means = extract_means(json_path)
+    if not means:
+        print("no benchmark results found")
+        return 1
+    if args.update:
+        write_baseline(means)
+        return 0
+    return compare(means, args.threshold)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

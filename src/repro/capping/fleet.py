@@ -28,6 +28,7 @@ from repro.capping.scheduler import (
     ScheduleResult,
     SchedulerConfig,
 )
+from repro.runner.sweep import SweepExecutor
 from repro.vasp.benchmarks import BENCHMARKS
 
 #: Production-like mix weights: basic DFT dominates NERSC's VASP cycles,
@@ -148,18 +149,35 @@ def simulate_fleet(
     )
 
 
+def _policy_task(
+    task: tuple[bool, str, int, int, float | None, int]
+) -> FleetReport:
+    """Worker-side task: one policy over a regenerated job stream.
+
+    The stream is rebuilt from ``seed`` inside the worker (cheap and
+    deterministic), so only this small task tuple crosses the pool
+    boundary.
+    """
+    capped, policy_name, n_jobs, n_nodes, power_budget_w, seed = task
+    policy = CapPolicy.half_tdp() if capped else CapPolicy.uncapped()
+    jobs = job_stream(n_jobs=n_jobs, seed=seed)
+    return simulate_fleet(jobs, policy, policy_name, n_nodes, power_budget_w)
+
+
 def compare_fleet_policies(
     n_jobs: int = 24,
     n_nodes: int = 16,
     power_budget_w: float | None = None,
     seed: int = 0,
 ) -> tuple[FleetReport, FleetReport]:
-    """(capped, uncapped) fleet reports for the same job stream."""
-    jobs = job_stream(n_jobs=n_jobs, seed=seed)
-    capped = simulate_fleet(
-        jobs, CapPolicy.half_tdp(), "50% TDP policy", n_nodes, power_budget_w
-    )
-    uncapped = simulate_fleet(
-        jobs, CapPolicy.uncapped(), "uncapped", n_nodes, power_budget_w
-    )
+    """(capped, uncapped) fleet reports for the same job stream.
+
+    The two policies are independent simulations over the same seeded
+    stream, so they execute as one two-task sweep.
+    """
+    tasks = [
+        (True, "50% TDP policy", n_jobs, n_nodes, power_budget_w, seed),
+        (False, "uncapped", n_jobs, n_nodes, power_budget_w, seed),
+    ]
+    capped, uncapped = SweepExecutor().map(_policy_task, tasks)
     return capped, uncapped

@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 from repro.hardware.gpu import A100Gpu
 from repro.hardware.variability import ManufacturingVariation
 from repro.perfmodel.power import demand_power_w, duty_cycle_power_w
+from repro.runner.cache import RunCache, caching_disabled, fingerprint
 from repro.units.constants import A100_40GB, PERLMUTTER_GPU_NODE
 from repro.vasp.parallel import ParallelConfig
 from repro.vasp.workload import VaspWorkload
@@ -88,6 +89,33 @@ def estimate_run(
     mean_power = total_energy / total_time if total_time > 0 else _IDLE_NODE_W
     return RunEstimate(
         runtime_s=total_time, mean_node_power_w=mean_power, peak_node_power_w=peak
+    )
+
+
+#: Memoized estimates: scheduling cycles re-estimate the same (workload,
+#: nodes, cap) triples thousands of times, and the estimator is pure.
+_ESTIMATE_CACHE = RunCache(maxsize=1024)
+
+
+def estimate_cache() -> RunCache:
+    """The process-wide cache behind :func:`cached_estimate_run`."""
+    return _ESTIMATE_CACHE
+
+
+def cached_estimate_run(
+    workload: VaspWorkload, n_nodes: int, cap_w: float | None = None
+) -> RunEstimate:
+    """Content-keyed memoization of :func:`estimate_run`.
+
+    The estimator is deterministic (nominal GPU, no sampling), so the
+    result is fully identified by the workload fingerprint, node count
+    and cap.  ``REPRO_CACHE=0`` bypasses the cache.
+    """
+    if caching_disabled():
+        return estimate_run(workload, n_nodes, cap_w)
+    key = fingerprint("estimate_run", workload, n_nodes, cap_w)
+    return _ESTIMATE_CACHE.get_or_compute(
+        key, lambda: estimate_run(workload, n_nodes, cap_w)
     )
 
 
@@ -212,7 +240,7 @@ class PowerAwareScheduler:
                         f"job {job.job_id} wants {job.n_nodes} nodes; pool has {cfg.n_nodes}"
                     )
                 cap = cfg.policy.cap_for(job.workload)
-                estimate = estimate_run(job.workload, job.n_nodes, cap)
+                estimate = cached_estimate_run(job.workload, job.n_nodes, cap)
                 idle_after = free_nodes - job.n_nodes
                 projected = (
                     running_power

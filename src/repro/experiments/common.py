@@ -12,6 +12,7 @@ from dataclasses import dataclass
 
 from repro.analysis.stats import DistributionSummary, summarize
 from repro.hardware.node import GpuNode
+from repro.runner.cache import RunCache, caching_disabled, disk_dir_from_env, fingerprint
 from repro.runner.engine import EngineConfig, PowerEngine
 from repro.runner.trace import PowerTrace, RunResult
 from repro.telemetry.downsample import downsample_trace
@@ -20,6 +21,17 @@ from repro.vasp.workload import VaspWorkload
 
 #: The effective telemetry cadence of the paper's data (Section II-B).
 TELEMETRY_INTERVAL_S: float = 2.0
+
+#: Process-wide memoization of run_workload results.  Content-keyed on
+#: (workload fingerprint, node count, cap, seed, engine config); see
+#: :mod:`repro.runner.cache`.  ``REPRO_CACHE=0`` bypasses it entirely;
+#: ``REPRO_CACHE_DIR`` adds an on-disk layer shared across processes.
+_RUN_CACHE = RunCache(maxsize=256, disk_dir=disk_dir_from_env())
+
+
+def run_cache() -> RunCache:
+    """The process-wide :class:`RunCache` behind :func:`run_workload`."""
+    return _RUN_CACHE
 
 
 def make_nodes(n: int, first: int = 1000) -> list[GpuNode]:
@@ -61,16 +73,51 @@ def run_workload(
     seed: int = 7,
     engine_config: EngineConfig | None = None,
     nodes: list[GpuNode] | None = None,
+    use_cache: bool = True,
 ) -> MeasuredRun:
     """Run a workload through the full pipeline.
 
     ``gpu_cap_w`` applies an ``nvidia-smi -pl``-style cap to every GPU
     before launch (None = default TDP limit).
+
+    Results are memoized in :func:`run_cache` keyed by content — the
+    pipeline is deterministic, so a repeated grid point is a lookup, not a
+    re-run.  Caching only applies when ``nodes`` is None (caller-supplied
+    node pools carry external state); treat cached results as immutable.
+    Set ``use_cache=False`` (or ``REPRO_CACHE=0``) to force execution.
     """
     if nodes is None:
-        nodes = make_nodes(n_nodes)
-    elif len(nodes) != n_nodes:
+        if use_cache and not caching_disabled():
+            key = fingerprint(
+                "run_workload",
+                workload,
+                n_nodes,
+                gpu_cap_w,
+                seed,
+                engine_config,
+                TELEMETRY_INTERVAL_S,
+            )
+            return _RUN_CACHE.get_or_compute(
+                key,
+                lambda: _execute_run(workload, n_nodes, gpu_cap_w, seed, engine_config),
+            )
+        return _execute_run(workload, n_nodes, gpu_cap_w, seed, engine_config)
+    if len(nodes) != n_nodes:
         raise ValueError(f"got {len(nodes)} nodes for n_nodes={n_nodes}")
+    return _execute_run(workload, n_nodes, gpu_cap_w, seed, engine_config, nodes)
+
+
+def _execute_run(
+    workload: VaspWorkload,
+    n_nodes: int,
+    gpu_cap_w: float | None,
+    seed: int,
+    engine_config: EngineConfig | None,
+    nodes: list[GpuNode] | None = None,
+) -> MeasuredRun:
+    """The uncached pipeline body behind :func:`run_workload`."""
+    if nodes is None:
+        nodes = make_nodes(n_nodes)
     for node in nodes:
         if gpu_cap_w is None:
             node.reset_gpu_power_limit()

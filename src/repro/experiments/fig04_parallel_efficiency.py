@@ -10,8 +10,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.analysis.efficiency import ScalingPoint, scaling_table
-from repro.capping.scheduler import estimate_run
 from repro.experiments.report import format_table
+from repro.runner.sweep import EstimateSpec, SweepExecutor
 from repro.vasp.benchmarks import BENCHMARKS
 
 #: The paper's recommended minimum parallel efficiency.
@@ -52,14 +52,20 @@ def run() -> Fig04Result:
     """Compute the scaling curves with the analytic estimator.
 
     Runtimes come from the deterministic run estimator (no noise), which
-    is what parallel-efficiency ratios should be based on.
+    is what parallel-efficiency ratios should be based on.  The whole
+    benchmark x node-count grid executes through one
+    :class:`~repro.runner.sweep.SweepExecutor` sweep.
     """
+    cases = [(name, case, case.build()) for name, case in BENCHMARKS.items()]
+    specs = [
+        EstimateSpec(workload, n_nodes=n)
+        for _, case, workload in cases
+        for n in case.node_counts
+    ]
+    estimates = iter(SweepExecutor().run(specs))
     curves = []
-    for name, case in BENCHMARKS.items():
-        workload = case.build()
-        runtimes = [
-            estimate_run(workload, n).runtime_s for n in case.node_counts
-        ]
+    for name, case, _ in cases:
+        runtimes = [next(estimates).runtime_s for _ in case.node_counts]
         points = scaling_table(list(case.node_counts), runtimes)
         curves.append(
             EfficiencyCurve(name=name, points=points, optimal_nodes=case.optimal_nodes)

@@ -11,9 +11,19 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.analysis.modes import high_power_mode_w
-from repro.experiments.common import run_workload
 from repro.experiments.report import format_table
+from repro.runner.sweep import RunSpec, SweepExecutor
 from repro.vasp.benchmarks import BENCHMARKS
+
+
+def _node_hpm(spec: RunSpec) -> float:
+    """Worker-side reduction: run a spec, return only the node HPM.
+
+    Module-level so process-pool sweeps pickle the function and ship a
+    float back instead of a full :class:`MeasuredRun`.
+    """
+    measured = spec.execute()
+    return high_power_mode_w(measured.telemetry[0].node_power)
 
 
 @dataclass(frozen=True)
@@ -73,24 +83,29 @@ class Fig05Result:
 
 
 def run(seed: int = 7, node_counts: dict[str, tuple[int, ...]] | None = None) -> Fig05Result:
-    """Measure the HPM of every benchmark at each of its node counts."""
-    curves = []
+    """Measure the HPM of every benchmark at each of its node counts.
+
+    The benchmark x node-count grid runs through one
+    :class:`~repro.runner.sweep.SweepExecutor` sweep, reducing to the HPM
+    inside each worker.
+    """
+    grid: list[tuple[str, tuple[int, ...]]] = []
+    specs: list[RunSpec] = []
     for name, case in BENCHMARKS.items():
-        counts = (node_counts or {}).get(name, case.node_counts)
+        counts = tuple((node_counts or {}).get(name, case.node_counts))
+        grid.append((name, counts))
         workload = case.build()
-        points = []
-        for n in counts:
-            measured = run_workload(workload, n_nodes=n, seed=seed)
-            points.append(
-                PowerPoint(
-                    n_nodes=n,
-                    high_power_mode_w=high_power_mode_w(
-                        measured.telemetry[0].node_power
-                    ),
-                )
-            )
+        specs.extend(RunSpec(workload, n_nodes=n, seed=seed) for n in counts)
+    hpms = iter(SweepExecutor().map(_node_hpm, specs))
+    curves = []
+    for name, counts in grid:
+        points = [
+            PowerPoint(n_nodes=n, high_power_mode_w=next(hpms)) for n in counts
+        ]
         curves.append(
-            WorkloadPowerCurve(name=name, points=points, optimal_nodes=case.optimal_nodes)
+            WorkloadPowerCurve(
+                name=name, points=points, optimal_nodes=BENCHMARKS[name].optimal_nodes
+            )
         )
     return Fig05Result(curves=curves)
 

@@ -11,13 +11,22 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.analysis.modes import high_power_mode_w
-from repro.capping.scheduler import estimate_run
-from repro.experiments.common import run_workload
 from repro.experiments.report import format_table
+from repro.runner.sweep import EstimateSpec, RunSpec, SweepExecutor
 from repro.vasp.benchmarks import BENCHMARKS
 
 #: Node counts swept (Si256_hse's Fig 4/5 sweep).
 NODE_COUNTS: tuple[int, ...] = (1, 2, 4, 8, 16)
+
+
+def _measure(spec: RunSpec) -> tuple[float, float, float]:
+    """Worker-side reduction: (node HPM, runtime, energy) for one spec."""
+    measured = spec.execute()
+    return (
+        high_power_mode_w(measured.telemetry[0].node_power),
+        measured.runtime_s,
+        measured.energy_mj(),
+    )
 
 
 @dataclass(frozen=True)
@@ -49,20 +58,23 @@ class Fig08Result:
 def run(
     node_counts: tuple[int, ...] = NODE_COUNTS, seed: int = 7
 ) -> Fig08Result:
-    """Run Si256_hse at each node count."""
+    """Run Si256_hse at each node count (one sweep for the whole grid)."""
     workload = BENCHMARKS["Si256_hse"].build()
-    ref = estimate_run(workload, node_counts[0]).runtime_s
+    executor = SweepExecutor()
+    estimates = executor.run([EstimateSpec(workload, n_nodes=n) for n in node_counts])
+    ref = estimates[0].runtime_s
+    measured = executor.map(
+        _measure, [RunSpec(workload, n_nodes=n, seed=seed) for n in node_counts]
+    )
     points = []
-    for n in node_counts:
-        measured = run_workload(workload, n_nodes=n, seed=seed)
-        est = estimate_run(workload, n).runtime_s
+    for n, est, (hpm, runtime, energy) in zip(node_counts, estimates, measured):
         points.append(
             ConcurrencyPoint(
                 n_nodes=n,
-                high_power_mode_w=high_power_mode_w(measured.telemetry[0].node_power),
-                runtime_s=measured.runtime_s,
-                energy_mj=measured.energy_mj(),
-                parallel_efficiency=ref / est / (n / node_counts[0]),
+                high_power_mode_w=hpm,
+                runtime_s=runtime,
+                energy_mj=energy,
+                parallel_efficiency=ref / est.runtime_s / (n / node_counts[0]),
             )
         )
     return Fig08Result(points=points)

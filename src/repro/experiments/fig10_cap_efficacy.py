@@ -12,12 +12,18 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.analysis.modes import high_power_mode_w
-from repro.experiments.common import run_workload
 from repro.experiments.report import format_table
+from repro.runner.sweep import RunSpec, SweepExecutor
 from repro.vasp.benchmarks import BENCHMARKS
 
 #: The four power caps of Section V, in watts.
 POWER_CAPS_W: tuple[float, ...] = (400.0, 300.0, 200.0, 100.0)
+
+
+def _gpu_hpm(spec: RunSpec) -> float:
+    """Worker-side reduction: run a spec, return GPU 0's HPM."""
+    measured = spec.execute()
+    return high_power_mode_w(measured.telemetry[0].gpu_power(0))
 
 
 @dataclass(frozen=True)
@@ -50,21 +56,23 @@ class Fig10Result:
 def run(
     caps_w: tuple[float, ...] = POWER_CAPS_W, seed: int = 7
 ) -> Fig10Result:
-    """Run every benchmark at its optimal node count under each cap."""
-    points = []
-    for name, case in BENCHMARKS.items():
-        workload = case.build()
-        for cap in caps_w:
-            measured = run_workload(
-                workload, n_nodes=case.optimal_nodes, gpu_cap_w=cap, seed=seed
-            )
-            points.append(
-                CapPoint(
-                    benchmark=name,
-                    cap_w=cap,
-                    gpu_hpm_w=high_power_mode_w(measured.telemetry[0].gpu_power(0)),
-                )
-            )
+    """Run every benchmark at its optimal node count under each cap.
+
+    The benchmark x cap grid executes as one sweep, reducing to the
+    per-GPU HPM inside each worker.
+    """
+    grid = [
+        (name, case, cap) for name, case in BENCHMARKS.items() for cap in caps_w
+    ]
+    specs = [
+        RunSpec(case.build(), n_nodes=case.optimal_nodes, gpu_cap_w=cap, seed=seed)
+        for _, case, cap in grid
+    ]
+    hpms = SweepExecutor().map(_gpu_hpm, specs)
+    points = [
+        CapPoint(benchmark=name, cap_w=cap, gpu_hpm_w=hpm)
+        for (name, _, cap), hpm in zip(grid, hpms)
+    ]
     return Fig10Result(points=points)
 
 

@@ -17,8 +17,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.capping.scheduler import estimate_run
 from repro.experiments.report import format_table
+from repro.runner.sweep import EstimateSpec, SweepExecutor
 from repro.vasp.benchmarks import BENCHMARKS
 
 #: The caps of Section V.
@@ -57,16 +57,21 @@ def run(caps_w: tuple[float, ...] = POWER_CAPS_W) -> Fig12Result:
     """Compute the cap response with the deterministic estimator.
 
     Performance ratios are runtime ratios; the estimator applies the same
-    DVFS model the engine uses, without sampling noise.
+    DVFS model the engine uses, without sampling noise.  The benchmark x
+    cap grid runs as one sweep — the 400 W baseline deduplicates against
+    the grid point that shares it.
     """
+    cases = [(name, case.optimal_nodes, case.build()) for name, case in BENCHMARKS.items()]
+    specs = [
+        EstimateSpec(workload, n_nodes=n, cap_w=cap)
+        for _, n, workload in cases
+        for cap in (400.0, *caps_w)
+    ]
+    estimates = iter(SweepExecutor().run(specs))
     rows = []
-    for name, case in BENCHMARKS.items():
-        workload = case.build()
-        n = case.optimal_nodes
-        base = estimate_run(workload, n, 400.0).runtime_s
-        normalized = {
-            cap: base / estimate_run(workload, n, cap).runtime_s for cap in caps_w
-        }
+    for name, n, _ in cases:
+        base = next(estimates).runtime_s
+        normalized = {cap: base / next(estimates).runtime_s for cap in caps_w}
         rows.append(PerformanceRow(benchmark=name, n_nodes=n, normalized=normalized))
     return Fig12Result(rows=rows)
 

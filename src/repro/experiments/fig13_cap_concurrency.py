@@ -10,8 +10,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.capping.scheduler import estimate_run
 from repro.experiments.report import format_table
+from repro.runner.sweep import EstimateSpec, SweepExecutor
 from repro.vasp.benchmarks import BENCHMARKS
 
 #: Node counts swept.
@@ -51,14 +51,18 @@ def run(
     node_counts: tuple[int, ...] = NODE_COUNTS,
     caps_w: tuple[float, ...] = POWER_CAPS_W,
 ) -> Fig13Result:
-    """Compute the grid for Si256_hse."""
+    """Compute the grid for Si256_hse as one deduplicated sweep."""
     workload = BENCHMARKS["Si256_hse"].build()
+    specs = [
+        EstimateSpec(workload, n_nodes=n, cap_w=cap)
+        for n in node_counts
+        for cap in (400.0, *caps_w)
+    ]
+    estimates = iter(SweepExecutor().run(specs))
     rows = []
     for n in node_counts:
-        base = estimate_run(workload, n, 400.0).runtime_s
-        normalized = {
-            cap: base / estimate_run(workload, n, cap).runtime_s for cap in caps_w
-        }
+        base = next(estimates).runtime_s
+        normalized = {cap: base / next(estimates).runtime_s for cap in caps_w}
         rows.append(ConcurrencyCapRow(n_nodes=n, normalized=normalized))
     return Fig13Result(rows=rows)
 

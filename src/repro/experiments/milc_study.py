@@ -19,11 +19,29 @@ from repro.apps.milc import MilcWorkload, milc_benchmark, milc_cap_slowdown
 from repro.experiments.common import TELEMETRY_INTERVAL_S, make_nodes
 from repro.experiments.report import format_table
 from repro.runner.engine import PowerEngine
+from repro.runner.sweep import SweepExecutor
 from repro.telemetry.downsample import downsample_trace
 from repro.vasp.parallel import ParallelConfig
 
 #: Caps applied, matching the VASP study.
 POWER_CAPS_W: tuple[float, ...] = (400.0, 300.0, 200.0, 100.0)
+
+
+def _profile_preset(task: tuple[str, tuple[float, ...], int]) -> "MilcProfile":
+    """Worker-side task: profile one MILC preset on one node."""
+    size, caps_w, seed = task
+    workload: MilcWorkload = milc_benchmark(size)
+    nodes = make_nodes(1)
+    engine = PowerEngine(nodes)
+    result = engine.run(workload.phases(ParallelConfig(1)), seed=seed)
+    telem = downsample_trace(result.traces[0], TELEMETRY_INTERVAL_S)
+    return MilcProfile(
+        name=workload.name,
+        stats=summarize(telem.node_power),
+        runtime_s=result.runtime_s,
+        gpu_fraction=float(np.mean(telem.gpu_total / telem.node_power)),
+        cap_slowdown={cap: milc_cap_slowdown(workload, cap) for cap in caps_w},
+    )
 
 
 @dataclass
@@ -61,25 +79,9 @@ def run(
     caps_w: tuple[float, ...] = POWER_CAPS_W,
     seed: int = 7,
 ) -> MilcStudyResult:
-    """Profile each MILC preset on one node."""
-    profiles = []
-    for size in sizes:
-        workload: MilcWorkload = milc_benchmark(size)
-        nodes = make_nodes(1)
-        engine = PowerEngine(nodes)
-        result = engine.run(workload.phases(ParallelConfig(1)), seed=seed)
-        telem = downsample_trace(result.traces[0], TELEMETRY_INTERVAL_S)
-        profiles.append(
-            MilcProfile(
-                name=workload.name,
-                stats=summarize(telem.node_power),
-                runtime_s=result.runtime_s,
-                gpu_fraction=float(np.mean(telem.gpu_total / telem.node_power)),
-                cap_slowdown={
-                    cap: milc_cap_slowdown(workload, cap) for cap in caps_w
-                },
-            )
-        )
+    """Profile each MILC preset on one node, as one sweep."""
+    tasks = [(size, tuple(caps_w), seed) for size in sizes]
+    profiles = SweepExecutor().map(_profile_preset, tasks)
     return MilcStudyResult(profiles=profiles)
 
 

@@ -197,3 +197,74 @@ class A100Gpu:
     def idle_sample(self) -> GpuPowerSample:
         """Power sample for an idle GPU."""
         return GpuPowerSample(power_w=self.idle_power_w, clock_fraction=1.0, slowdown=1.0)
+
+
+# ----------------------------------------------------------------------
+# Array-capable entry points (the engine's vectorized hot path)
+# ----------------------------------------------------------------------
+def regulation_error_batch(
+    cap_w: np.ndarray, cap_min_w: float | np.ndarray, cap_max_w: float | np.ndarray
+) -> np.ndarray:
+    """Array version of :meth:`A100Gpu.regulation_error`."""
+    cap = np.asarray(cap_w, dtype=float)
+    span = np.asarray(cap_max_w, dtype=float) - np.asarray(cap_min_w, dtype=float)
+    depth = np.clip((np.asarray(cap_max_w, dtype=float) - cap) / span, 0.0, 1.0)
+    return 0.08 * np.power(depth, 6)
+
+
+def resolve_phase_batch(
+    demand_w: np.ndarray,
+    compute_fraction: np.ndarray,
+    cap_w: np.ndarray,
+    *,
+    static_w: float | np.ndarray,
+    idle_env_w: float | np.ndarray,
+    cap_min_w: float | np.ndarray,
+    cap_max_w: float | np.ndarray,
+    power_factor: np.ndarray,
+    idle_offset_w: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Resolve many kernel phases on many GPUs in one shot.
+
+    Broadcasts ``demand_w`` / ``compute_fraction`` (typically one entry per
+    phase, shaped ``[P, 1, 1]``) against per-GPU cap and variation arrays
+    (shaped ``[nodes, gpus]``) and returns ``(power_w, clock_fraction,
+    slowdown)`` arrays — the same quantities :meth:`A100Gpu.resolve_phase`
+    produces one scalar at a time, with the manufacturing bias already
+    applied to the power.
+
+    The branch structure mirrors the scalar path exactly: the controller's
+    effective target, the full-clock short-circuits (demand under target or
+    under static power), the minimum-clock clamp, and the cubic DVFS law.
+    """
+    demand = np.asarray(demand_w, dtype=float)
+    cf = np.asarray(compute_fraction, dtype=float)
+    cap = np.asarray(cap_w, dtype=float)
+    static = np.asarray(static_w, dtype=float)
+    idle_env = np.asarray(idle_env_w, dtype=float)
+
+    err = regulation_error_batch(cap, cap_min_w, cap_max_w)
+    target = cap * (1.0 - CONTROL_MARGIN + err)
+
+    headroom = target - static
+    denom = demand - static
+    with np.errstate(divide="ignore", invalid="ignore"):
+        frac = np.power(np.clip(headroom / denom, 0.0, 1.0), 1.0 / 3.0)
+    frac = np.clip(frac, MIN_CLOCK_FRACTION, 1.0)
+    frac = np.where(headroom <= 0.0, MIN_CLOCK_FRACTION, frac)
+    frac = np.where(demand <= static, 1.0, frac)
+    frac = np.where(demand <= target, 1.0, frac)
+
+    at_full = frac >= 1.0
+    throttled_power = np.minimum(static + (demand - static) * np.power(frac, 3), demand)
+    power = np.where(at_full, np.minimum(demand, cap), throttled_power)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        slowdown = np.where(at_full, 1.0, cf / frac + (1.0 - cf))
+
+    # Manufacturing bias (ManufacturingVariation.apply, element-wise).
+    floored = np.maximum(power, idle_env)
+    dynamic = np.maximum(0.0, floored - idle_env)
+    biased = idle_env + np.asarray(idle_offset_w, dtype=float) + dynamic * np.asarray(
+        power_factor, dtype=float
+    )
+    return biased, frac, slowdown

@@ -9,6 +9,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.units.constants import DDR4_256GB, MemoryEnvelope
 from repro.hardware.variability import ManufacturingVariation
 
@@ -41,3 +43,13 @@ class DdrMemory:
         nominal = env.idle_w + (env.max_w - env.idle_w) * bandwidth_utilization
         assert self.variation is not None
         return self.variation.apply(nominal, env.idle_w)
+
+    def power_at_bandwidth_batch(self, bandwidth_utilization: np.ndarray) -> np.ndarray:
+        """Array version of :meth:`power_at_bandwidth` (one entry per phase)."""
+        u = np.asarray(bandwidth_utilization, dtype=float)
+        if np.any((u < 0.0) | (u > 1.0)):
+            raise ValueError("bandwidth_utilization must be in [0, 1]")
+        env = self.envelope
+        nominal = env.idle_w + (env.max_w - env.idle_w) * u
+        assert self.variation is not None
+        return self.variation.apply_batch(nominal, env.idle_w)

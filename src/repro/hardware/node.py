@@ -10,6 +10,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.units.constants import PERLMUTTER_GPU_NODE, NodeEnvelope
 from repro.hardware.cpu import MilanCpu
 from repro.hardware.gpu import A100Gpu
@@ -132,3 +134,42 @@ class GpuNode:
             nic_w=sum(n.power_at_traffic(nic_utilization) for n in self.nics),
             baseboard_w=self.baseboard_power_w,
         )
+
+    def host_power_batch(
+        self,
+        cpu_utilization: np.ndarray,
+        memory_bandwidth_utilization: np.ndarray,
+        nic_utilization: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Host-side component power for many phases at once.
+
+        Returns ``(cpu_w, memory_w, nic_w)`` arrays, one entry per phase
+        (baseboard power is a per-node constant, see
+        :attr:`baseboard_power_w`).  NIC power sums the per-unit biased
+        draws in unit order, matching :meth:`sample`.
+        """
+        cpu_w = self.cpu.power_at_utilization_batch(cpu_utilization)
+        memory_w = self.memory.power_at_bandwidth_batch(memory_bandwidth_utilization)
+        nic_w = sum(n.power_at_traffic_batch(nic_utilization) for n in self.nics)
+        return cpu_w, memory_w, np.asarray(nic_w, dtype=float)
+
+    def gpu_state_arrays(self) -> dict[str, np.ndarray]:
+        """Per-GPU model state as flat arrays (vectorized engine input).
+
+        Keys: ``cap_w``, ``static_w``, ``idle_env_w``, ``cap_min_w``,
+        ``cap_max_w``, ``tdp_w``, ``idle_w`` (biased idle), ``power_factor``
+        and ``idle_offset_w``, each of length ``len(self.gpus)``.
+        """
+        gpus = self.gpus
+        assert all(g.variation is not None for g in gpus)
+        return {
+            "cap_w": np.array([g.power_limit_w for g in gpus]),
+            "static_w": np.array([g.envelope.static_w for g in gpus]),
+            "idle_env_w": np.array([g.envelope.idle_w for g in gpus]),
+            "cap_min_w": np.array([g.envelope.cap_min_w for g in gpus]),
+            "cap_max_w": np.array([g.envelope.cap_max_w for g in gpus]),
+            "tdp_w": np.array([g.envelope.tdp_w for g in gpus]),
+            "idle_w": np.array([g.idle_power_w for g in gpus]),
+            "power_factor": np.array([g.variation.power_factor for g in gpus]),  # type: ignore[union-attr]
+            "idle_offset_w": np.array([g.variation.idle_offset_w for g in gpus]),  # type: ignore[union-attr]
+        }

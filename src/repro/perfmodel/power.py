@@ -14,6 +14,8 @@ STREAM kernel at ~215 W, matching published A100 microbenchmark power.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.units.constants import GPUEnvelope
 from repro.perfmodel.kernels import GpuKernelProfile
 
@@ -38,6 +40,26 @@ def demand_power_w(profile: GpuKernelProfile, envelope: GPUEnvelope) -> float:
     return envelope.idle_w + dyn * activity
 
 
+def demand_power_batch(
+    compute_utilization: np.ndarray,
+    memory_utilization: np.ndarray,
+    tdp_w: float | np.ndarray,
+    idle_w: float | np.ndarray,
+) -> np.ndarray:
+    """Array version of :func:`demand_power_w`.
+
+    Broadcasts utilization arrays (e.g. one entry per phase) against
+    envelope terms (scalars, or per-GPU arrays for heterogeneous pools)
+    and returns full-clock board power per element.  The arithmetic is the
+    exact expression of the scalar path, element-wise.
+    """
+    uc = np.asarray(compute_utilization, dtype=float)
+    um = np.asarray(memory_utilization, dtype=float)
+    dyn = np.asarray(tdp_w, dtype=float) - np.asarray(idle_w, dtype=float)
+    activity = np.minimum(1.0, COMPUTE_WEIGHT * uc + MEMORY_WEIGHT * um)
+    return np.asarray(idle_w, dtype=float) + dyn * activity
+
+
 def duty_cycle_power_w(active_power_w: float, duty_cycle: float, idle_w: float) -> float:
     """Wall-clock-average power of a phase with launch/host gaps.
 
@@ -49,3 +71,15 @@ def duty_cycle_power_w(active_power_w: float, duty_cycle: float, idle_w: float) 
     if not 0.0 <= duty_cycle <= 1.0:
         raise ValueError(f"duty_cycle must be in [0, 1], got {duty_cycle}")
     return duty_cycle * active_power_w + (1.0 - duty_cycle) * idle_w
+
+
+def duty_cycle_power_batch(
+    active_power_w: np.ndarray,
+    duty_cycle: np.ndarray,
+    idle_w: float | np.ndarray,
+) -> np.ndarray:
+    """Array version of :func:`duty_cycle_power_w` (no range re-checks)."""
+    duty = np.asarray(duty_cycle, dtype=float)
+    return duty * np.asarray(active_power_w, dtype=float) + (1.0 - duty) * np.asarray(
+        idle_w, dtype=float
+    )

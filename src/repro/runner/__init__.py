@@ -13,6 +13,8 @@ with five repeats and minimum-runtime selection.
 
 from repro.runner.trace import PhaseRecord, PowerTrace, RunResult
 from repro.runner.engine import EngineConfig, PowerEngine
+from repro.runner.cache import RunCache, fingerprint
+from repro.runner.sweep import EstimateSpec, RunSpec, SweepExecutor, run_sweep
 from repro.runner.dgemm import dgemm_phase, numpy_dgemm_gflops
 from repro.runner.stream import numpy_stream_gbs, stream_phase
 from repro.runner.job import JobResult, JobScript, idle_phase
@@ -25,18 +27,24 @@ from repro.runner.runlog import (
 
 __all__ = [
     "EngineConfig",
+    "EstimateSpec",
     "JobResult",
     "JobScript",
     "PhaseRecord",
     "PowerEngine",
     "PowerTrace",
+    "RunCache",
     "RunLogSummary",
     "RunResult",
+    "RunSpec",
+    "SweepExecutor",
     "dgemm_phase",
+    "fingerprint",
     "idle_phase",
     "numpy_dgemm_gflops",
     "numpy_stream_gbs",
     "parse_run_log",
+    "run_sweep",
     "stream_phase",
     "summarize_run",
     "write_run_log",

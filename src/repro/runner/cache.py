@@ -1,0 +1,193 @@
+"""Content-keyed memoization of pipeline runs.
+
+Every paper artifact sweeps a (workload, node-count, cap) grid, and many
+grid points repeat across figures — e.g. the uncapped baseline shared by
+every cap-response curve.  The engine is deterministic given its inputs,
+so a run is fully identified by the *content* of its specification:
+workload fingerprint, node configuration, cap, seed and engine config.
+
+:class:`RunCache` memoizes any computation keyed that way, with an
+in-memory LRU layer and an optional on-disk layer (a directory of pickle
+files, by default ``.repro_cache/`` when enabled).  The disk layer is what
+lets separate sweep workers — and separate processes entirely — share
+results.
+
+``fingerprint()`` derives a stable digest from (nested) dataclasses,
+containers, numpy arrays and scalars.  Floats hash by their exact bit
+pattern, so any change to a workload parameter or an
+:class:`~repro.runner.engine.EngineConfig` field invalidates the key.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import os
+import pickle
+from collections import OrderedDict
+from pathlib import Path
+from typing import Any, Callable, TypeVar
+
+import numpy as np
+
+#: Environment variable: set to a directory path to enable the on-disk
+#: cache layer (``1``/``true`` selects the default ``.repro_cache/``).
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+#: Environment variable: set to ``0``/``off`` to disable caching entirely.
+CACHE_ENABLE_ENV = "REPRO_CACHE"
+#: Default on-disk location.
+DEFAULT_CACHE_DIR = ".repro_cache"
+
+T = TypeVar("T")
+
+
+def _canonical(obj: Any) -> Any:
+    """Reduce an object to a deterministic, hashable-by-repr structure."""
+    if obj is None or isinstance(obj, (bool, int, str, bytes)):
+        return obj
+    if isinstance(obj, float):
+        # Exact bit pattern: 0.1 + 0.2 != 0.3 must key differently from 0.3.
+        return ("f", obj.hex())
+    if isinstance(obj, enum.Enum):
+        return ("enum", type(obj).__qualname__, obj.name)
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return (
+            type(obj).__module__,
+            type(obj).__qualname__,
+            tuple(
+                (f.name, _canonical(getattr(obj, f.name)))
+                for f in dataclasses.fields(obj)
+            ),
+        )
+    if isinstance(obj, np.ndarray):
+        return ("ndarray", obj.dtype.str, obj.shape, obj.tobytes())
+    if isinstance(obj, np.generic):
+        return ("npscalar", obj.dtype.str, obj.tobytes())
+    if isinstance(obj, dict):
+        return ("dict", tuple(sorted((repr(k), _canonical(v)) for k, v in obj.items())))
+    if isinstance(obj, (list, tuple)):
+        return (type(obj).__name__, tuple(_canonical(v) for v in obj))
+    if isinstance(obj, (set, frozenset)):
+        return ("set", tuple(sorted(repr(_canonical(v)) for v in obj)))
+    raise TypeError(
+        f"cannot fingerprint {type(obj).__name__!r}: add a dataclass or "
+        f"container representation"
+    )
+
+
+def fingerprint(*parts: Any) -> str:
+    """Stable hex digest of arbitrary (dataclass/container/array) content."""
+    digest = hashlib.sha256()
+    digest.update(repr(tuple(_canonical(p) for p in parts)).encode("utf-8"))
+    return digest.hexdigest()
+
+
+def caching_disabled() -> bool:
+    """True when the ``REPRO_CACHE`` environment variable turns caching off."""
+    return os.environ.get(CACHE_ENABLE_ENV, "").strip().lower() in ("0", "off", "false", "no")
+
+
+def disk_dir_from_env() -> Path | None:
+    """On-disk layer location from ``REPRO_CACHE_DIR`` (None = memory only)."""
+    raw = os.environ.get(CACHE_DIR_ENV, "").strip()
+    if not raw:
+        return None
+    if raw.lower() in ("1", "true", "yes", "on"):
+        return Path(DEFAULT_CACHE_DIR)
+    return Path(raw)
+
+
+class RunCache:
+    """Two-layer (LRU memory + optional disk) content-keyed result cache.
+
+    Parameters
+    ----------
+    maxsize:
+        In-memory LRU capacity (entries).
+    disk_dir:
+        Directory for the pickle layer; None keeps the cache memory-only.
+        The directory is created lazily on first write.
+
+    Notes
+    -----
+    Cached values are returned *by reference* — treat results as
+    immutable (the experiment pipeline never mutates a
+    :class:`~repro.runner.trace.RunResult` after the fact).
+    """
+
+    def __init__(self, maxsize: int = 256, disk_dir: str | Path | None = None) -> None:
+        if maxsize < 1:
+            raise ValueError(f"maxsize must be >= 1, got {maxsize}")
+        self.maxsize = maxsize
+        self.disk_dir = Path(disk_dir) if disk_dir is not None else None
+        self._memory: OrderedDict[str, Any] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._memory)
+
+    def _disk_path(self, key: str) -> Path:
+        assert self.disk_dir is not None
+        return self.disk_dir / f"{key}.pkl"
+
+    def get(self, key: str) -> Any | None:
+        """Look up a key in memory, then on disk.  None on miss."""
+        if key in self._memory:
+            self._memory.move_to_end(key)
+            self.hits += 1
+            return self._memory[key]
+        if self.disk_dir is not None:
+            path = self._disk_path(key)
+            if path.is_file():
+                try:
+                    with path.open("rb") as fh:
+                        value = pickle.load(fh)
+                except (OSError, pickle.UnpicklingError, EOFError):
+                    # A torn write (e.g. interrupted worker) is a miss.
+                    self.misses += 1
+                    return None
+                self._remember(key, value)
+                self.hits += 1
+                return value
+        self.misses += 1
+        return None
+
+    def put(self, key: str, value: Any) -> None:
+        """Store a value under a key in both layers."""
+        self._remember(key, value)
+        if self.disk_dir is not None:
+            self.disk_dir.mkdir(parents=True, exist_ok=True)
+            tmp = self._disk_path(key).with_suffix(f".tmp.{os.getpid()}")
+            with tmp.open("wb") as fh:
+                pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, self._disk_path(key))
+
+    def _remember(self, key: str, value: Any) -> None:
+        self._memory[key] = value
+        self._memory.move_to_end(key)
+        while len(self._memory) > self.maxsize:
+            self._memory.popitem(last=False)
+
+    def get_or_compute(self, key: str, compute: Callable[[], T]) -> T:
+        """Return the cached value for a key, computing and storing on miss."""
+        cached = self.get(key)
+        if cached is not None:
+            return cached
+        value = compute()
+        self.put(key, value)
+        return value
+
+    def clear(self, disk: bool = False) -> None:
+        """Drop the memory layer (and, optionally, the disk layer)."""
+        self._memory.clear()
+        self.hits = 0
+        self.misses = 0
+        if disk and self.disk_dir is not None and self.disk_dir.is_dir():
+            for path in self.disk_dir.glob("*.pkl"):
+                try:
+                    path.unlink()
+                except OSError:
+                    pass

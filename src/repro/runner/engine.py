@@ -20,9 +20,10 @@ from dataclasses import dataclass
 import numpy as np
 from scipy.signal import lfilter
 
+from repro.hardware.gpu import resolve_phase_batch
 from repro.hardware.node import GpuNode
 from repro.hardware.variability import unit_rng
-from repro.perfmodel.power import demand_power_w
+from repro.perfmodel.power import demand_power_batch, demand_power_w
 from repro.vasp.phases import MacroPhase
 from repro.runner.trace import COMPONENT_KEYS, GPU_KEYS, PhaseRecord, PowerTrace, RunResult
 
@@ -87,8 +88,125 @@ class PowerEngine:
             unit_rng(gpu_serial, "imbalance").uniform(0.0, self.config.rank_imbalance)
         )
 
-    def _resolve_phase(self, phase: MacroPhase) -> _ResolvedPhase:
-        """Cap-resolve one phase on every node (schedule set later)."""
+    def _gpu_skews(self) -> dict[str, float]:
+        """Per-GPU rank skews for every GPU in the pool."""
+        return {
+            gpu.serial: self._rank_skew(gpu.serial)
+            for node in self.nodes
+            for gpu in node.gpus
+        }
+
+    def _resolve_phases(self, phases: list[MacroPhase]) -> list[_ResolvedPhase]:
+        """Cap-resolve all phases on all nodes x GPUs with array ops.
+
+        This is the vectorized equivalent of calling
+        :meth:`_resolve_phase_reference` per phase: one batched pass over a
+        ``[phases, nodes, gpus]`` grid instead of three nested Python
+        loops.  Heterogeneous pools (nodes with differing GPU counts) fall
+        back to the reference path.
+        """
+        gpu_counts = {len(node.gpus) for node in self.nodes}
+        if len(gpu_counts) != 1:
+            return [self._resolve_phase_reference(p) for p in phases]
+
+        nodes = self.nodes
+        n_nodes = len(nodes)
+
+        # Per-phase inputs, shape [P] (broadcast against GPUs as [P, 1, 1]).
+        duty = np.array([p.gpu_profile.duty_cycle for p in phases])
+        uc = np.array([p.gpu_profile.compute_utilization for p in phases])
+        um = np.array([p.gpu_profile.memory_utilization for p in phases])
+        cf = np.array([p.gpu_profile.compute_fraction for p in phases])
+        duty_b = duty[:, None, None]
+
+        # Per-GPU model state, shape [N, G].
+        per_node = [node.gpu_state_arrays() for node in nodes]
+        state = {
+            key: np.stack([arrays[key] for arrays in per_node])
+            for key in per_node[0]
+        }
+        skews_by_serial = self._gpu_skews()
+        skews = np.array(
+            [[skews_by_serial[gpu.serial] for gpu in node.gpus] for node in nodes]
+        )
+        max_skew = float(skews.max()) if skews.size else 0.0
+
+        demand = demand_power_batch(
+            uc[:, None, None],
+            um[:, None, None],
+            state["tdp_w"][None],
+            state["idle_env_w"][None],
+        )
+        biased, _frac, slow = resolve_phase_batch(
+            demand,
+            cf[:, None, None],
+            state["cap_w"][None],
+            static_w=state["static_w"][None],
+            idle_env_w=state["idle_env_w"][None],
+            cap_min_w=state["cap_min_w"][None],
+            cap_max_w=state["cap_max_w"][None],
+            power_factor=state["power_factor"][None],
+            idle_offset_w=state["idle_offset_w"][None],
+        )
+
+        # Load imbalance: rank i holds (1 + skew_i) of the nominal work;
+        # the phase runs at the most-loaded rank's pace while the others
+        # idle-wait, diluting their duty cycle.
+        idle_w = state["idle_w"][None]
+        rank_duty = np.minimum(duty_b * (1.0 + skews[None]) / (1.0 + max_skew), 1.0)
+        gpu_means = rank_duty * biased + (1.0 - rank_duty) * idle_w
+        gpu_means = np.where(duty_b <= 0.0, idle_w, gpu_means)
+
+        # Ranks synchronize: each phase runs at the slowest GPU's pace.
+        slow_terms = (duty_b * slow + (1.0 - duty_b)) * (1.0 + max_skew)
+        phase_slowdown = np.maximum(slow_terms.max(axis=(1, 2)), 1.0)
+        phase_slowdown = np.where(duty <= 0.0, 1.0, phase_slowdown)
+
+        # Host-side components per node, shape [P] each.
+        cpu_u = np.array([p.cpu_utilization for p in phases])
+        mem_u = np.array([p.mem_bw_utilization for p in phases])
+        nic_u = np.array([p.nic_utilization for p in phases])
+        node_components: list[dict[str, np.ndarray]] = []
+        for node_index, node in enumerate(nodes):
+            cpu_w, memory_w, nic_w = node.host_power_batch(cpu_u, mem_u, nic_u)
+            gpu_total = 0.0
+            for gpu_index in range(len(node.gpus)):
+                gpu_total = gpu_total + gpu_means[:, node_index, gpu_index]
+            node_w = cpu_w + gpu_total + memory_w + nic_w + node.baseboard_power_w
+            node_components.append(
+                {"cpu": cpu_w, "memory": memory_w, "node": node_w}
+            )
+
+        resolved = []
+        for phase_index, phase in enumerate(phases):
+            slowdown = float(phase_slowdown[phase_index])
+            node_means: list[dict[str, float]] = []
+            for node_index, node in enumerate(nodes):
+                means = {
+                    key: float(series[phase_index])
+                    for key, series in node_components[node_index].items()
+                }
+                for gpu_index, key in zip(range(len(node.gpus)), GPU_KEYS):
+                    means[key] = float(gpu_means[phase_index, node_index, gpu_index])
+                node_means.append(means)
+            record = PhaseRecord(
+                name=phase.name,
+                start_s=0.0,
+                end_s=phase.duration_s * slowdown,
+                nominal_duration_s=phase.duration_s,
+                slowdown=slowdown,
+            )
+            resolved.append(_ResolvedPhase(record=record, node_means=node_means))
+        return resolved
+
+    def _resolve_phase_reference(self, phase: MacroPhase) -> _ResolvedPhase:
+        """Cap-resolve one phase on every node (schedule set later).
+
+        Scalar reference implementation: per-node / per-GPU Python loops.
+        The production path is :meth:`_resolve_phases`; this is kept as the
+        readable specification, the fallback for heterogeneous pools, and
+        the oracle the vectorized-equivalence tests replay.
+        """
         profile = phase.gpu_profile
         duty = profile.duty_cycle
         node_means: list[dict[str, float]] = []
@@ -149,6 +267,18 @@ class PowerEngine:
     ) -> list[PowerTrace]:
         """Render the resolved schedule onto the regular sample grid."""
         dt = self.config.base_interval_s
+        if not resolved:
+            # Nothing scheduled: zero-sample traces (run() rejects empty
+            # phase lists, but callers may render filtered schedules).
+            empty = np.empty(0)
+            return [
+                PowerTrace(
+                    node_name=node.name,
+                    times=empty,
+                    components={key: np.empty(0) for key in COMPONENT_KEYS},
+                )
+                for node in self.nodes
+            ]
         total = sum(r.record.duration_s for r in resolved)
         n_samples = max(int(round(total / dt)), 1)
         times = (np.arange(n_samples) + 0.5) * dt
@@ -163,6 +293,8 @@ class PowerEngine:
             counts.append(max(upto - acc, 0))
             acc = upto
         if acc < n_samples:
+            # Rounding drift: park the remainder on the final phase so the
+            # per-phase counts always sum to n_samples.
             counts[-1] += n_samples - acc
 
         traces = []
@@ -206,7 +338,7 @@ class PowerEngine:
         if not phases:
             raise ValueError("cannot run an empty phase list")
         rng = np.random.default_rng(seed)
-        resolved = [self._resolve_phase(p) for p in phases]
+        resolved = self._resolve_phases(phases)
         # Lay out the schedule.
         records = []
         clock = 0.0

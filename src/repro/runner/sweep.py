@@ -1,0 +1,209 @@
+"""Parallel, cached execution of run-spec grids.
+
+Every paper artifact is a sweep: Table I iterates the seven benchmarks,
+Figs 4/5/8/13 sweep node counts, Figs 10/12 sweep power caps, and the
+fleet studies sweep policies.  The seed repository executed every grid
+point serially, one ``engine.run()`` at a time.  This module turns a grid
+into a first-class object:
+
+* :class:`RunSpec` / :class:`EstimateSpec` describe one grid point by
+  *content* (workload, node count, cap, seed, engine config) — never by
+  execution context — so a spec executes to the same bits no matter which
+  worker runs it, and fingerprints as a cache key.
+* :class:`SweepExecutor` executes a grid through
+  :mod:`concurrent.futures` (process pool), deduplicating identical specs
+  first and always returning results in the original grid order.  A
+  serial fallback covers single-CPU hosts, pools that fail to start, and
+  ``REPRO_SWEEP_WORKERS=1``.
+
+Determinism contract: parallel execution is bit-identical to serial
+execution.  Seeds are part of the spec, engine inputs are rebuilt from
+the spec inside the worker, and nothing about worker identity enters the
+computation.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence, TypeVar
+
+from repro.runner.cache import fingerprint
+from repro.runner.engine import EngineConfig
+from repro.vasp.workload import VaspWorkload
+
+#: Environment override for the worker count.  ``1`` (or ``0``) forces
+#: serial execution; unset lets the executor size itself to the host.
+WORKERS_ENV = "REPRO_SWEEP_WORKERS"
+
+#: Grids smaller than this run serially unless workers are set
+#: explicitly — pool startup would cost more than it saves.
+MIN_PARALLEL_GRID = 4
+
+SpecT = TypeVar("SpecT")
+ResultT = TypeVar("ResultT")
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One full-pipeline grid point (engine + telemetry view).
+
+    Executes to the :class:`~repro.experiments.common.MeasuredRun` that
+    ``run_workload`` produces for the same arguments.  Nodes are derived
+    from ``n_nodes`` inside the worker, so the result depends only on this
+    spec's content.
+    """
+
+    workload: VaspWorkload
+    n_nodes: int = 1
+    gpu_cap_w: float | None = None
+    seed: int = 7
+    engine_config: EngineConfig | None = None
+
+    def __post_init__(self) -> None:
+        if self.n_nodes < 1:
+            raise ValueError(f"n_nodes must be >= 1, got {self.n_nodes}")
+
+    def execute(self) -> Any:
+        """Run the spec through the full pipeline (cached)."""
+        # Imported lazily: experiments.common sits above the runner layer.
+        from repro.experiments.common import run_workload
+
+        return run_workload(
+            self.workload,
+            n_nodes=self.n_nodes,
+            gpu_cap_w=self.gpu_cap_w,
+            seed=self.seed,
+            engine_config=self.engine_config,
+        )
+
+
+@dataclass(frozen=True)
+class EstimateSpec:
+    """One analytic-estimator grid point (no trace rendering).
+
+    Executes to the :class:`~repro.capping.scheduler.RunEstimate` for the
+    workload at one node count and cap — what Figs 4/12/13 and the
+    scheduler sweep over.
+    """
+
+    workload: VaspWorkload
+    n_nodes: int = 1
+    cap_w: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.n_nodes < 1:
+            raise ValueError(f"n_nodes must be >= 1, got {self.n_nodes}")
+
+    def execute(self) -> Any:
+        """Estimate the spec analytically (cached)."""
+        from repro.capping.scheduler import cached_estimate_run
+
+        return cached_estimate_run(self.workload, self.n_nodes, self.cap_w)
+
+
+def execute_spec(spec: Any) -> Any:
+    """Module-level task entry point (picklable for process pools)."""
+    return spec.execute()
+
+
+def resolve_workers(n_tasks: int, workers: int | None = None) -> int:
+    """Worker count for a grid: explicit arg > env override > host size."""
+    if workers is None:
+        raw = os.environ.get(WORKERS_ENV, "").strip()
+        if raw:
+            try:
+                workers = int(raw)
+            except ValueError as exc:
+                raise ValueError(
+                    f"{WORKERS_ENV} must be an integer, got {raw!r}"
+                ) from exc
+    if workers is not None:
+        return max(min(workers, n_tasks), 1)
+    if n_tasks < MIN_PARALLEL_GRID:
+        return 1
+    return max(min(os.cpu_count() or 1, n_tasks), 1)
+
+
+class SweepExecutor:
+    """Executes grids of specs with dedupe, a process pool and grid order.
+
+    Parameters
+    ----------
+    workers:
+        Worker processes; None resolves via ``REPRO_SWEEP_WORKERS`` and the
+        host CPU count, 1 (or any grid smaller than
+        :data:`MIN_PARALLEL_GRID`) runs serially in-process.
+    dedupe:
+        Fingerprint specs and execute each distinct spec once, fanning the
+        result back out to every duplicate grid point.  This is what makes
+        a shared baseline (e.g. the uncapped run in every cap curve) a
+        single execution.  Specs that cannot be fingerprinted are executed
+        individually.
+
+    ``run()`` executes spec objects (anything with ``execute()``);
+    ``map()`` applies an arbitrary picklable module-level function, for
+    sweeps whose tasks reduce results in the worker (keeping IPC small).
+    """
+
+    def __init__(self, workers: int | None = None, dedupe: bool = True) -> None:
+        self.workers = workers
+        self.dedupe = dedupe
+        #: Executions actually performed by the last call (after dedupe).
+        self.last_executed = 0
+
+    # ------------------------------------------------------------------
+    def run(self, specs: Sequence[Any]) -> list[Any]:
+        """Execute a grid of specs, returning results in grid order."""
+        return self.map(execute_spec, specs)
+
+    def map(
+        self, fn: Callable[[SpecT], ResultT], specs: Sequence[SpecT]
+    ) -> list[ResultT]:
+        """Apply ``fn`` to every spec, deduplicated and in grid order."""
+        specs = list(specs)
+        if not specs:
+            self.last_executed = 0
+            return []
+
+        # Dedupe by content: execute each distinct spec once.
+        if self.dedupe:
+            try:
+                keys = [fingerprint(spec) for spec in specs]
+            except TypeError:
+                keys = [f"pos:{index}" for index in range(len(specs))]
+        else:
+            keys = [f"pos:{index}" for index in range(len(specs))]
+        order: dict[str, int] = {}
+        unique: list[SpecT] = []
+        for key, spec in zip(keys, specs):
+            if key not in order:
+                order[key] = len(unique)
+                unique.append(spec)
+
+        workers = resolve_workers(len(unique), self.workers)
+        results = self._execute(fn, unique, workers)
+        self.last_executed = len(unique)
+        return [results[order[key]] for key in keys]
+
+    def _execute(
+        self, fn: Callable[[SpecT], ResultT], tasks: list[SpecT], workers: int
+    ) -> list[ResultT]:
+        if workers <= 1 or len(tasks) <= 1:
+            return [fn(task) for task in tasks]
+        chunksize = max(len(tasks) // (workers * 4), 1)
+        try:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                return list(pool.map(fn, tasks, chunksize=chunksize))
+        except (OSError, PermissionError, ImportError):
+            # Pools need fork/spawn and pipes; restricted hosts fall back
+            # to serial execution (identical results, by construction).
+            return [fn(task) for task in tasks]
+
+
+def run_sweep(
+    specs: Sequence[Any], workers: int | None = None, dedupe: bool = True
+) -> list[Any]:
+    """One-call convenience: ``SweepExecutor(workers, dedupe).run(specs)``."""
+    return SweepExecutor(workers=workers, dedupe=dedupe).run(specs)

@@ -39,10 +39,20 @@ def downsample_series(
     n_windows = int(np.ceil(len(values) / per_window))
     out_times = np.empty(n_windows)
     out_values = np.empty(n_windows)
-    for w in range(n_windows):
-        chunk = slice(w * per_window, (w + 1) * per_window)
-        out_times[w] = times[chunk].mean()
-        out_values[w] = values[chunk].mean()
+    # Full windows reduce as one reshaped 2-D mean (each row is the same
+    # contiguous slice the per-window loop would average); only a trailing
+    # partial window needs separate handling.
+    n_full = len(values) // per_window
+    if n_full:
+        out_times[:n_full] = np.ascontiguousarray(
+            times[: n_full * per_window]
+        ).reshape(n_full, per_window).mean(axis=1)
+        out_values[:n_full] = np.ascontiguousarray(
+            values[: n_full * per_window]
+        ).reshape(n_full, per_window).mean(axis=1)
+    if n_full < n_windows:
+        out_times[n_full] = times[n_full * per_window :].mean()
+        out_values[n_full] = values[n_full * per_window :].mean()
     return out_times, out_values
 
 

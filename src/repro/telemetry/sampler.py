@@ -12,6 +12,7 @@ counters integrate energy) and drops reports at a configurable rate.
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -97,21 +98,31 @@ class LdmsSampler:
         )
         if len(times) == 0:
             return SampledSeries(trace.node_name, component, times, values)
-        rng = np.random.default_rng(
-            cfg.seed ^ hash((trace.node_name, component)) & 0x7FFFFFFF
-        )
+        # Stable per-(node, component) stream: built-in hash() is
+        # randomized per process (PYTHONHASHSEED), which would make the
+        # drop pattern irreproducible across runs and across pool workers.
+        stream = zlib.crc32(f"{trace.node_name}:{component}".encode("utf-8"))
+        rng = np.random.default_rng(cfg.seed ^ stream & 0x7FFFFFFF)
         keep = rng.random(len(times)) >= cfg.drop_probability
         keep[0] = True
         # Enforce the gap bound: force-keep a sample whenever the gap
-        # since the last kept one would exceed max_gap_s.
+        # since the last kept one would exceed max_gap_s.  Between two
+        # naturally kept samples j < k the sequential rule forces exactly
+        # the indices j + max_skip, j + 2*max_skip, ... < k (and after the
+        # last kept sample, ... <= n-1), which vectorizes per gap.
         max_skip = int(cfg.max_gap_s / cfg.nominal_interval_s)
-        last_kept = 0
-        for i in range(1, len(times)):
-            if keep[i]:
-                last_kept = i
-            elif i - last_kept >= max_skip:
-                keep[i] = True
-                last_kept = i
+        kept_idx = np.flatnonzero(keep)
+        next_kept = np.append(kept_idx[1:], len(times))
+        n_forced = (next_kept - kept_idx - 1) // max_skip
+        total_forced = int(n_forced.sum())
+        if total_forced:
+            gap_start = np.repeat(kept_idx, n_forced)
+            step = (
+                np.arange(total_forced)
+                - np.repeat(np.cumsum(n_forced) - n_forced, n_forced)
+                + 1
+            )
+            keep[gap_start + max_skip * step] = True
         return SampledSeries(
             node_name=trace.node_name,
             component=component,

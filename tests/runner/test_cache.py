@@ -1,0 +1,204 @@
+"""Unit tests for content-keyed run caching."""
+
+import numpy as np
+import pytest
+
+from repro.runner.cache import (
+    CACHE_ENABLE_ENV,
+    RunCache,
+    caching_disabled,
+    fingerprint,
+)
+from repro.runner.engine import EngineConfig
+from repro.vasp.benchmarks import benchmark
+
+
+class TestFingerprint:
+    def test_stable_across_calls(self):
+        assert fingerprint("a", 1, 2.5) == fingerprint("a", 1, 2.5)
+
+    def test_distinguishes_values(self):
+        assert fingerprint(1) != fingerprint(2)
+        assert fingerprint("1") != fingerprint(1)
+
+    def test_float_bit_exactness(self):
+        assert fingerprint(0.1 + 0.2) != fingerprint(0.3)
+
+    def test_dataclasses_key_by_content(self):
+        assert fingerprint(EngineConfig()) == fingerprint(EngineConfig())
+        assert fingerprint(EngineConfig()) != fingerprint(
+            EngineConfig(noise_rel_sigma=0.04)
+        )
+
+    def test_workloads_fingerprint(self):
+        a = benchmark("PdO2").build()
+        b = benchmark("PdO2").build()
+        c = benchmark("PdO4").build()
+        assert fingerprint(a) == fingerprint(b)
+        assert fingerprint(a) != fingerprint(c)
+
+    def test_arrays_key_by_bytes(self):
+        x = np.arange(4.0)
+        assert fingerprint(x) == fingerprint(x.copy())
+        assert fingerprint(x) != fingerprint(x.astype(np.float32))
+
+    def test_rejects_opaque_objects(self):
+        with pytest.raises(TypeError):
+            fingerprint(object())
+
+    def test_containers(self):
+        assert fingerprint({"b": 2, "a": 1}) == fingerprint({"a": 1, "b": 2})
+        assert fingerprint([1, 2]) != fingerprint((1, 2))
+
+
+class TestRunCache:
+    def test_hit_miss_counters(self):
+        cache = RunCache()
+        assert cache.get("k") is None
+        cache.put("k", 42)
+        assert cache.get("k") == 42
+        assert cache.hits == 1
+        assert cache.misses == 1
+
+    def test_get_or_compute_runs_once(self):
+        cache = RunCache()
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return "value"
+
+        assert cache.get_or_compute("k", compute) == "value"
+        assert cache.get_or_compute("k", compute) == "value"
+        assert len(calls) == 1
+
+    def test_lru_eviction(self):
+        cache = RunCache(maxsize=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")  # refresh a; b is now least recent
+        cache.put("c", 3)
+        assert cache.get("a") == 1
+        assert cache.get("b") is None
+        assert len(cache) == 2
+
+    def test_rejects_bad_maxsize(self):
+        with pytest.raises(ValueError):
+            RunCache(maxsize=0)
+
+    def test_clear(self):
+        cache = RunCache()
+        cache.put("k", 1)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.get("k") is None
+
+    def test_disk_layer_roundtrip(self, tmp_path):
+        writer = RunCache(disk_dir=tmp_path / "cache")
+        writer.put("key", {"x": np.arange(3.0)})
+        # A fresh cache (new process, conceptually) reads it back from disk.
+        reader = RunCache(disk_dir=tmp_path / "cache")
+        value = reader.get("key")
+        np.testing.assert_array_equal(value["x"], np.arange(3.0))
+        assert reader.hits == 1
+
+    def test_disk_layer_tolerates_torn_writes(self, tmp_path):
+        disk = tmp_path / "cache"
+        disk.mkdir()
+        (disk / "key.pkl").write_bytes(b"not a pickle")
+        cache = RunCache(disk_dir=disk)
+        assert cache.get("key") is None
+
+    def test_clear_disk(self, tmp_path):
+        cache = RunCache(disk_dir=tmp_path)
+        cache.put("key", 1)
+        cache.clear(disk=True)
+        assert cache.get("key") is None
+        assert list(tmp_path.glob("*.pkl")) == []
+
+
+class TestCachingDisabled:
+    def test_default_enabled(self, monkeypatch):
+        monkeypatch.delenv(CACHE_ENABLE_ENV, raising=False)
+        assert not caching_disabled()
+
+    @pytest.mark.parametrize("value", ["0", "off", "false", "NO"])
+    def test_disable_values(self, monkeypatch, value):
+        monkeypatch.setenv(CACHE_ENABLE_ENV, value)
+        assert caching_disabled()
+
+
+class TestRunWorkloadCaching:
+    def test_repeat_run_is_a_hit(self):
+        from repro.experiments.common import run_cache, run_workload
+
+        workload = benchmark("PdO2").build()
+        cache = run_cache()
+        cache.clear()
+        first = run_workload(workload, n_nodes=1, seed=5)
+        assert cache.misses == 1
+        second = run_workload(workload, n_nodes=1, seed=5)
+        assert cache.hits == 1
+        assert second is first
+
+    def test_engine_config_invalidates(self):
+        from repro.experiments.common import run_cache, run_workload
+
+        workload = benchmark("PdO2").build()
+        cache = run_cache()
+        cache.clear()
+        base = run_workload(workload, n_nodes=1, engine_config=EngineConfig())
+        other = run_workload(
+            workload, n_nodes=1, engine_config=EngineConfig(noise_rel_sigma=0.05)
+        )
+        assert cache.misses == 2
+        assert other is not base
+        assert not np.array_equal(
+            base.result.traces[0].node_power, other.result.traces[0].node_power
+        )
+
+    def test_use_cache_false_bypasses(self):
+        from repro.experiments.common import run_cache, run_workload
+
+        workload = benchmark("PdO2").build()
+        cache = run_cache()
+        cache.clear()
+        first = run_workload(workload, n_nodes=1, use_cache=False)
+        second = run_workload(workload, n_nodes=1, use_cache=False)
+        assert cache.hits == 0 and cache.misses == 0
+        assert second is not first
+        np.testing.assert_array_equal(
+            first.result.traces[0].node_power, second.result.traces[0].node_power
+        )
+
+    def test_env_kill_switch(self, monkeypatch):
+        from repro.experiments.common import run_cache, run_workload
+
+        monkeypatch.setenv(CACHE_ENABLE_ENV, "0")
+        workload = benchmark("PdO2").build()
+        cache = run_cache()
+        cache.clear()
+        run_workload(workload, n_nodes=1)
+        assert cache.hits == 0 and cache.misses == 0
+
+    def test_caller_supplied_nodes_never_cached(self):
+        from repro.experiments.common import make_nodes, run_cache, run_workload
+
+        workload = benchmark("PdO2").build()
+        cache = run_cache()
+        cache.clear()
+        run_workload(workload, n_nodes=1, nodes=make_nodes(1))
+        assert cache.hits == 0 and cache.misses == 0
+
+    def test_estimate_cache_invalidates_on_cap(self):
+        from repro.capping.scheduler import cached_estimate_run, estimate_cache
+
+        workload = benchmark("PdO2").build()
+        cache = estimate_cache()
+        cache.clear()
+        a = cached_estimate_run(workload, 2, 200.0)
+        b = cached_estimate_run(workload, 2, 100.0)
+        again = cached_estimate_run(workload, 2, 200.0)
+        assert cache.misses == 2 and cache.hits == 1
+        assert again is a
+        assert a.runtime_s < b.runtime_s

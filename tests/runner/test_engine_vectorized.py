@@ -1,0 +1,150 @@
+"""The vectorized phase resolver against its scalar reference.
+
+``PowerEngine._resolve_phases`` is the production path;
+``_resolve_phase_reference`` is the retained scalar specification.  These
+tests replay both over a grid of caps, imbalance settings and phase mixes
+and require matching results, plus regression coverage for the
+``_render_traces`` sample-count bookkeeping.
+"""
+
+import numpy as np
+import pytest
+
+from repro.hardware.node import GpuNode
+from repro.perfmodel.kernels import KernelCatalogue
+from repro.runner.engine import EngineConfig, PowerEngine
+from repro.runner.trace import GPU_KEYS
+from repro.vasp.phases import MacroPhase
+
+
+def phase_mix():
+    return [
+        MacroPhase(name="xc", duration_s=4.0, gpu_profile=KernelCatalogue.DGEMM_TEST),
+        MacroPhase(name="fft", duration_s=2.5, gpu_profile=KernelCatalogue.FFT_BATCHED),
+        MacroPhase(
+            name="host",
+            duration_s=1.0,
+            gpu_profile=KernelCatalogue.HOST_SECTION,
+            cpu_utilization=0.8,
+        ),
+        MacroPhase(
+            name="comm",
+            duration_s=0.7,
+            gpu_profile=KernelCatalogue.NCCL_COLLECTIVE,
+            nic_utilization=0.5,
+        ),
+    ]
+
+
+def assert_resolution_matches(engine, phases):
+    vectorized = engine._resolve_phases(phases)
+    reference = [engine._resolve_phase_reference(p) for p in phases]
+    for vec, ref in zip(vectorized, reference):
+        assert vec.record.slowdown == pytest.approx(ref.record.slowdown, rel=1e-12)
+        assert vec.record.end_s == pytest.approx(ref.record.end_s, rel=1e-12)
+        for vec_means, ref_means in zip(vec.node_means, ref.node_means):
+            assert vec_means.keys() == ref_means.keys()
+            for key in ref_means:
+                assert vec_means[key] == pytest.approx(ref_means[key], rel=1e-12), key
+
+
+class TestVectorizedAgainstReference:
+    @pytest.mark.parametrize("cap_w", [None, 300.0, 200.0, 100.0])
+    def test_caps(self, cap_w):
+        nodes = [GpuNode("nid005000"), GpuNode("nid005001")]
+        for node in nodes:
+            if cap_w is not None:
+                node.set_gpu_power_limit(cap_w)
+        engine = PowerEngine(nodes)
+        assert_resolution_matches(engine, phase_mix())
+
+    @pytest.mark.parametrize("imbalance", [0.0, 0.25])
+    def test_rank_imbalance(self, imbalance):
+        engine = PowerEngine(
+            [GpuNode("nid005000")], EngineConfig(rank_imbalance=imbalance)
+        )
+        assert_resolution_matches(engine, phase_mix())
+
+    def test_idle_only_phase(self):
+        engine = PowerEngine([GpuNode("nid005000")])
+        idle = [
+            MacroPhase(
+                name="idle", duration_s=3.0, gpu_profile=KernelCatalogue.HOST_SECTION
+            )
+        ]
+        assert_resolution_matches(engine, idle)
+
+    def test_heterogeneous_pool_falls_back(self):
+        nodes = [GpuNode("nid005000"), GpuNode("nid005001")]
+        nodes[1].gpus = nodes[1].gpus[:2]  # asymmetric pool
+        engine = PowerEngine(nodes)
+        resolved = engine._resolve_phases(phase_mix())
+        reference = [engine._resolve_phase_reference(p) for p in phase_mix()]
+        for vec, ref in zip(resolved, reference):
+            assert vec.record.slowdown == pytest.approx(ref.record.slowdown)
+            assert set(vec.node_means[1]) == set(ref.node_means[1])
+
+    def test_end_to_end_traces_identical(self):
+        phases = phase_mix()
+        nodes_a = [GpuNode("nid005000")]
+        nodes_a[0].set_gpu_power_limit(200.0)
+        engine = PowerEngine(nodes_a)
+        via_vector = engine.run(phases, seed=9)
+
+        # Monkey-style: force the reference resolver through the same run.
+        engine_ref = PowerEngine(
+            [GpuNode("nid005000")], engine.config
+        )
+        engine_ref.nodes[0].set_gpu_power_limit(200.0)
+        engine_ref._resolve_phases = lambda ps: [
+            engine_ref._resolve_phase_reference(p) for p in ps
+        ]
+        via_reference = engine_ref.run(phases, seed=9)
+
+        for ta, tb in zip(via_vector.traces, via_reference.traces):
+            np.testing.assert_allclose(ta.node_power, tb.node_power, rtol=1e-12)
+            for key in GPU_KEYS:
+                np.testing.assert_allclose(
+                    ta.components[key], tb.components[key], rtol=1e-12
+                )
+
+
+class TestRenderTraceCounts:
+    """Phase sample counts must always sum to the trace length."""
+
+    @pytest.mark.parametrize(
+        "durations",
+        [
+            (0.05, 0.05, 0.05),  # each phase shorter than the 0.1 s grid
+            (0.26, 0.11, 0.03),  # irregular rounding
+            (0.1,),  # exactly one sample
+            (0.04,),  # rounds to zero samples -> clamped to one
+            (3.33, 0.07, 1.99, 0.01),
+        ],
+    )
+    def test_adversarial_durations(self, durations):
+        engine = PowerEngine([GpuNode("nid005000")], EngineConfig(noise_rel_sigma=0.0))
+        phases = [
+            MacroPhase(
+                name=f"p{i}", duration_s=d, gpu_profile=KernelCatalogue.DGEMM_TEST
+            )
+            for i, d in enumerate(durations)
+        ]
+        result = engine.run(phases, seed=0)
+        trace = result.traces[0]
+        total = sum(p.duration_s for p in result.phases)
+        expected = max(int(round(total / engine.config.base_interval_s)), 1)
+        assert len(trace.times) == expected
+        # Noise-free rendering is piecewise constant: the number of level
+        # changes can never exceed the number of phase boundaries, so no
+        # samples were lost or double-assigned.
+        levels = np.flatnonzero(np.diff(trace.node_power)).size
+        assert levels <= len(phases) - 1
+
+    def test_empty_schedule_renders_zero_samples(self):
+        engine = PowerEngine([GpuNode("nid005000")])
+        rng = np.random.default_rng(0)
+        traces = engine._render_traces([], rng)
+        assert len(traces) == 1
+        assert traces[0].times.size == 0
+        assert all(v.size == 0 for v in traces[0].components.values())

@@ -1,0 +1,139 @@
+"""Unit tests for the sweep executor and run specs."""
+
+import numpy as np
+import pytest
+
+from repro.runner.sweep import (
+    MIN_PARALLEL_GRID,
+    WORKERS_ENV,
+    EstimateSpec,
+    RunSpec,
+    SweepExecutor,
+    resolve_workers,
+    run_sweep,
+)
+from repro.vasp.benchmarks import benchmark
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return benchmark("PdO2").build()
+
+
+class TestSpecs:
+    def test_run_spec_rejects_bad_nodes(self, workload):
+        with pytest.raises(ValueError):
+            RunSpec(workload, n_nodes=0)
+
+    def test_estimate_spec_rejects_bad_nodes(self, workload):
+        with pytest.raises(ValueError):
+            EstimateSpec(workload, n_nodes=0)
+
+    def test_run_spec_executes_like_run_workload(self, workload):
+        from repro.experiments.common import run_workload
+
+        via_spec = RunSpec(workload, n_nodes=1, seed=11).execute()
+        direct = run_workload(workload, n_nodes=1, seed=11)
+        np.testing.assert_array_equal(
+            via_spec.result.traces[0].node_power, direct.result.traces[0].node_power
+        )
+
+    def test_estimate_spec_executes_like_estimate_run(self, workload):
+        from repro.capping.scheduler import estimate_run
+
+        via_spec = EstimateSpec(workload, n_nodes=2, cap_w=200.0).execute()
+        direct = estimate_run(workload, 2, 200.0)
+        assert via_spec.runtime_s == direct.runtime_s
+        assert via_spec.mean_node_power_w == direct.mean_node_power_w
+
+
+class TestResolveWorkers:
+    def test_explicit_wins(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "8")
+        assert resolve_workers(16, workers=3) == 3
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "5")
+        assert resolve_workers(16) == 5
+
+    def test_env_must_be_integer(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "many")
+        with pytest.raises(ValueError):
+            resolve_workers(16)
+
+    def test_small_grids_run_serially(self, monkeypatch):
+        monkeypatch.delenv(WORKERS_ENV, raising=False)
+        assert resolve_workers(MIN_PARALLEL_GRID - 1) == 1
+
+    def test_never_more_workers_than_tasks(self):
+        assert resolve_workers(2, workers=16) == 2
+
+    def test_never_below_one(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "0")
+        assert resolve_workers(10) == 1
+
+
+class TestSweepExecutor:
+    def test_empty_grid(self):
+        executor = SweepExecutor()
+        assert executor.run([]) == []
+        assert executor.last_executed == 0
+
+    def test_grid_order_preserved(self, workload):
+        specs = [EstimateSpec(workload, n_nodes=n) for n in (4, 1, 2)]
+        results = SweepExecutor().run(specs)
+        runtimes = [r.runtime_s for r in results]
+        # Scaling is monotone: 4 nodes finishes fastest, 1 node slowest.
+        assert runtimes[0] < runtimes[2] < runtimes[1]
+
+    def test_dedupe_executes_each_distinct_spec_once(self, workload):
+        specs = [
+            EstimateSpec(workload, n_nodes=1),
+            EstimateSpec(workload, n_nodes=2),
+            EstimateSpec(workload, n_nodes=1),
+            EstimateSpec(workload, n_nodes=2),
+        ]
+        executor = SweepExecutor(workers=1)
+        results = executor.run(specs)
+        assert executor.last_executed == 2
+        assert results[0].runtime_s == results[2].runtime_s
+        assert results[1].runtime_s == results[3].runtime_s
+
+    def test_dedupe_can_be_disabled(self, workload):
+        specs = [EstimateSpec(workload, n_nodes=1)] * 3
+        executor = SweepExecutor(workers=1, dedupe=False)
+        executor.run(specs)
+        assert executor.last_executed == 3
+
+    def test_unfingerprintable_specs_fall_back_to_positional(self):
+        executor = SweepExecutor(workers=1)
+        # object() cannot be fingerprinted -> positional keys, no dedupe.
+        results = executor.map(lambda s: type(s).__name__, ["aa", object(), "aa"])
+        assert results == ["str", "object", "str"]
+        assert executor.last_executed == 3
+
+    def test_serial_and_parallel_bit_identical(self, workload):
+        from repro.experiments.common import run_cache
+
+        specs = [RunSpec(workload, n_nodes=n, seed=3) for n in (1, 2, 1)]
+        serial = SweepExecutor(workers=1).run(specs)
+        run_cache().clear()  # force the parallel pass to recompute
+        parallel = SweepExecutor(workers=2, dedupe=False).run(specs)
+        for a, b in zip(serial, parallel):
+            assert a.runtime_s == b.runtime_s
+            for ta, tb in zip(a.result.traces, b.result.traces):
+                np.testing.assert_array_equal(ta.node_power, tb.node_power)
+                np.testing.assert_array_equal(ta.gpu_total, tb.gpu_total)
+
+    def test_env_worker_override_is_respected(self, workload, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "1")
+        specs = [EstimateSpec(workload, n_nodes=n) for n in (1, 2, 4, 8)]
+        results = run_sweep(specs)
+        assert len(results) == 4
+
+    def test_map_applies_module_level_function(self, workload):
+        specs = [EstimateSpec(workload, n_nodes=n) for n in (1, 2)]
+        runtimes = SweepExecutor(workers=1).map(
+            lambda s: s.execute().runtime_s, specs
+        )
+        assert runtimes[0] > runtimes[1]
