@@ -1,10 +1,12 @@
 """Compare benchmark timings against the committed baseline.
 
 Runs the benchmark suite with pytest-benchmark's JSON output, then diffs
-each bench's mean time against ``BENCH_BASELINE.json`` at the repo root.
-Grid-sweep benches (names containing ``sweep``) are the guarded series:
-any of them regressing by more than the threshold (20 % by default)
-fails the script.  Other benches are reported but only warn.
+each bench's **minimum** time against ``BENCH_BASELINE.json`` at the
+repo root (min-of-rounds is far more robust to host load than the mean:
+background load only ever adds time).  Grid-sweep benches (names
+containing ``sweep``) are the guarded series: any of them regressing by
+more than the threshold (20 % by default) fails the script.  Other
+benches are reported but only warn.
 
 Usage::
 
@@ -29,7 +31,46 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 BASELINE_PATH = REPO_ROOT / "BENCH_BASELINE.json"
 #: Benches guarded against regression (substring match on the test name).
 GUARDED_SUBSTRING = "sweep"
-DEFAULT_THRESHOLD = 0.20
+#: Same-code runs on a shared 1-CPU container measure up to ~25 % apart
+#: even after min-of-rounds and host-drift normalization, so the timing
+#: gate only catches large regressions (lost dedupe/vectorization/cache
+#: are all 2x+).  The load-invariant contracts — dedupe speedup >= 3x,
+#: executed == distinct specs — are asserted inside the benches
+#: themselves and fail the run directly.
+DEFAULT_THRESHOLD = 0.50
+
+
+def collect_efficiency() -> dict[str, float | int]:
+    """Deterministic dedupe/cache effectiveness fields for the baseline.
+
+    Runs the Fig 12 estimator sweep twice against cleared caches: the
+    first pass measures within-grid dedupe (the shared 400 W baseline),
+    the second the cache hit path.  Both are content-keyed and seedless,
+    so these ratios are machine-independent — they record the perf
+    *trajectory* (how much work the executor avoids) per PR, alongside
+    the host-dependent timings.
+    """
+    import sys as _sys
+
+    _sys.path.insert(0, str(REPO_ROOT / "src"))
+    from repro.capping.scheduler import estimate_cache
+    from repro.experiments import fig12_cap_performance
+    from repro.runner.sweep import reset_sweep_stats, sweep_stats
+
+    estimate_cache().clear()
+    reset_sweep_stats()
+    fig12_cap_performance.run()
+    fig12_cap_performance.run()
+    sweeps = sweep_stats()
+    cache = estimate_cache().stats()
+    return {
+        "specs_submitted": sweeps.specs_submitted,
+        "specs_executed": sweeps.specs_executed,
+        "dedupe_ratio": round(sweeps.dedupe_ratio, 6),
+        "cache_hits": cache.hits,
+        "cache_misses": cache.misses,
+        "cache_hit_rate": round(cache.hit_rate, 6),
+    }
 
 
 def run_benchmarks(json_path: Path) -> None:
@@ -48,45 +89,74 @@ def run_benchmarks(json_path: Path) -> None:
         raise SystemExit(f"benchmark run failed (exit {result.returncode})")
 
 
-def extract_means(json_path: Path) -> dict[str, float]:
-    """Bench name -> mean seconds from a pytest-benchmark JSON file."""
+def extract_times(json_path: Path) -> dict[str, float]:
+    """Bench name -> min seconds from a pytest-benchmark JSON file."""
     data = json.loads(json_path.read_text())
     return {
-        bench["name"]: float(bench["stats"]["mean"])
+        bench["name"]: float(bench["stats"]["min"])
         for bench in data.get("benchmarks", [])
     }
 
 
-def write_baseline(means: dict[str, float], machine_note: str = "") -> None:
+def write_baseline(times: dict[str, float], machine_note: str = "") -> None:
     """Write the committed baseline file."""
     payload = {
         "note": (
-            "Benchmark baseline for scripts/bench_compare.py. Mean seconds "
+            "Benchmark baseline for scripts/bench_compare.py. Min seconds "
             "per bench; regenerate with --update when hardware changes."
         ),
         "machine": machine_note,
         "threshold": DEFAULT_THRESHOLD,
         "guarded_substring": GUARDED_SUBSTRING,
-        "benchmarks": {name: {"mean_s": mean} for name, mean in sorted(means.items())},
+        "efficiency": collect_efficiency(),
+        "benchmarks": {name: {"min_s": value} for name, value in sorted(times.items())},
     }
     BASELINE_PATH.write_text(json.dumps(payload, indent=2) + "\n")
-    print(f"wrote {BASELINE_PATH} ({len(means)} benches)")
+    print(f"wrote {BASELINE_PATH} ({len(times)} benches)")
 
 
-def compare(means: dict[str, float], threshold: float) -> int:
-    """Diff current means against the baseline; return the exit code."""
+def host_drift(deltas: dict[str, float]) -> float:
+    """Median relative drift of the *unguarded* benches.
+
+    Shared hosts slow the whole suite down together (CPU contention,
+    thermal state); that uniform factor is not a code regression.  The
+    unguarded benches act as the control group: their median drift
+    estimates the host factor, and guarded benches are judged on drift
+    *beyond* it.  A genuine sweep-path regression moves the guarded
+    series away from the rest of the suite and still fails.
+    """
+    control = sorted(
+        delta for name, delta in deltas.items() if GUARDED_SUBSTRING not in name
+    )
+    if not control:
+        return 0.0
+    mid = len(control) // 2
+    if len(control) % 2:
+        return control[mid]
+    return (control[mid - 1] + control[mid]) / 2
+
+
+def compare(times: dict[str, float], threshold: float) -> int:
+    """Diff current min times against the baseline; return the exit code."""
     if not BASELINE_PATH.is_file():
         print(f"no baseline at {BASELINE_PATH}; run with --update to create one")
         return 1
     baseline = json.loads(BASELINE_PATH.read_text())
-    base_means = {
-        name: entry["mean_s"] for name, entry in baseline["benchmarks"].items()
+    base_times = {
+        name: entry["min_s"] for name, entry in baseline["benchmarks"].items()
     }
+    deltas = {
+        name: (times[name] - base) / base
+        for name, base in base_times.items()
+        if name in times
+    }
+    drift = host_drift(deltas)
     failures = []
-    print(f"{'bench':<42} {'base (s)':>10} {'now (s)':>10} {'delta':>8}")
-    for name in sorted(set(base_means) | set(means)):
-        base = base_means.get(name)
-        now = means.get(name)
+    print(f"host drift (median of unguarded benches): {drift:+.0%}")
+    print(f"{'bench':<42} {'base (s)':>10} {'now (s)':>10} {'delta':>8} {'adj':>8}")
+    for name in sorted(set(base_times) | set(times)):
+        base = base_times.get(name)
+        now = times.get(name)
         guarded = GUARDED_SUBSTRING in name
         if base is None:
             print(f"{name:<42} {'-':>10} {now:>10.4f}   (new)")
@@ -96,13 +166,30 @@ def compare(means: dict[str, float], threshold: float) -> int:
             if guarded:
                 failures.append(f"{name}: guarded bench missing from this run")
             continue
-        delta = (now - base) / base
+        delta = deltas[name]
+        adjusted = (1.0 + delta) / (1.0 + drift) - 1.0
         marker = ""
-        if delta > threshold:
+        if adjusted > threshold:
             marker = " REGRESSION" if guarded else " (slower; unguarded)"
             if guarded:
-                failures.append(f"{name}: {delta:+.0%} vs baseline (> {threshold:.0%})")
-        print(f"{name:<42} {base:>10.4f} {now:>10.4f} {delta:>+7.0%}{marker}")
+                failures.append(
+                    f"{name}: {adjusted:+.0%} beyond host drift (> {threshold:.0%})"
+                )
+        print(
+            f"{name:<42} {base:>10.4f} {now:>10.4f} {delta:>+7.0%} "
+            f"{adjusted:>+7.0%}{marker}"
+        )
+    # Effectiveness trajectory: deterministic, so any drift is a real
+    # behaviour change (informational — timings are the pass/fail gate).
+    base_eff = baseline.get("efficiency")
+    if base_eff is not None:
+        now_eff = collect_efficiency()
+        print("\nefficiency (deterministic; baseline -> now):")
+        for key in sorted(set(base_eff) | set(now_eff)):
+            base_v = base_eff.get(key, "-")
+            now_v = now_eff.get(key, "-")
+            drift = "" if base_v == now_v else "  (changed)"
+            print(f"  {key:18s} {base_v!s:>10} -> {now_v!s:>10}{drift}")
     if failures:
         print("\nguarded benches regressed:")
         for line in failures:
@@ -121,7 +208,7 @@ def main() -> int:
         "--threshold",
         type=float,
         default=DEFAULT_THRESHOLD,
-        help="relative slowdown that fails a guarded bench (default 0.20)",
+        help="drift-adjusted slowdown that fails a guarded bench (default 0.50)",
     )
     parser.add_argument(
         "--json",
@@ -144,14 +231,14 @@ def main() -> int:
         json_path = args.json or Path(tempfile.mkstemp(suffix=".json")[1])
         run_benchmarks(json_path)
 
-    means = extract_means(json_path)
-    if not means:
+    times = extract_times(json_path)
+    if not times:
         print("no benchmark results found")
         return 1
     if args.update:
-        write_baseline(means)
+        write_baseline(times)
         return 0
-    return compare(means, args.threshold)
+    return compare(times, args.threshold)
 
 
 if __name__ == "__main__":

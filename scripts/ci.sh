@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# CI entry point: tier-1 tests, then the guarded benchmark comparison.
+#
+# Usage:
+#   scripts/ci.sh                 # full gate: pytest + bench compare
+#   scripts/ci.sh --skip-bench    # tests only (fast pre-push check)
+#
+# Extra arguments after the flags are forwarded to bench_compare.py
+# (e.g. `scripts/ci.sh --threshold 0.3`).
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+SKIP_BENCH=0
+ARGS=()
+for arg in "$@"; do
+    if [[ "$arg" == "--skip-bench" ]]; then
+        SKIP_BENCH=1
+    else
+        ARGS+=("$arg")
+    fi
+done
+
+echo "== tier-1 tests =="
+python -m pytest -x -q
+
+if [[ "$SKIP_BENCH" == "1" ]]; then
+    echo "== benches skipped (--skip-bench) =="
+    exit 0
+fi
+
+echo "== benchmark comparison (guarded sweep benches) =="
+python scripts/bench_compare.py "${ARGS[@]+"${ARGS[@]}"}"

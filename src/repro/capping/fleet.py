@@ -17,10 +17,12 @@ much system-power variation application-level capping removes.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.capping.policy import CapPolicy
 from repro.capping.scheduler import (
     Job,
@@ -30,6 +32,8 @@ from repro.capping.scheduler import (
 )
 from repro.runner.sweep import SweepExecutor
 from repro.vasp.benchmarks import BENCHMARKS
+
+logger = logging.getLogger(__name__)
 
 #: Production-like mix weights: basic DFT dominates NERSC's VASP cycles,
 #: with a meaningful share of higher-order (HSE/RPA) jobs.
@@ -125,7 +129,15 @@ def simulate_fleet(
     config = SchedulerConfig(
         n_nodes=n_nodes, power_budget_w=power_budget_w, policy=policy
     )
-    schedule = PowerAwareScheduler(config).schedule(list(jobs))
+    logger.debug(
+        "simulating fleet: policy=%s, %d jobs on %d nodes, budget %.0f W",
+        policy_name,
+        len(jobs),
+        n_nodes,
+        power_budget_w,
+    )
+    with obs.span("fleet.simulate", policy=policy_name, jobs=len(jobs)):
+        schedule = PowerAwareScheduler(config).schedule(list(jobs))
     times = np.array([t for t, _ in schedule.power_timeline])
     powers = np.array([p for _, p in schedule.power_timeline])
     if len(times) > 1:

@@ -16,9 +16,11 @@ milliseconds.
 from __future__ import annotations
 
 import heapq
+import logging
 import math
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.hardware.gpu import A100Gpu
 from repro.hardware.variability import ManufacturingVariation
 from repro.perfmodel.power import demand_power_w, duty_cycle_power_w
@@ -92,9 +94,11 @@ def estimate_run(
     )
 
 
+logger = logging.getLogger(__name__)
+
 #: Memoized estimates: scheduling cycles re-estimate the same (workload,
 #: nodes, cap) triples thousands of times, and the estimator is pure.
-_ESTIMATE_CACHE = RunCache(maxsize=1024)
+_ESTIMATE_CACHE = RunCache(maxsize=1024, name="estimate")
 
 
 def estimate_cache() -> RunCache:
@@ -209,6 +213,25 @@ class PowerAwareScheduler:
         Jobs are considered FCFS in submit order; a job that does not fit
         (nodes or power) blocks only itself — later jobs may backfill.
         """
+        with obs.span(
+            "scheduler.schedule", jobs=len(jobs), n_nodes=self.config.n_nodes
+        ) as sched_span:
+            result = self._schedule_inner(jobs)
+            sched_span.annotate(
+                makespan_s=result.makespan_s, cycles=len(result.power_timeline)
+            )
+        obs.inc("repro_scheduler_jobs_total", len(jobs))
+        obs.inc("repro_scheduler_cycles_total", len(result.power_timeline))
+        logger.debug(
+            "scheduled %d jobs in %d cycles; makespan %.0f s, peak %.0f W",
+            len(jobs),
+            len(result.power_timeline),
+            result.makespan_s,
+            result.peak_power_w,
+        )
+        return result
+
+    def _schedule_inner(self, jobs: list[Job]) -> ScheduleResult:
         cfg = self.config
         queue = sorted(jobs, key=lambda j: (j.submit_s, j.job_id))
         free_nodes = cfg.n_nodes

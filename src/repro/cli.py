@@ -9,14 +9,26 @@ Installed as ``repro`` (also ``python -m repro``)::
     repro reproduce fig12              # regenerate a paper table/figure
     repro reproduce fig05 --json out.json
     repro schedule --watts-per-node 900
+    repro obs                          # observability configuration/status
+    repro reproduce fig10 --trace t.json --metrics m.prom
+
+Observability flags (``run``/``survey``/``cap-sweep``/``reproduce``):
+``--trace FILE`` writes a Chrome trace-event JSON of the session,
+``--metrics FILE`` a Prometheus text exposition (``.json`` for a JSON
+snapshot), ``--log-level LEVEL`` configures stdlib logging.  The
+``REPRO_TRACE`` / ``REPRO_METRICS`` / ``REPRO_LOG`` environment
+variables do the same for library use.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
 from collections.abc import Sequence
 
+from repro import obs
 from repro.analysis.modes import high_power_mode_w
 from repro.analysis.stats import summarize
 from repro.experiments import (
@@ -39,9 +51,12 @@ from repro.experiments import (
     table1,
     topdown,
 )
-from repro.experiments.common import run_workload
+from repro.capping.scheduler import estimate_cache
+from repro.experiments.common import run_cache, run_workload
 from repro.experiments.report import format_table, sparkline
 from repro.io import result_to_json, save_trace_csv
+from repro.runner.cache import CACHE_DIR_ENV, CACHE_ENABLE_ENV
+from repro.runner.sweep import WORKERS_ENV, sweep_stats
 from repro.vasp.benchmarks import BENCHMARKS, benchmark, benchmark_names
 
 #: Artifact name -> (run, render) for `repro reproduce`.
@@ -65,6 +80,22 @@ ARTIFACTS = {
     "topdown": (topdown.run, topdown.render),
     "system-power": (system_power.run, system_power.render),
 }
+
+
+def _print_efficiency_summary() -> None:
+    """One-line cache/dedupe effectiveness footer (reproduce, cap-sweep)."""
+    lines = []
+    for cache in (run_cache(), estimate_cache()):
+        stats = cache.stats()
+        if stats.lookups:
+            lines.append(stats.summary_line())
+    sweeps = sweep_stats()
+    if sweeps.grids:
+        lines.append(sweeps.summary_line())
+    if lines:
+        print()
+        for line in lines:
+            print(f"  [{line}]")
 
 
 def _cmd_list(_args: argparse.Namespace) -> int:
@@ -147,16 +178,59 @@ def _cmd_cap_sweep(args: argparse.Namespace) -> int:
             title=f"{workload.name} cap sweep ({n_nodes} node(s))",
         )
     )
+    _print_efficiency_summary()
     return 0
 
 
 def _cmd_reproduce(args: argparse.Namespace) -> int:
     run_fn, render_fn = ARTIFACTS[args.artifact]
-    result = run_fn()
+    with obs.span("cli.reproduce", artifact=args.artifact):
+        result = run_fn()
     print(render_fn(result))
     if args.json:
         result_to_json(result, args.json)
         print(f"\nresult data written to {args.json}")
+    _print_efficiency_summary()
+    return 0
+
+
+def _cmd_obs(args: argparse.Namespace) -> int:
+    status = obs.status()
+    if args.json_status:
+        print(json.dumps(status, indent=2))
+        return 0
+    print("observability status")
+    tracing = status["tracing"]
+    metrics = status["metrics"]
+    print(f"  tracing  : {'on' if tracing['active'] else 'off'}", end="")
+    if tracing["path"]:
+        print(f" -> {tracing['path']} (chrome trace-event JSON)", end="")
+    print()
+    print(f"  metrics  : {'on' if metrics['active'] else 'off'}", end="")
+    if metrics["path"]:
+        print(f" -> {metrics['path']}", end="")
+    print()
+    if metrics["names"]:
+        print(f"  registered metrics: {', '.join(metrics['names'])}")
+    print("\nenvironment")
+    for env in (
+        obs.TRACE_ENV,
+        obs.METRICS_ENV,
+        obs.LOG_ENV,
+        CACHE_ENABLE_ENV,
+        CACHE_DIR_ENV,
+        WORKERS_ENV,
+    ):
+        value = os.environ.get(env)
+        print(f"  {env:20s} = {value if value is not None else '(unset)'}")
+    print("\ncaches")
+    for cache in (run_cache(), estimate_cache()):
+        print(f"  {cache.stats().summary_line()}")
+    print(f"  {sweep_stats().summary_line()}")
+    print(
+        "\nenable with `repro <cmd> --trace FILE --metrics FILE "
+        "--log-level LEVEL` or the REPRO_* environment variables."
+    )
     return 0
 
 
@@ -177,11 +251,35 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    # Observability flags shared by the executing subcommands.
+    obs_flags = argparse.ArgumentParser(add_help=False)
+    obs_group = obs_flags.add_argument_group("observability")
+    obs_group.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE",
+        help="write a Chrome trace-event JSON (chrome://tracing / Perfetto)",
+    )
+    obs_group.add_argument(
+        "--metrics",
+        default=None,
+        metavar="FILE",
+        help="write collected metrics (Prometheus text; .json for a snapshot)",
+    )
+    obs_group.add_argument(
+        "--log-level",
+        default=None,
+        metavar="LEVEL",
+        help="configure stdlib logging (debug/info/warning/error)",
+    )
+
     sub.add_parser("list", help="list benchmarks and artifacts").set_defaults(
         func=_cmd_list
     )
 
-    p_run = sub.add_parser("run", help="run one benchmark and print power stats")
+    p_run = sub.add_parser(
+        "run", help="run one benchmark and print power stats", parents=[obs_flags]
+    )
     p_run.add_argument("benchmark", choices=benchmark_names())
     p_run.add_argument("--nodes", type=int, default=1)
     p_run.add_argument("--cap", type=float, default=None, help="GPU power cap in W")
@@ -189,12 +287,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--export-trace", default=None, help="write ground truth CSV")
     p_run.set_defaults(func=_cmd_run)
 
-    p_survey = sub.add_parser("survey", help="profile all seven benchmarks")
+    p_survey = sub.add_parser(
+        "survey", help="profile all seven benchmarks", parents=[obs_flags]
+    )
     p_survey.add_argument("--nodes", type=int, default=1)
     p_survey.add_argument("--seed", type=int, default=7)
     p_survey.set_defaults(func=_cmd_survey)
 
-    p_sweep = sub.add_parser("cap-sweep", help="power-cap response of a benchmark")
+    p_sweep = sub.add_parser(
+        "cap-sweep", help="power-cap response of a benchmark", parents=[obs_flags]
+    )
     p_sweep.add_argument("benchmark", choices=benchmark_names())
     p_sweep.add_argument("--nodes", type=int, default=None)
     p_sweep.add_argument(
@@ -203,7 +305,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--seed", type=int, default=7)
     p_sweep.set_defaults(func=_cmd_cap_sweep)
 
-    p_repro = sub.add_parser("reproduce", help="regenerate a paper artifact")
+    p_repro = sub.add_parser(
+        "reproduce", help="regenerate a paper artifact", parents=[obs_flags]
+    )
     p_repro.add_argument("artifact", choices=sorted(ARTIFACTS))
     p_repro.add_argument("--json", default=None, help="also export result data")
     p_repro.set_defaults(func=_cmd_reproduce)
@@ -214,6 +318,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_sched.add_argument("--copies", type=int, default=2)
     p_sched.set_defaults(func=_cmd_schedule)
 
+    p_obs = sub.add_parser(
+        "obs", help="show observability configuration and status"
+    )
+    p_obs.add_argument(
+        "--json", dest="json_status", action="store_true", help="emit JSON status"
+    )
+    p_obs.set_defaults(func=_cmd_obs)
+
     return parser
 
 
@@ -221,8 +333,18 @@ def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    # Activate observability: env vars first, explicit flags on top.
+    obs.configure_from_env()
+    obs.enable(
+        trace=getattr(args, "trace", None) or False,
+        metrics=getattr(args, "metrics", None) or False,
+        log_level=getattr(args, "log_level", None),
+    )
     try:
-        return args.func(args)
+        code = args.func(args)
+        for path, kind in obs.flush().items():
+            print(f"{kind} written to {path}")
+        return code
     except BrokenPipeError:
         # Output piped into a pager/head that closed early — not an error.
         try:

@@ -8,8 +8,10 @@ per-figure modules stay declarative.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass
 
+from repro import obs
 from repro.analysis.stats import DistributionSummary, summarize
 from repro.hardware.node import GpuNode
 from repro.runner.cache import RunCache, caching_disabled, disk_dir_from_env, fingerprint
@@ -19,6 +21,8 @@ from repro.telemetry.downsample import downsample_trace
 from repro.vasp.parallel import ParallelConfig
 from repro.vasp.workload import VaspWorkload
 
+logger = logging.getLogger(__name__)
+
 #: The effective telemetry cadence of the paper's data (Section II-B).
 TELEMETRY_INTERVAL_S: float = 2.0
 
@@ -26,7 +30,7 @@ TELEMETRY_INTERVAL_S: float = 2.0
 #: (workload fingerprint, node count, cap, seed, engine config); see
 #: :mod:`repro.runner.cache`.  ``REPRO_CACHE=0`` bypasses it entirely;
 #: ``REPRO_CACHE_DIR`` adds an on-disk layer shared across processes.
-_RUN_CACHE = RunCache(maxsize=256, disk_dir=disk_dir_from_env())
+_RUN_CACHE = RunCache(maxsize=256, disk_dir=disk_dir_from_env(), name="run")
 
 
 def run_cache() -> RunCache:
@@ -116,15 +120,33 @@ def _execute_run(
     nodes: list[GpuNode] | None = None,
 ) -> MeasuredRun:
     """The uncached pipeline body behind :func:`run_workload`."""
-    if nodes is None:
-        nodes = make_nodes(n_nodes)
-    for node in nodes:
-        if gpu_cap_w is None:
-            node.reset_gpu_power_limit()
-        else:
-            node.set_gpu_power_limit(gpu_cap_w)
-    engine = PowerEngine(nodes, engine_config)
-    parallel = ParallelConfig(n_nodes=n_nodes, kpar=workload.incar.kpar)
-    result = engine.run(workload.phases(parallel), label=workload.name, seed=seed)
-    telemetry = [downsample_trace(t, TELEMETRY_INTERVAL_S) for t in result.traces]
-    return MeasuredRun(result=result, telemetry=telemetry)
+    obs.inc("repro_pipeline_runs_total")
+    logger.debug(
+        "executing pipeline: %s on %d node(s), cap=%s, seed=%d",
+        workload.name,
+        n_nodes,
+        gpu_cap_w,
+        seed,
+    )
+    with obs.span(
+        "experiments.run_workload",
+        workload=workload.name,
+        nodes=n_nodes,
+        cap_w=gpu_cap_w,
+        seed=seed,
+    ):
+        if nodes is None:
+            nodes = make_nodes(n_nodes)
+        for node in nodes:
+            if gpu_cap_w is None:
+                node.reset_gpu_power_limit()
+            else:
+                node.set_gpu_power_limit(gpu_cap_w)
+        engine = PowerEngine(nodes, engine_config)
+        parallel = ParallelConfig(n_nodes=n_nodes, kpar=workload.incar.kpar)
+        result = engine.run(workload.phases(parallel), label=workload.name, seed=seed)
+        with obs.span("experiments.downsample", traces=len(result.traces)):
+            telemetry = [
+                downsample_trace(t, TELEMETRY_INTERVAL_S) for t in result.traces
+            ]
+        return MeasuredRun(result=result, telemetry=telemetry)

@@ -182,7 +182,13 @@ class A100Gpu:
         static = self.envelope.static_w
         frac = self.clock_fraction(demand_w, cap)
         if frac >= 1.0:
-            power = min(demand_w, cap)
+            # The controller enforces its effective target, not the raw
+            # limit: near the 100 W floor the regulation error puts the
+            # target *above* the cap, and demand inside that window runs
+            # unthrottled (keeps sustained power monotone in the cap —
+            # a binding lower cap already lands on its own target).
+            target = cap * (1.0 - CONTROL_MARGIN + self.regulation_error(cap))
+            power = min(demand_w, max(cap, target))
             slowdown = 1.0
         else:
             # Sustained power lands on the controller's effective target:
@@ -257,7 +263,10 @@ def resolve_phase_batch(
 
     at_full = frac >= 1.0
     throttled_power = np.minimum(static + (demand - static) * np.power(frac, 3), demand)
-    power = np.where(at_full, np.minimum(demand, cap), throttled_power)
+    # Mirror the scalar path: at full clocks the controller enforces its
+    # effective target (above the cap near the floor), not the raw limit.
+    full_power = np.minimum(demand, np.maximum(cap, target))
+    power = np.where(at_full, full_power, throttled_power)
     with np.errstate(divide="ignore", invalid="ignore"):
         slowdown = np.where(at_full, 1.0, cf / frac + (1.0 - cf))
 

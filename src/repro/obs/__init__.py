@@ -1,0 +1,286 @@
+"""``repro.obs`` — tracing, metrics and runtime introspection.
+
+The paper's contribution is telemetry *about jobs*; this subsystem is the
+same idea turned inward — telemetry about the reproduction harness.  It
+has three parts:
+
+* :mod:`repro.obs.trace` — nested spans with a Chrome trace-event
+  (``chrome://tracing`` / Perfetto) JSON exporter;
+* :mod:`repro.obs.metrics` — counters / gauges / histograms with
+  Prometheus text-exposition and JSON snapshot exporters;
+* :mod:`repro.obs.logconf` — stdlib logging wiring (``REPRO_LOG``).
+
+This module owns the *global observability state* and the cheap
+module-level helpers the hot layers call:
+
+``obs.span(name, **args)``
+    Context manager; a shared no-op when tracing is disabled.
+``obs.inc(name, amount, **labels)`` / ``obs.gauge_set`` / ``obs.observe``
+    Metric updates; single ``None``-check no-ops when disabled.
+
+Activation (all default **off**):
+
+* environment — ``REPRO_TRACE=FILE`` enables tracing and writes the
+  Chrome JSON to FILE at exit via :func:`flush`; ``REPRO_METRICS=FILE``
+  likewise for metrics (``.json`` suffix selects the JSON snapshot,
+  anything else Prometheus text); ``REPRO_LOG=LEVEL`` configures
+  logging.
+* CLI — ``repro ... --trace FILE --metrics FILE --log-level LEVEL``.
+* programmatic — :func:`enable` / :func:`disable`.
+
+Instrumentation is observation-only: enabling it never changes a
+computed result (``EXPERIMENTS.md`` regenerates byte-identical with
+tracing on).
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.obs.logconf import (
+    LOG_ENV,
+    configure_logging,
+    get_logger,
+    reset_logging,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.trace import NULL_SPAN, TraceEvent, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "TraceEvent",
+    "Tracer",
+    "TRACE_ENV",
+    "METRICS_ENV",
+    "LOG_ENV",
+    "configure_from_env",
+    "configure_logging",
+    "disable",
+    "enable",
+    "flush",
+    "gauge_set",
+    "get_logger",
+    "inc",
+    "instant",
+    "is_active",
+    "metrics",
+    "observe",
+    "reset_logging",
+    "span",
+    "status",
+    "tracer",
+    "tracing_active",
+]
+
+#: Environment variable: path for the Chrome trace JSON (enables tracing).
+TRACE_ENV = "REPRO_TRACE"
+#: Environment variable: path for the metrics export (enables metrics).
+METRICS_ENV = "REPRO_METRICS"
+
+
+@dataclass
+class _ObsState:
+    """The process-wide observability configuration."""
+
+    tracer: Tracer | None = None
+    registry: MetricsRegistry | None = None
+    trace_path: Path | None = None
+    metrics_path: Path | None = None
+    #: Exports already performed by :func:`flush` (path -> kind).
+    flushed: dict[str, str] = field(default_factory=dict)
+
+
+_STATE = _ObsState()
+_ENV_CONFIGURED = False
+
+
+# ----------------------------------------------------------------------
+# Activation
+# ----------------------------------------------------------------------
+def enable(
+    trace: bool | str | Path = False,
+    metrics: bool | str | Path = False,
+    log_level: str | int | None = None,
+) -> None:
+    """Turn observability layers on.
+
+    ``trace`` / ``metrics`` accept True (collect in memory) or a path
+    (collect and export there on :func:`flush`).  ``log_level``
+    configures stdlib logging when given.
+    """
+    if trace:
+        if _STATE.tracer is None:
+            _STATE.tracer = Tracer()
+        if not isinstance(trace, bool):
+            _STATE.trace_path = Path(trace)
+    if metrics:
+        if _STATE.registry is None:
+            _STATE.registry = MetricsRegistry()
+        if not isinstance(metrics, bool):
+            _STATE.metrics_path = Path(metrics)
+    if log_level is not None:
+        configure_logging(log_level)
+
+
+def disable() -> None:
+    """Turn all observability layers off and drop collected data."""
+    _STATE.tracer = None
+    _STATE.registry = None
+    _STATE.trace_path = None
+    _STATE.metrics_path = None
+    _STATE.flushed = {}
+
+
+def configure_from_env() -> None:
+    """Activate layers named by ``REPRO_TRACE`` / ``REPRO_METRICS`` /
+    ``REPRO_LOG``.
+
+    Called once on import (so plain library use honours the env vars)
+    and again by the CLI after flag parsing; re-calls are cheap and only
+    ever *add* layers.
+    """
+    trace_path = os.environ.get(TRACE_ENV, "").strip()
+    metrics_path = os.environ.get(METRICS_ENV, "").strip()
+    if trace_path:
+        enable(trace=trace_path)
+    if metrics_path:
+        enable(metrics=metrics_path)
+    if os.environ.get(LOG_ENV, "").strip():
+        configure_logging()
+
+
+def is_active() -> bool:
+    """True when any observability layer (tracing or metrics) is on."""
+    return _STATE.tracer is not None or _STATE.registry is not None
+
+
+def tracing_active() -> bool:
+    """True when span collection is on."""
+    return _STATE.tracer is not None
+
+
+def tracer() -> Tracer | None:
+    """The active tracer, or None when tracing is off."""
+    return _STATE.tracer
+
+
+def metrics() -> MetricsRegistry | None:
+    """The active metrics registry, or None when metrics are off."""
+    return _STATE.registry
+
+
+# ----------------------------------------------------------------------
+# Hot-path helpers (no-ops when disabled)
+# ----------------------------------------------------------------------
+def span(name: str, category: str = "repro", **args: Any):
+    """A tracing span; the shared no-op context manager when disabled."""
+    active = _STATE.tracer
+    if active is None:
+        return NULL_SPAN
+    return active.span(name, category, **args)
+
+
+def instant(name: str, category: str = "repro", **args: Any) -> None:
+    """Record an instant event (no-op when tracing is disabled)."""
+    active = _STATE.tracer
+    if active is not None:
+        active.instant(name, category, **args)
+
+
+def inc(name: str, amount: float = 1.0, help_text: str = "", **labels: str) -> None:
+    """Increment a counter (no-op when metrics are disabled)."""
+    registry = _STATE.registry
+    if registry is not None:
+        registry.counter(name, help_text).inc(amount, **labels)
+
+
+def gauge_set(name: str, value: float, help_text: str = "", **labels: str) -> None:
+    """Set a gauge (no-op when metrics are disabled)."""
+    registry = _STATE.registry
+    if registry is not None:
+        registry.gauge(name, help_text).set(value, **labels)
+
+
+def observe(name: str, value: float, help_text: str = "", **labels: str) -> None:
+    """Record a histogram observation (no-op when metrics are disabled)."""
+    registry = _STATE.registry
+    if registry is not None:
+        registry.histogram(name, help_text).observe(value)
+
+
+# ----------------------------------------------------------------------
+# Export
+# ----------------------------------------------------------------------
+def flush() -> dict[str, str]:
+    """Write collected data to the configured paths.
+
+    Returns ``{path: kind}`` for the files written this call.  Metrics
+    paths ending in ``.json`` get the JSON snapshot; anything else the
+    Prometheus text exposition.  Idempotent per (path, content): called
+    both by the CLI on exit and by an ``atexit`` hook as a safety net.
+    """
+    written: dict[str, str] = {}
+    if _STATE.tracer is not None and _STATE.trace_path is not None:
+        _STATE.tracer.export_chrome(_STATE.trace_path)
+        written[str(_STATE.trace_path)] = "chrome-trace"
+    if _STATE.registry is not None and _STATE.metrics_path is not None:
+        if _STATE.metrics_path.suffix.lower() == ".json":
+            _STATE.registry.export_json(_STATE.metrics_path)
+            written[str(_STATE.metrics_path)] = "metrics-json"
+        else:
+            _STATE.registry.export_prometheus(_STATE.metrics_path)
+            written[str(_STATE.metrics_path)] = "prometheus"
+    _STATE.flushed.update(written)
+    return written
+
+
+def _flush_at_exit() -> None:  # pragma: no cover - exercised via subprocess
+    try:
+        flush()
+    except OSError:
+        pass
+
+
+atexit.register(_flush_at_exit)
+
+
+# ----------------------------------------------------------------------
+# Introspection (the `repro obs` command)
+# ----------------------------------------------------------------------
+def status() -> dict[str, Any]:
+    """A JSON-ready description of the current observability state."""
+    return {
+        "tracing": {
+            "active": _STATE.tracer is not None,
+            "events": len(_STATE.tracer) if _STATE.tracer is not None else 0,
+            "path": str(_STATE.trace_path) if _STATE.trace_path else None,
+            "env": os.environ.get(TRACE_ENV) or None,
+        },
+        "metrics": {
+            "active": _STATE.registry is not None,
+            "names": _STATE.registry.names() if _STATE.registry is not None else [],
+            "path": str(_STATE.metrics_path) if _STATE.metrics_path else None,
+            "env": os.environ.get(METRICS_ENV) or None,
+        },
+        "logging": {
+            "env": os.environ.get(LOG_ENV) or None,
+        },
+    }
+
+
+# Honour the env vars for plain library use (harmless when unset).
+if not _ENV_CONFIGURED:
+    _ENV_CONFIGURED = True
+    configure_from_env()

@@ -1,0 +1,315 @@
+"""Counters, gauges and histograms with Prometheus/JSON exporters.
+
+The metric model mirrors what an LDMS/OMNI-style collector would scrape
+from a production deployment of this simulator: monotonic counters
+(cache hits, specs executed), point-in-time gauges (worker counts) and
+latency histograms (per-spec sweep latency), exposed in the Prometheus
+text exposition format plus a JSON snapshot for programmatic use.
+
+Like :mod:`repro.obs.trace`, everything here is observation-only: a
+metric update never feeds back into the computation, so instrumented
+runs stay bit-identical to uninstrumented ones.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import threading
+from pathlib import Path
+from typing import Any, Iterable
+
+#: Default histogram bucket upper bounds, in seconds — tuned for the
+#: sweep/engine latencies this harness sees (sub-millisecond cache hits
+#: up to multi-second full-pipeline runs).
+DEFAULT_BUCKETS_S: tuple[float, ...] = (
+    0.001,
+    0.005,
+    0.01,
+    0.05,
+    0.1,
+    0.5,
+    1.0,
+    5.0,
+    10.0,
+    60.0,
+)
+
+_LabelKey = tuple[tuple[str, str], ...]
+
+
+def _label_key(labels: dict[str, str]) -> _LabelKey:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def _format_labels(key: _LabelKey) -> str:
+    if not key:
+        return ""
+    inner = ",".join(f'{name}="{value}"' for name, value in key)
+    return "{" + inner + "}"
+
+
+def _format_value(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+class Counter:
+    """A monotonically increasing counter, optionally labelled."""
+
+    def __init__(self, name: str, help_text: str = "") -> None:
+        self.name = name
+        self.help_text = help_text
+        self._lock = threading.Lock()
+        self._values: dict[_LabelKey, float] = {}
+
+    def inc(self, amount: float = 1.0, **labels: str) -> None:
+        """Add ``amount`` (must be >= 0) to the labelled series."""
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease (got {amount})")
+        key = _label_key(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels: str) -> float:
+        """Current value of one labelled series (0 if never incremented)."""
+        return self._values.get(_label_key(labels), 0.0)
+
+    def total(self) -> float:
+        """Sum across all labelled series."""
+        with self._lock:
+            return sum(self._values.values())
+
+    # -- export --------------------------------------------------------
+    def expose(self) -> list[str]:
+        lines = []
+        if self.help_text:
+            lines.append(f"# HELP {self.name} {self.help_text}")
+        lines.append(f"# TYPE {self.name} counter")
+        with self._lock:
+            series = sorted(self._values.items())
+        if not series:
+            series = [((), 0.0)]
+        for key, value in series:
+            lines.append(f"{self.name}{_format_labels(key)} {_format_value(value)}")
+        return lines
+
+    def snapshot(self) -> dict[str, Any]:
+        with self._lock:
+            series = {
+                _format_labels(key) or "": value
+                for key, value in sorted(self._values.items())
+            }
+        return {"type": "counter", "help": self.help_text, "values": series}
+
+
+class Gauge:
+    """A point-in-time value that can move both ways."""
+
+    def __init__(self, name: str, help_text: str = "") -> None:
+        self.name = name
+        self.help_text = help_text
+        self._lock = threading.Lock()
+        self._values: dict[_LabelKey, float] = {}
+
+    def set(self, value: float, **labels: str) -> None:
+        """Set the labelled series to ``value``."""
+        with self._lock:
+            self._values[_label_key(labels)] = float(value)
+
+    def inc(self, amount: float = 1.0, **labels: str) -> None:
+        """Add ``amount`` (may be negative) to the labelled series."""
+        key = _label_key(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels: str) -> float:
+        """Current value of one labelled series (0 if never set)."""
+        return self._values.get(_label_key(labels), 0.0)
+
+    def expose(self) -> list[str]:
+        lines = []
+        if self.help_text:
+            lines.append(f"# HELP {self.name} {self.help_text}")
+        lines.append(f"# TYPE {self.name} gauge")
+        with self._lock:
+            series = sorted(self._values.items())
+        if not series:
+            series = [((), 0.0)]
+        for key, value in series:
+            lines.append(f"{self.name}{_format_labels(key)} {_format_value(value)}")
+        return lines
+
+    def snapshot(self) -> dict[str, Any]:
+        with self._lock:
+            series = {
+                _format_labels(key) or "": value
+                for key, value in sorted(self._values.items())
+            }
+        return {"type": "gauge", "help": self.help_text, "values": series}
+
+
+class Histogram:
+    """A cumulative-bucket histogram (Prometheus semantics).
+
+    Tracks per-bucket counts plus ``_sum`` and ``_count``; buckets are
+    upper bounds with an implicit ``+Inf`` bucket.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str = "",
+        buckets: Iterable[float] = DEFAULT_BUCKETS_S,
+    ) -> None:
+        bounds = sorted(float(b) for b in buckets)
+        if not bounds:
+            raise ValueError(f"histogram {name} needs at least one bucket")
+        self.name = name
+        self.help_text = help_text
+        self.bounds = bounds
+        self._lock = threading.Lock()
+        self._counts = [0] * (len(bounds) + 1)  # last = +Inf
+        self._sum = 0.0
+        self._total = 0
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        value = float(value)
+        with self._lock:
+            self._sum += value
+            self._total += 1
+            for index, bound in enumerate(self.bounds):
+                if value <= bound:
+                    self._counts[index] += 1
+                    return
+            self._counts[-1] += 1
+
+    @property
+    def count(self) -> int:
+        """Total observations."""
+        return self._total
+
+    @property
+    def sum(self) -> float:
+        """Sum of observed values."""
+        return self._sum
+
+    def expose(self) -> list[str]:
+        lines = []
+        if self.help_text:
+            lines.append(f"# HELP {self.name} {self.help_text}")
+        lines.append(f"# TYPE {self.name} histogram")
+        with self._lock:
+            counts = list(self._counts)
+            total = self._total
+            value_sum = self._sum
+        cumulative = 0
+        for bound, count in zip(self.bounds + [math.inf], counts):
+            cumulative += count
+            label = _format_labels((("le", _format_value(bound)),))
+            lines.append(f"{self.name}_bucket{label} {cumulative}")
+        lines.append(f"{self.name}_sum {_format_value(value_sum)}")
+        lines.append(f"{self.name}_count {total}")
+        return lines
+
+    def snapshot(self) -> dict[str, Any]:
+        with self._lock:
+            return {
+                "type": "histogram",
+                "help": self.help_text,
+                "buckets": {
+                    _format_value(bound): count
+                    for bound, count in zip(self.bounds, self._counts)
+                },
+                "inf": self._counts[-1],
+                "sum": self._sum,
+                "count": self._total,
+            }
+
+
+class MetricsRegistry:
+    """Get-or-create registry of named metrics with both exporters."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+
+    def _get_or_create(self, name: str, factory, kind: type) -> Any:
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if not isinstance(existing, kind):
+                    raise TypeError(
+                        f"metric {name!r} already registered as "
+                        f"{type(existing).__name__}, not {kind.__name__}"
+                    )
+                return existing
+            metric = factory()
+            self._metrics[name] = metric
+            return metric
+
+    def counter(self, name: str, help_text: str = "") -> Counter:
+        """Get or create the named counter."""
+        return self._get_or_create(name, lambda: Counter(name, help_text), Counter)
+
+    def gauge(self, name: str, help_text: str = "") -> Gauge:
+        """Get or create the named gauge."""
+        return self._get_or_create(name, lambda: Gauge(name, help_text), Gauge)
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str = "",
+        buckets: Iterable[float] = DEFAULT_BUCKETS_S,
+    ) -> Histogram:
+        """Get or create the named histogram."""
+        return self._get_or_create(
+            name, lambda: Histogram(name, help_text, buckets), Histogram
+        )
+
+    # -- inspection ----------------------------------------------------
+    def names(self) -> list[str]:
+        """Registered metric names, sorted."""
+        with self._lock:
+            return sorted(self._metrics)
+
+    def get(self, name: str) -> Counter | Gauge | Histogram | None:
+        """The named metric, or None."""
+        with self._lock:
+            return self._metrics.get(name)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._metrics)
+
+    # -- export --------------------------------------------------------
+    def to_prometheus(self) -> str:
+        """The registry in Prometheus text exposition format."""
+        lines: list[str] = []
+        with self._lock:
+            metrics = [self._metrics[name] for name in sorted(self._metrics)]
+        for metric in metrics:
+            lines.extend(metric.expose())
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def to_json(self) -> dict[str, Any]:
+        """Snapshot of every metric as plain JSON-ready data."""
+        with self._lock:
+            metrics = [(name, self._metrics[name]) for name in sorted(self._metrics)]
+        return {name: metric.snapshot() for name, metric in metrics}
+
+    def export_prometheus(self, path: str | Path) -> Path:
+        """Write the Prometheus exposition to a file; returns the path."""
+        path = Path(path)
+        path.write_text(self.to_prometheus())
+        return path
+
+    def export_json(self, path: str | Path) -> Path:
+        """Write the JSON snapshot to a file; returns the path."""
+        path = Path(path)
+        path.write_text(json.dumps(self.to_json(), indent=2) + "\n")
+        return path

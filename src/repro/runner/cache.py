@@ -23,6 +23,7 @@ from __future__ import annotations
 import dataclasses
 import enum
 import hashlib
+import logging
 import os
 import pickle
 from collections import OrderedDict
@@ -30,6 +31,10 @@ from pathlib import Path
 from typing import Any, Callable, TypeVar
 
 import numpy as np
+
+from repro import obs
+
+logger = logging.getLogger(__name__)
 
 #: Environment variable: set to a directory path to enable the on-disk
 #: cache layer (``1``/``true`` selects the default ``.repro_cache/``).
@@ -40,6 +45,42 @@ CACHE_ENABLE_ENV = "REPRO_CACHE"
 DEFAULT_CACHE_DIR = ".repro_cache"
 
 T = TypeVar("T")
+
+
+@dataclasses.dataclass(frozen=True)
+class CacheStats:
+    """Point-in-time effectiveness snapshot of one :class:`RunCache`."""
+
+    name: str
+    hits: int
+    misses: int
+    disk_hits: int
+    evictions: int
+    size: int
+    maxsize: int
+    disk_dir: str | None
+
+    @property
+    def lookups(self) -> int:
+        """Total lookups served."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits over lookups (0.0 when nothing was looked up)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def summary_line(self) -> str:
+        """One-line human summary (for CLI footers)."""
+        line = (
+            f"{self.name} cache: {self.hits} hits / {self.misses} misses"
+            f" ({self.hit_rate:.0%} hit rate), {self.size}/{self.maxsize} entries"
+        )
+        if self.disk_dir is not None:
+            line += f", {self.disk_hits} disk hits ({self.disk_dir})"
+        if self.evictions:
+            line += f", {self.evictions} evictions"
+        return line
 
 
 def _canonical(obj: Any) -> Any:
@@ -108,6 +149,9 @@ class RunCache:
     disk_dir:
         Directory for the pickle layer; None keeps the cache memory-only.
         The directory is created lazily on first write.
+    name:
+        Label for :meth:`stats` lines and the ``cache`` metric label
+        (e.g. ``"run"`` vs ``"estimate"``).
 
     Notes
     -----
@@ -116,14 +160,22 @@ class RunCache:
     :class:`~repro.runner.trace.RunResult` after the fact).
     """
 
-    def __init__(self, maxsize: int = 256, disk_dir: str | Path | None = None) -> None:
+    def __init__(
+        self,
+        maxsize: int = 256,
+        disk_dir: str | Path | None = None,
+        name: str = "run",
+    ) -> None:
         if maxsize < 1:
             raise ValueError(f"maxsize must be >= 1, got {maxsize}")
         self.maxsize = maxsize
         self.disk_dir = Path(disk_dir) if disk_dir is not None else None
+        self.name = name
         self._memory: OrderedDict[str, Any] = OrderedDict()
         self.hits = 0
         self.misses = 0
+        self.disk_hits = 0
+        self.evictions = 0
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -138,6 +190,7 @@ class RunCache:
         if key in self._memory:
             self._memory.move_to_end(key)
             self.hits += 1
+            obs.inc("repro_cache_hits_total", cache=self.name, layer="memory")
             return self._memory[key]
         if self.disk_dir is not None:
             path = self._disk_path(key)
@@ -145,14 +198,26 @@ class RunCache:
                 try:
                     with path.open("rb") as fh:
                         value = pickle.load(fh)
-                except (OSError, pickle.UnpicklingError, EOFError):
+                except (OSError, pickle.UnpicklingError, EOFError) as exc:
                     # A torn write (e.g. interrupted worker) is a miss.
+                    logger.warning(
+                        "%s cache: unreadable disk entry %s (%s: %s); treating as miss",
+                        self.name,
+                        path,
+                        type(exc).__name__,
+                        exc,
+                    )
+                    obs.inc("repro_cache_disk_errors_total", cache=self.name)
                     self.misses += 1
+                    obs.inc("repro_cache_misses_total", cache=self.name)
                     return None
                 self._remember(key, value)
                 self.hits += 1
+                self.disk_hits += 1
+                obs.inc("repro_cache_hits_total", cache=self.name, layer="disk")
                 return value
         self.misses += 1
+        obs.inc("repro_cache_misses_total", cache=self.name)
         return None
 
     def put(self, key: str, value: Any) -> None:
@@ -170,6 +235,21 @@ class RunCache:
         self._memory.move_to_end(key)
         while len(self._memory) > self.maxsize:
             self._memory.popitem(last=False)
+            self.evictions += 1
+            obs.inc("repro_cache_evictions_total", cache=self.name)
+
+    def stats(self) -> CacheStats:
+        """Effectiveness snapshot: hits, misses, disk hits, evictions, size."""
+        return CacheStats(
+            name=self.name,
+            hits=self.hits,
+            misses=self.misses,
+            disk_hits=self.disk_hits,
+            evictions=self.evictions,
+            size=len(self._memory),
+            maxsize=self.maxsize,
+            disk_dir=str(self.disk_dir) if self.disk_dir is not None else None,
+        )
 
     def get_or_compute(self, key: str, compute: Callable[[], T]) -> T:
         """Return the cached value for a key, computing and storing on miss."""
@@ -185,9 +265,13 @@ class RunCache:
         self._memory.clear()
         self.hits = 0
         self.misses = 0
+        self.disk_hits = 0
+        self.evictions = 0
         if disk and self.disk_dir is not None and self.disk_dir.is_dir():
             for path in self.disk_dir.glob("*.pkl"):
                 try:
                     path.unlink()
-                except OSError:
-                    pass
+                except OSError as exc:
+                    logger.warning(
+                        "%s cache: could not remove %s (%s)", self.name, path, exc
+                    )

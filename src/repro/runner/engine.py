@@ -15,17 +15,21 @@ KDE analysis of Section III meaningful).
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass
 
 import numpy as np
 from scipy.signal import lfilter
 
+from repro import obs
 from repro.hardware.gpu import resolve_phase_batch
 from repro.hardware.node import GpuNode
 from repro.hardware.variability import unit_rng
 from repro.perfmodel.power import demand_power_batch, demand_power_w
 from repro.vasp.phases import MacroPhase
 from repro.runner.trace import COMPONENT_KEYS, GPU_KEYS, PhaseRecord, PowerTrace, RunResult
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass(frozen=True)
@@ -107,7 +111,17 @@ class PowerEngine:
         """
         gpu_counts = {len(node.gpus) for node in self.nodes}
         if len(gpu_counts) != 1:
-            return [self._resolve_phase_reference(p) for p in phases]
+            logger.debug(
+                "heterogeneous pool (%s GPUs/node): using reference resolve path",
+                sorted(gpu_counts),
+            )
+            obs.inc("repro_engine_resolve_total", len(phases), path="reference")
+            resolved = []
+            for p in phases:
+                with obs.span("engine.resolve_phase", phase=p.name, path="reference"):
+                    resolved.append(self._resolve_phase_reference(p))
+            return resolved
+        obs.inc("repro_engine_resolve_total", len(phases), path="vectorized")
 
         nodes = self.nodes
         n_nodes = len(nodes)
@@ -337,8 +351,20 @@ class PowerEngine:
         """
         if not phases:
             raise ValueError("cannot run an empty phase list")
+        obs.inc("repro_engine_runs_total")
+        with obs.span(
+            "engine.run", label=label, phases=len(phases), nodes=len(self.nodes)
+        ):
+            return self._run_instrumented(phases, label, seed)
+
+    def _run_instrumented(
+        self, phases: list[MacroPhase], label: str, seed: int
+    ) -> RunResult:
         rng = np.random.default_rng(seed)
-        resolved = self._resolve_phases(phases)
+        with obs.span(
+            "engine.resolve_phases", phases=len(phases), nodes=len(self.nodes)
+        ):
+            resolved = self._resolve_phases(phases)
         # Lay out the schedule.
         records = []
         clock = 0.0
@@ -358,7 +384,11 @@ class PowerEngine:
             _ResolvedPhase(record=rec, node_means=r.node_means)
             for rec, r in zip(records, resolved)
         ]
-        traces = self._render_traces(resolved, rng)
+        with obs.span(
+            "engine.render_traces", phases=len(resolved), nodes=len(self.nodes)
+        ) as render_span:
+            traces = self._render_traces(resolved, rng)
+            render_span.annotate(samples=int(traces[0].times.size) if traces else 0)
         return RunResult(
             label=label,
             traces=traces,

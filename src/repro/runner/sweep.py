@@ -24,14 +24,19 @@ computation.
 
 from __future__ import annotations
 
+import logging
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Any, Callable, Sequence, TypeVar
 
+from repro import obs
 from repro.runner.cache import fingerprint
 from repro.runner.engine import EngineConfig
 from repro.vasp.workload import VaspWorkload
+
+logger = logging.getLogger(__name__)
 
 #: Environment override for the worker count.  ``1`` (or ``0``) forces
 #: serial execution; unset lets the executor size itself to the host.
@@ -43,6 +48,56 @@ MIN_PARALLEL_GRID = 4
 
 SpecT = TypeVar("SpecT")
 ResultT = TypeVar("ResultT")
+
+
+@dataclass
+class SweepStats:
+    """Process-wide sweep effectiveness totals (cheap plain counters).
+
+    Always maintained — unlike the :mod:`repro.obs` metrics these cost a
+    few integer adds per *grid*, so they stay on even with observability
+    disabled.  They feed the CLI's end-of-run dedupe summary and the
+    bench trajectory fields in ``BENCH_BASELINE.json``.
+    """
+
+    grids: int = 0
+    specs_submitted: int = 0
+    specs_executed: int = 0
+
+    @property
+    def specs_deduped(self) -> int:
+        """Grid points served by another point's execution."""
+        return self.specs_submitted - self.specs_executed
+
+    @property
+    def dedupe_ratio(self) -> float:
+        """Deduped fraction of submitted specs (0.0 when nothing ran)."""
+        if self.specs_submitted == 0:
+            return 0.0
+        return self.specs_deduped / self.specs_submitted
+
+    def summary_line(self) -> str:
+        """One-line human summary (for CLI footers)."""
+        return (
+            f"sweeps: {self.specs_submitted} specs over {self.grids} grids, "
+            f"{self.specs_executed} executed "
+            f"({self.specs_deduped} deduped, {self.dedupe_ratio:.0%})"
+        )
+
+
+_STATS = SweepStats()
+
+
+def sweep_stats() -> SweepStats:
+    """The process-wide :class:`SweepStats` accumulator."""
+    return _STATS
+
+
+def reset_sweep_stats() -> None:
+    """Zero the process-wide sweep totals (tests, CLI session scoping)."""
+    _STATS.grids = 0
+    _STATS.specs_submitted = 0
+    _STATS.specs_executed = 0
 
 
 @dataclass(frozen=True)
@@ -183,22 +238,79 @@ class SweepExecutor:
                 unique.append(spec)
 
         workers = resolve_workers(len(unique), self.workers)
-        results = self._execute(fn, unique, workers)
+        _STATS.grids += 1
+        _STATS.specs_submitted += len(specs)
+        _STATS.specs_executed += len(unique)
+        obs.inc("repro_sweep_specs_submitted_total", len(specs))
+        obs.inc("repro_sweep_specs_deduped_total", len(specs) - len(unique))
+        obs.inc("repro_sweep_specs_executed_total", len(unique))
+        obs.gauge_set("repro_sweep_workers", workers)
+        logger.debug(
+            "sweep grid: %d specs, %d unique after dedupe, %d worker(s)",
+            len(specs),
+            len(unique),
+            workers,
+        )
+        with obs.span(
+            "sweep.map",
+            specs=len(specs),
+            unique=len(unique),
+            deduped=len(specs) - len(unique),
+            workers=workers,
+        ):
+            results = self._execute(fn, unique, workers)
         self.last_executed = len(unique)
         return [results[order[key]] for key in keys]
+
+    def _run_serial(
+        self, fn: Callable[[SpecT], ResultT], tasks: list[SpecT]
+    ) -> list[ResultT]:
+        """In-process execution with per-spec spans and latency metrics."""
+        results: list[ResultT] = []
+        for index, task in enumerate(tasks):
+            start = time.perf_counter()
+            with obs.span("sweep.spec", index=index, spec=type(task).__name__):
+                results.append(fn(task))
+            obs.observe(
+                "repro_sweep_spec_seconds",
+                time.perf_counter() - start,
+                help_text="Per-spec sweep execution latency (in-process path)",
+            )
+        return results
 
     def _execute(
         self, fn: Callable[[SpecT], ResultT], tasks: list[SpecT], workers: int
     ) -> list[ResultT]:
+        if obs.is_active():
+            # Spans and metrics recorded inside pool workers would die
+            # with the worker process; while observability is on, run
+            # in-process so engine/cache instrumentation lands in the
+            # session's tracer and registry.  Results are identical by
+            # the serial == parallel contract.
+            if workers > 1:
+                logger.debug(
+                    "observability active: executing %d specs in-process "
+                    "(would have used %d workers)",
+                    len(tasks),
+                    workers,
+                )
+            return self._run_serial(fn, tasks)
         if workers <= 1 or len(tasks) <= 1:
             return [fn(task) for task in tasks]
         chunksize = max(len(tasks) // (workers * 4), 1)
         try:
             with ProcessPoolExecutor(max_workers=workers) as pool:
                 return list(pool.map(fn, tasks, chunksize=chunksize))
-        except (OSError, PermissionError, ImportError):
+        except (OSError, PermissionError, ImportError) as exc:
             # Pools need fork/spawn and pipes; restricted hosts fall back
             # to serial execution (identical results, by construction).
+            logger.warning(
+                "process pool unavailable (%s: %s); falling back to serial "
+                "execution of %d specs",
+                type(exc).__name__,
+                exc,
+                len(tasks),
+            )
             return [fn(task) for task in tasks]
 
 

@@ -1,0 +1,15 @@
+"""Shared fixtures: keep the global observability state test-local."""
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def clean_obs_state():
+    """Every test starts and ends with observability disabled."""
+    obs.disable()
+    obs.reset_logging()
+    yield
+    obs.disable()
+    obs.reset_logging()

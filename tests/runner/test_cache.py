@@ -117,6 +117,80 @@ class TestRunCache:
         assert list(tmp_path.glob("*.pkl")) == []
 
 
+class TestCacheStats:
+    def test_snapshot_fields(self):
+        cache = RunCache(maxsize=8, name="unit")
+        cache.get("missing")
+        cache.put("k", 1)
+        cache.get("k")
+        stats = cache.stats()
+        assert stats.name == "unit"
+        assert stats.hits == 1
+        assert stats.misses == 1
+        assert stats.lookups == 2
+        assert stats.hit_rate == 0.5
+        assert stats.size == 1
+        assert stats.maxsize == 8
+        assert stats.disk_dir is None
+        assert stats.disk_hits == 0
+
+    def test_hit_rate_zero_without_lookups(self):
+        stats = RunCache().stats()
+        assert stats.lookups == 0
+        assert stats.hit_rate == 0.0
+
+    def test_disk_hits_counted(self, tmp_path):
+        writer = RunCache(disk_dir=tmp_path / "cache")
+        writer.put("key", 42)
+        reader = RunCache(disk_dir=tmp_path / "cache")
+        reader.get("key")
+        stats = reader.stats()
+        assert stats.hits == 1
+        assert stats.disk_hits == 1
+        assert stats.disk_dir == str(tmp_path / "cache")
+
+    def test_evictions_counted(self):
+        cache = RunCache(maxsize=2)
+        for key in ("a", "b", "c", "d"):
+            cache.put(key, 0)
+        assert cache.stats().evictions == 2
+
+    def test_clear_resets_counters(self):
+        cache = RunCache(maxsize=1)
+        cache.get("miss")
+        cache.put("a", 1)
+        cache.put("b", 2)  # evicts a
+        cache.clear()
+        stats = cache.stats()
+        assert (stats.hits, stats.misses, stats.disk_hits, stats.evictions) == (
+            0,
+            0,
+            0,
+            0,
+        )
+
+    def test_summary_line(self, tmp_path):
+        cache = RunCache(maxsize=4, disk_dir=tmp_path, name="run")
+        cache.get("miss")
+        cache.put("k", 1)
+        cache.get("k")
+        line = cache.stats().summary_line()
+        assert line.startswith("run cache: 1 hits / 1 misses (50% hit rate)")
+        assert str(tmp_path) in line
+
+    def test_torn_disk_read_logs_warning(self, tmp_path, caplog):
+        disk = tmp_path / "cache"
+        disk.mkdir()
+        (disk / "key.pkl").write_bytes(b"not a pickle")
+        cache = RunCache(disk_dir=disk, name="unit")
+        with caplog.at_level("WARNING", logger="repro.runner.cache"):
+            assert cache.get("key") is None
+        assert any(
+            "unreadable disk entry" in record.getMessage() for record in caplog.records
+        )
+        assert cache.stats().misses == 1
+
+
 class TestCachingDisabled:
     def test_default_enabled(self, monkeypatch):
         monkeypatch.delenv(CACHE_ENABLE_ENV, raising=False)

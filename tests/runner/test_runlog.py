@@ -58,3 +58,30 @@ class TestRoundTrip:
         bad.write_text("repro run log (OUTCAR-flavoured)\n executed on  1 node(s)\n")
         with pytest.raises(ValueError):
             parse_run_log(bad)
+
+    def test_rejects_log_without_phase_lines(self, run_result, tmp_path):
+        path = write_run_log(run_result, tmp_path / "run.log")
+        gutted = "\n".join(
+            line for line in path.read_text().splitlines() if "PHASE" not in line
+        )
+        bad = tmp_path / "gutted.log"
+        bad.write_text(gutted + "\n")
+        with pytest.raises(ValueError, match="no PHASE lines"):
+            parse_run_log(bad)
+
+    def test_writes_are_deterministic(self, run_result, tmp_path):
+        first = write_run_log(run_result, tmp_path / "a.log")
+        second = write_run_log(run_result, tmp_path / "b.log")
+        assert first.read_text() == second.read_text()
+
+    def test_multinode_roundtrip(self, tmp_path):
+        result = run_workload(benchmark("PdO2").build(), n_nodes=4, seed=2).result
+        parsed = parse_run_log(write_run_log(result, tmp_path / "multi.log"))
+        assert parsed.n_nodes == 4
+        assert parsed.loop_time_s == pytest.approx(parsed.runtime_s, abs=0.1)
+
+    def test_reparse_is_stable(self, run_result, tmp_path):
+        """Parsing loses only formatting precision: a second parse of the
+        same file reproduces the first parse exactly."""
+        path = write_run_log(run_result, tmp_path / "run.log")
+        assert parse_run_log(path) == parse_run_log(path)

@@ -3,14 +3,17 @@
 import numpy as np
 import pytest
 
+from repro import obs
 from repro.runner.sweep import (
     MIN_PARALLEL_GRID,
     WORKERS_ENV,
     EstimateSpec,
     RunSpec,
     SweepExecutor,
+    reset_sweep_stats,
     resolve_workers,
     run_sweep,
+    sweep_stats,
 )
 from repro.vasp.benchmarks import benchmark
 
@@ -137,3 +140,66 @@ class TestSweepExecutor:
             lambda s: s.execute().runtime_s, specs
         )
         assert runtimes[0] > runtimes[1]
+
+
+class TestSweepStats:
+    @pytest.fixture(autouse=True)
+    def fresh_stats(self):
+        reset_sweep_stats()
+        yield
+        reset_sweep_stats()
+
+    def test_map_accumulates_totals(self, workload):
+        specs = [
+            EstimateSpec(workload, n_nodes=1),
+            EstimateSpec(workload, n_nodes=2),
+            EstimateSpec(workload, n_nodes=1),
+        ]
+        SweepExecutor(workers=1).run(specs)
+        SweepExecutor(workers=1).run(specs[:1])
+        stats = sweep_stats()
+        assert stats.grids == 2
+        assert stats.specs_submitted == 4
+        assert stats.specs_executed == 3
+        assert stats.specs_deduped == 1
+        assert stats.dedupe_ratio == pytest.approx(0.25)
+
+    def test_dedupe_ratio_zero_when_idle(self):
+        assert sweep_stats().dedupe_ratio == 0.0
+
+    def test_summary_line(self, workload):
+        SweepExecutor(workers=1).run([EstimateSpec(workload, n_nodes=1)] * 2)
+        line = sweep_stats().summary_line()
+        assert "2 specs over 1 grids" in line
+        assert "1 executed" in line
+        assert "1 deduped" in line
+
+
+class TestObservabilityIntegration:
+    @pytest.fixture(autouse=True)
+    def obs_off_afterwards(self):
+        obs.disable()
+        yield
+        obs.disable()
+
+    def test_active_obs_forces_in_process_execution(self, workload):
+        """With tracing on, specs run in-process so their spans survive."""
+        obs.enable(trace=True, metrics=True)
+        specs = [EstimateSpec(workload, n_nodes=n) for n in (1, 2, 4, 8)]
+        # workers=4 would normally use the process pool for this grid.
+        results = SweepExecutor(workers=4).run(specs)
+        assert len(results) == 4
+        names = [e.name for e in obs.tracer().events]
+        assert names.count("sweep.spec") == 4
+        assert "sweep.map" in names
+        histogram = obs.metrics().get("repro_sweep_spec_seconds")
+        assert histogram.count == 4
+
+    def test_sweep_counters_recorded(self, workload):
+        obs.enable(metrics=True)
+        SweepExecutor(workers=1).run([EstimateSpec(workload, n_nodes=1)] * 3)
+        registry = obs.metrics()
+        assert registry.get("repro_sweep_specs_submitted_total").total() == 3
+        assert registry.get("repro_sweep_specs_executed_total").total() == 1
+        assert registry.get("repro_sweep_specs_deduped_total").total() == 2
+        assert registry.get("repro_sweep_workers").value() == 1

@@ -1,0 +1,105 @@
+"""OmniStore window-query edge cases.
+
+The nominal query paths are covered alongside the sampler tests; these
+pin down the boundary behaviour a job-window query can hit: windows that
+select nothing, degenerate ``end == start`` windows, and selectors for
+nodes/components the store has never seen.
+"""
+
+import numpy as np
+import pytest
+
+from repro.telemetry.omni import OmniQuery, OmniStore
+from repro.telemetry.sampler import SampledSeries
+
+
+def make_series(node="nid000001", component="node", t0=0.0):
+    times = np.arange(5, dtype=float) + t0
+    return SampledSeries(
+        node_name=node, component=component, times=times, values=times * 10.0 + 100.0
+    )
+
+
+@pytest.fixture
+def store():
+    st = OmniStore()
+    st.ingest(make_series())
+    st.ingest(make_series(component="gpu0"))
+    st.ingest(make_series(node="nid000002"))
+    return st
+
+
+class TestEmptyWindows:
+    def test_window_beyond_data_returns_empty_series(self, store):
+        results = store.query(
+            OmniQuery(node_name="nid000001", component="node", start_s=100.0)
+        )
+        # The (node, component) stream matches; its window is empty.
+        assert len(results) == 1
+        assert results[0].times.size == 0
+        assert results[0].values.size == 0
+
+    def test_window_before_data_returns_empty_series(self, store):
+        results = store.query(
+            OmniQuery(node_name="nid000001", component="node", end_s=-1.0)
+        )
+        assert len(results) == 1
+        assert results[0].times.size == 0
+
+    def test_end_equals_start_is_half_open_empty(self, store):
+        # [t, t) selects nothing, even when t is exactly a sample time.
+        results = store.query(
+            OmniQuery(node_name="nid000001", component="node", start_s=2.0, end_s=2.0)
+        )
+        assert len(results) == 1
+        assert results[0].times.size == 0
+
+    def test_end_before_start_rejected_at_construction(self):
+        with pytest.raises(ValueError, match="before start"):
+            OmniQuery(start_s=2.0, end_s=1.0)
+
+    def test_window_is_half_open(self, store):
+        # [1, 3) keeps samples at t=1 and t=2, excludes t=3.
+        (result,) = store.query(
+            OmniQuery(node_name="nid000001", component="node", start_s=1.0, end_s=3.0)
+        )
+        np.testing.assert_array_equal(result.times, [1.0, 2.0])
+
+    def test_concatenated_empty_window_is_not_a_lookup_error(self, store):
+        # Matching stream + empty window -> an empty series, NOT LookupError
+        # ("no data in window" differs from "no such stream").
+        merged = store.concatenated(
+            OmniQuery(node_name="nid000001", component="node", start_s=100.0)
+        )
+        assert merged.times.size == 0
+        assert merged.energy_j() == 0.0
+
+
+class TestUnknownSelectors:
+    def test_unknown_node_matches_nothing(self, store):
+        assert store.query(OmniQuery(node_name="nid999999")) == []
+
+    def test_unknown_component_matches_nothing(self, store):
+        assert store.query(OmniQuery(component="gpu7")) == []
+
+    def test_known_node_unknown_component_combination(self, store):
+        # nid000002 exists and gpu0 exists, but not together.
+        assert (
+            store.query(OmniQuery(node_name="nid000002", component="gpu0")) == []
+        )
+
+    def test_concatenated_unknown_node_raises(self, store):
+        with pytest.raises(LookupError, match="no series match"):
+            store.concatenated(OmniQuery(node_name="nid999999"))
+
+    def test_concatenated_unknown_component_raises(self, store):
+        with pytest.raises(LookupError, match="no series match"):
+            store.concatenated(OmniQuery(component="gpu7"))
+
+    def test_empty_store_lists_nothing_and_matches_nothing(self):
+        empty = OmniStore()
+        assert empty.nodes == []
+        assert empty.components == []
+        assert empty.query(OmniQuery()) == []
+        with pytest.raises(LookupError):
+            empty.concatenated(OmniQuery())
