@@ -38,6 +38,12 @@ GUARDED_SUBSTRING = "sweep"
 #: executed == distinct specs — are asserted inside the benches
 #: themselves and fail the run directly.
 DEFAULT_THRESHOLD = 0.50
+#: Hard floor on the fleet dense/streaming peak-memory ratio.
+MEMORY_REDUCTION_FLOOR = 3.0
+#: Relative growth of the streaming peak that fails the memory gate.
+#: Allocation peaks are deterministic (seeded run, tracemalloc), so a
+#: wide band only has to absorb allocator/version noise, not host load.
+MEMORY_GROWTH_THRESHOLD = 0.50
 
 
 def collect_efficiency() -> dict[str, float | int]:
@@ -70,6 +76,36 @@ def collect_efficiency() -> dict[str, float | int]:
         "cache_hits": cache.hits,
         "cache_misses": cache.misses,
         "cache_hit_rate": round(cache.hit_rate, 6),
+    }
+
+
+def collect_memory() -> dict[str, float | int]:
+    """Peak allocated-bytes fields for the fleet streaming/dense paths.
+
+    Reuses the benchmark suite's measurement (tracemalloc high-water
+    marks over the ISSUE-scale 1000-node / 200-job traced fleet run) so
+    the baseline records the same numbers the memory-gated bench
+    asserts on.  Deterministic: same seeds, same allocation pattern.
+    """
+    import sys as _sys
+
+    _sys.path.insert(0, str(REPO_ROOT / "src"))
+    _sys.path.insert(0, str(REPO_ROOT))
+    from benchmarks.test_fleet_bench import (
+        FLEET_JOBS,
+        FLEET_NODES,
+        measure_fleet_memory,
+    )
+
+    stream, dense, stream_peak, dense_peak = measure_fleet_memory()
+    if stream.system != dense.system:
+        raise SystemExit("fleet streaming and dense statistics diverged")
+    return {
+        "fleet_nodes": FLEET_NODES,
+        "fleet_jobs": FLEET_JOBS,
+        "streaming_peak_bytes": int(stream_peak),
+        "dense_peak_bytes": int(dense_peak),
+        "rss_reduction": round(dense_peak / stream_peak, 4),
     }
 
 
@@ -109,6 +145,7 @@ def write_baseline(times: dict[str, float], machine_note: str = "") -> None:
         "threshold": DEFAULT_THRESHOLD,
         "guarded_substring": GUARDED_SUBSTRING,
         "efficiency": collect_efficiency(),
+        "memory": collect_memory(),
         "benchmarks": {name: {"min_s": value} for name, value in sorted(times.items())},
     }
     BASELINE_PATH.write_text(json.dumps(payload, indent=2) + "\n")
@@ -190,6 +227,30 @@ def compare(times: dict[str, float], threshold: float) -> int:
             now_v = now_eff.get(key, "-")
             drift = "" if base_v == now_v else "  (changed)"
             print(f"  {key:18s} {base_v!s:>10} -> {now_v!s:>10}{drift}")
+    # Memory gate: streaming the fleet must keep beating the dense path
+    # by the floor ratio, and its own peak must not balloon.
+    base_mem = baseline.get("memory")
+    if base_mem is not None:
+        now_mem = collect_memory()
+        print("\nmemory (tracemalloc peaks; baseline -> now):")
+        for key in sorted(set(base_mem) | set(now_mem)):
+            base_v = base_mem.get(key, "-")
+            now_v = now_mem.get(key, "-")
+            changed = "" if base_v == now_v else "  (changed)"
+            print(f"  {key:22s} {base_v!s:>12} -> {now_v!s:>12}{changed}")
+        if now_mem["rss_reduction"] < MEMORY_REDUCTION_FLOOR:
+            failures.append(
+                f"memory: fleet rss_reduction {now_mem['rss_reduction']:.2f}x "
+                f"below the {MEMORY_REDUCTION_FLOOR:.0f}x floor"
+            )
+        base_peak = base_mem.get("streaming_peak_bytes")
+        if base_peak:
+            growth = now_mem["streaming_peak_bytes"] / base_peak - 1.0
+            if growth > MEMORY_GROWTH_THRESHOLD:
+                failures.append(
+                    f"memory: streaming peak grew {growth:+.0%} "
+                    f"(> {MEMORY_GROWTH_THRESHOLD:.0%})"
+                )
     if failures:
         print("\nguarded benches regressed:")
         for line in failures:

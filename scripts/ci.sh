@@ -1,5 +1,7 @@
 #!/usr/bin/env bash
-# CI entry point: tier-1 tests, then the guarded benchmark comparison.
+# CI entry point: tier-1 tests, then the guarded benchmark comparison
+# (timing drift on the sweep benches plus the fleet memory gate —
+# streaming must beat the dense path's tracemalloc peak by >= 3x).
 #
 # Usage:
 #   scripts/ci.sh                 # full gate: pytest + bench compare

@@ -17,7 +17,9 @@ much system-power variation application-level capping removes.
 
 from __future__ import annotations
 
+import heapq
 import logging
+import zlib
 from dataclasses import dataclass
 
 import numpy as np
@@ -25,13 +27,30 @@ import numpy as np
 from repro import obs
 from repro.capping.policy import CapPolicy
 from repro.capping.scheduler import (
+    IDLE_NODE_W,
     Job,
+    JobRecord,
     PowerAwareScheduler,
     ScheduleResult,
     SchedulerConfig,
 )
+from repro.hardware.system import (
+    PerlmutterSystem,
+    RunningMoments,
+    SystemPowerAccumulator,
+    SystemPowerStats,
+)
+from repro.runner.cache import fingerprint
+from repro.runner.engine import (
+    DEFAULT_STREAM_CHUNK,
+    EngineConfig,
+    PowerEngine,
+    render_chunk_samples,
+)
 from repro.runner.sweep import SweepExecutor
+from repro.runner.trace import RunResult
 from repro.vasp.benchmarks import BENCHMARKS
+from repro.vasp.parallel import ParallelConfig
 
 logger = logging.getLogger(__name__)
 
@@ -159,6 +178,244 @@ def simulate_fleet(
         makespan_s=schedule.makespan_s,
         jobs_completed=len(schedule.records),
     )
+
+
+@dataclass(frozen=True)
+class FleetTraceReport:
+    """System-level outcome of one policy, from streamed node traces.
+
+    Unlike :class:`FleetReport` (analytic per-cycle projections), these
+    statistics come from actually rendering every scheduled job's node
+    traces and streaming them through incremental aggregation — the
+    engine's noise, per-node manufacturing variability and cap responses
+    are all in the numbers, yet no job's full trace is ever retained.
+    """
+
+    policy_name: str
+    schedule: ScheduleResult
+    system: SystemPowerStats
+    #: Per-sample node-power moments across every streamed trace (Welford).
+    node_power_mean_w: float
+    node_power_std_w: float
+    node_power_peak_w: float
+    jobs_completed: int
+    samples_streamed: int
+    chunks_streamed: int
+    bytes_streamed: int
+
+    @property
+    def mean_power_w(self) -> float:
+        """Mean system power over the schedule horizon."""
+        return self.system.mean_power_w
+
+    @property
+    def peak_power_w(self) -> float:
+        """Peak binned system power."""
+        return self.system.peak_power_w
+
+    @property
+    def power_std_w(self) -> float:
+        """Temporal standard deviation of system power."""
+        return self.system.power_std_w
+
+    @property
+    def makespan_s(self) -> float:
+        """Makespan of the underlying schedule."""
+        return self.schedule.makespan_s
+
+    @property
+    def coefficient_of_variation(self) -> float:
+        """Relative temporal variability of system power."""
+        return self.power_std_w / self.mean_power_w if self.mean_power_w > 0 else 0.0
+
+
+def _job_seed(job_id: str, seed: int) -> int:
+    """Stable per-job render seed (crc32: PYTHONHASHSEED-independent)."""
+    return (zlib.crc32(job_id.encode("utf-8")) ^ seed) & 0x7FFFFFFF
+
+
+def simulate_fleet_traced(
+    jobs: list[Job],
+    policy: CapPolicy,
+    policy_name: str,
+    n_nodes: int = 16,
+    power_budget_w: float | None = None,
+    *,
+    bin_s: float = 1.0,
+    chunk_samples: int | None = None,
+    engine_config: EngineConfig | None = None,
+    seed: int = 0,
+    retain_traces: bool = False,
+) -> FleetTraceReport:
+    """Schedule a stream, render every job's traces, aggregate streaming.
+
+    The schedule comes from the same analytic :class:`PowerAwareScheduler`
+    pass as :func:`simulate_fleet`; the report's power statistics come
+    from replaying that schedule against a real node pool
+    (:class:`PerlmutterSystem` allocations, per-node variability, cap
+    state) and streaming each job's chunk-rendered node traces through a
+    :class:`SystemPowerAccumulator` plus :class:`RunningMoments` — peak
+    memory is O(chunk) + O(makespan / bin_s) regardless of fleet size.
+
+    ``retain_traces=True`` is the dense reference path: it renders and
+    retains every job's full trace before aggregating through the same
+    accumulator in the same chunk order, producing bit-identical
+    statistics at O(sum-of-traces) memory.  The memory-gated fleet bench
+    compares the two.
+    """
+    if power_budget_w is None:
+        power_budget_w = n_nodes * 2350.0  # node TDP: effectively unbounded
+    config = SchedulerConfig(
+        n_nodes=n_nodes, power_budget_w=power_budget_w, policy=policy
+    )
+    with obs.span("fleet.schedule_traced", policy=policy_name, jobs=len(jobs)):
+        schedule = PowerAwareScheduler(config).schedule(list(jobs))
+    workloads = {job.job_id: job.workload for job in jobs}
+    pool = PerlmutterSystem(n_nodes=n_nodes)
+    accumulator = SystemPowerAccumulator(
+        n_nodes=n_nodes, bin_s=bin_s, idle_node_w=IDLE_NODE_W
+    )
+    node_moments = RunningMoments()
+    chunks_streamed = 0
+    bytes_streamed = 0
+    retained: list[tuple[JobRecord, RunResult]] = []
+    #: (analytic end time, job id) release queue for pool bookkeeping.
+    release_queue: list[tuple[float, str]] = []
+    #: Jobs of the same benchmark at the same width share a phase list;
+    #: building one is ~25 ms of SCF modelling, so memoize by content.
+    phase_cache: dict[str, list] = {}
+
+    def ingest(record: JobRecord, times, values, dt: float) -> None:
+        nonlocal chunks_streamed, bytes_streamed
+        accumulator.add_samples(record.start_s, times, values, dt)
+        node_moments.update(values)
+        chunks_streamed += 1
+        bytes_streamed += int(values.nbytes)
+        obs.inc("repro_fleet_chunks_total")
+
+    with obs.span(
+        "fleet.stream_traces",
+        policy=policy_name,
+        jobs=len(schedule.records),
+        dense=retain_traces,
+    ):
+        for record in schedule.records_chronological():
+            while release_queue and release_queue[0][0] <= record.start_s + 1e-9:
+                _, done = heapq.heappop(release_queue)
+                pool.release(done)
+            nodes = pool.allocate(record.job_id, record.n_nodes)
+            heapq.heappush(release_queue, (record.end_s, record.job_id))
+            for node in nodes:
+                node.set_gpu_power_limit(record.cap_w)
+            workload = workloads[record.job_id]
+            phase_key = fingerprint("fleet_phases", workload, record.n_nodes)
+            phases = phase_cache.get(phase_key)
+            if phases is None:
+                parallel = ParallelConfig(
+                    n_nodes=record.n_nodes, kpar=workload.incar.kpar
+                )
+                phases = phase_cache[phase_key] = workload.phases(parallel)
+            engine = PowerEngine(nodes, engine_config)
+            job_seed = _job_seed(record.job_id, seed)
+            if retain_traces:
+                result = engine.run(phases, label=record.job_id, seed=job_seed)
+                retained.append((record, result))
+            else:
+                streamed = engine.stream(
+                    phases,
+                    label=record.job_id,
+                    seed=job_seed,
+                    chunk_samples=chunk_samples,
+                )
+                dt = streamed.base_interval_s
+                for chunk in streamed.chunks:
+                    if chunk.component != "node":
+                        continue
+                    ingest(record, chunk.times, chunk.values, dt)
+                accumulator.add_busy_interval(
+                    record.start_s,
+                    record.start_s + streamed.runtime_s,
+                    record.n_nodes,
+                )
+            obs.inc("repro_fleet_jobs_rendered_total")
+            obs.gauge_set(
+                "repro_fleet_resident_bytes",
+                accumulator.resident_bytes
+                + sum(r.resident_bytes() for _, r in retained),
+            )
+    if retain_traces:
+        # Dense reference: aggregate the retained traces through the same
+        # accumulator in the same chunk order the streaming path used, so
+        # the two paths produce bit-identical statistics and differ only
+        # in peak resident memory.
+        step = chunk_samples or render_chunk_samples() or DEFAULT_STREAM_CHUNK
+        for record, result in retained:
+            for trace in result.traces:
+                dt = trace.sample_interval_s
+                powers = trace.node_power
+                times = trace.times
+                for start in range(0, len(times), step):
+                    stop = min(start + step, len(times))
+                    ingest(record, times[start:stop], powers[start:stop], dt)
+            accumulator.add_busy_interval(
+                record.start_s, record.start_s + result.runtime_s, record.n_nodes
+            )
+    for _, job_id in release_queue:
+        pool.release(job_id)
+    system = accumulator.finalize()
+    logger.debug(
+        "traced fleet (%s): %d jobs, %d chunks, %.1f MB streamed, peak %.0f W",
+        policy_name,
+        len(schedule.records),
+        chunks_streamed,
+        bytes_streamed / 1e6,
+        system.peak_power_w,
+    )
+    return FleetTraceReport(
+        policy_name=policy_name,
+        schedule=schedule,
+        system=system,
+        node_power_mean_w=node_moments.mean,
+        node_power_std_w=node_moments.std,
+        node_power_peak_w=node_moments.peak,
+        jobs_completed=len(schedule.records),
+        samples_streamed=accumulator.samples_added,
+        chunks_streamed=chunks_streamed,
+        bytes_streamed=bytes_streamed,
+    )
+
+
+def compare_fleet_policies_traced(
+    n_jobs: int = 24,
+    n_nodes: int = 16,
+    power_budget_w: float | None = None,
+    seed: int = 0,
+    *,
+    bin_s: float = 1.0,
+    chunk_samples: int | None = None,
+    engine_config: EngineConfig | None = None,
+    retain_traces: bool = False,
+) -> tuple[FleetTraceReport, FleetTraceReport]:
+    """(capped, uncapped) trace-streamed fleet reports, same job stream."""
+    reports = []
+    for capped, policy_name in ((True, "50% TDP policy"), (False, "uncapped")):
+        policy = CapPolicy.half_tdp() if capped else CapPolicy.uncapped()
+        jobs = job_stream(n_jobs=n_jobs, seed=seed)
+        reports.append(
+            simulate_fleet_traced(
+                jobs,
+                policy,
+                policy_name,
+                n_nodes,
+                power_budget_w,
+                bin_s=bin_s,
+                chunk_samples=chunk_samples,
+                engine_config=engine_config,
+                seed=seed,
+                retain_traces=retain_traces,
+            )
+        )
+    return reports[0], reports[1]
 
 
 def _policy_task(

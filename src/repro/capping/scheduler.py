@@ -32,9 +32,11 @@ from repro.capping.policy import CapPolicy
 
 #: Non-GPU node power while a VASP job runs (CPU + DDR + NICs + board at
 #: typical activity); used by the analytic estimator.
-_HOST_POWER_W: float = 265.0
+HOST_POWER_W: float = 265.0
 #: Idle power of an unallocated node (mid-range of the 410-510 W window).
-_IDLE_NODE_W: float = 460.0
+#: Shared with the fleet simulation's trace-streaming aggregation so the
+#: analytic and trace-backed system power timelines agree on idle nodes.
+IDLE_NODE_W: float = 460.0
 
 
 @dataclass(frozen=True)
@@ -84,11 +86,11 @@ def estimate_run(
             duration = phase.duration_s * (
                 profile.duty_cycle * sample.slowdown + (1.0 - profile.duty_cycle)
             )
-        node_w = gpus_per_node * gpu_w + _HOST_POWER_W
+        node_w = gpus_per_node * gpu_w + HOST_POWER_W
         total_time += duration
         total_energy += duration * node_w
         peak = max(peak, node_w)
-    mean_power = total_energy / total_time if total_time > 0 else _IDLE_NODE_W
+    mean_power = total_energy / total_time if total_time > 0 else IDLE_NODE_W
     return RunEstimate(
         runtime_s=total_time, mean_node_power_w=mean_power, peak_node_power_w=peak
     )
@@ -200,6 +202,14 @@ class ScheduleResult:
         """Aggregate node-seconds consumed."""
         return sum(r.runtime_s * r.n_nodes for r in self.records)
 
+    def records_chronological(self) -> list[JobRecord]:
+        """Records ordered by start time (ties broken by job id).
+
+        The order a trace-streaming replay must process jobs in so node
+        allocations mirror the schedule.
+        """
+        return sorted(self.records, key=lambda r: (r.start_s, r.job_id))
+
 
 class PowerAwareScheduler:
     """FCFS-with-backfill scheduler under a facility power budget."""
@@ -268,7 +278,7 @@ class PowerAwareScheduler:
                 projected = (
                     running_power
                     + estimate.mean_node_power_w * job.n_nodes
-                    + max(idle_after, 0) * _IDLE_NODE_W
+                    + max(idle_after, 0) * IDLE_NODE_W
                 )
                 if job.n_nodes <= free_nodes and projected <= cfg.power_budget_w:
                     end = now + estimate.runtime_s
@@ -291,7 +301,7 @@ class PowerAwareScheduler:
                 else:
                     still_pending.append(job)
             pending = still_pending
-            system_power = running_power + free_nodes * _IDLE_NODE_W
+            system_power = running_power + free_nodes * IDLE_NODE_W
             power_timeline.append((now, system_power))
             peak_power = max(peak_power, system_power)
             # Advance one scheduling cycle.  The state only changes at the

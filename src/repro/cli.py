@@ -9,6 +9,7 @@ Installed as ``repro`` (also ``python -m repro``)::
     repro reproduce fig12              # regenerate a paper table/figure
     repro reproduce fig05 --json out.json
     repro schedule --watts-per-node 900
+    repro fleet --jobs 200 --nodes 1000  # trace-streamed fleet simulation
     repro obs                          # observability configuration/status
     repro reproduce fig10 --trace t.json --metrics m.prom
 
@@ -51,12 +52,15 @@ from repro.experiments import (
     table1,
     topdown,
 )
+from repro.capping.fleet import compare_fleet_policies_traced
 from repro.capping.scheduler import estimate_cache
 from repro.experiments.common import run_cache, run_workload
 from repro.experiments.report import format_table, sparkline
 from repro.io import result_to_json, save_trace_csv
 from repro.runner.cache import CACHE_DIR_ENV, CACHE_ENABLE_ENV
+from repro.runner.engine import RENDER_CHUNK_ENV, EngineConfig
 from repro.runner.sweep import WORKERS_ENV, sweep_stats
+from repro.runner.trace import TRACE_DTYPE_ENV
 from repro.vasp.benchmarks import BENCHMARKS, benchmark, benchmark_names
 
 #: Artifact name -> (run, render) for `repro reproduce`.
@@ -220,6 +224,8 @@ def _cmd_obs(args: argparse.Namespace) -> int:
         CACHE_ENABLE_ENV,
         CACHE_DIR_ENV,
         WORKERS_ENV,
+        RENDER_CHUNK_ENV,
+        TRACE_DTYPE_ENV,
     ):
         value = os.environ.get(env)
         print(f"  {env:20s} = {value if value is not None else '(unset)'}")
@@ -231,6 +237,73 @@ def _cmd_obs(args: argparse.Namespace) -> int:
         "\nenable with `repro <cmd> --trace FILE --metrics FILE "
         "--log-level LEVEL` or the REPRO_* environment variables."
     )
+    return 0
+
+
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    budget = args.watts_per_node * args.nodes if args.watts_per_node else None
+    engine_config = (
+        EngineConfig(base_interval_s=args.resolution) if args.resolution else None
+    )
+    with obs.span("cli.fleet", jobs=args.jobs, nodes=args.nodes):
+        capped, uncapped = compare_fleet_policies_traced(
+            n_jobs=args.jobs,
+            n_nodes=args.nodes,
+            power_budget_w=budget,
+            seed=args.seed,
+            bin_s=args.bin_s,
+            chunk_samples=args.chunk,
+            engine_config=engine_config,
+            retain_traces=args.retain_traces,
+        )
+    rows = [
+        [
+            report.policy_name,
+            report.mean_power_w / 1e3,
+            report.peak_power_w / 1e3,
+            report.power_std_w / 1e3,
+            f"{report.coefficient_of_variation:.1%}",
+            report.makespan_s,
+            report.jobs_completed,
+        ]
+        for report in (uncapped, capped)
+    ]
+    budget_note = (
+        f", budget {budget / 1e3:.0f} kW" if budget is not None else ""
+    )
+    print(
+        format_table(
+            headers=[
+                "Policy",
+                "Mean (kW)",
+                "Peak (kW)",
+                "Std (kW)",
+                "CoV",
+                "Makespan (s)",
+                "Jobs",
+            ],
+            rows=rows,
+            title=(
+                f"trace-streamed fleet: {args.jobs} jobs on "
+                f"{args.nodes} node(s){budget_note}"
+            ),
+        )
+    )
+    reduction = (
+        1.0 - capped.power_std_w / uncapped.power_std_w
+        if uncapped.power_std_w > 0
+        else 0.0
+    )
+    print(f"\n  system power variability reduced {reduction:.1%} by capping")
+    streamed = capped.bytes_streamed + uncapped.bytes_streamed
+    chunks = capped.chunks_streamed + uncapped.chunks_streamed
+    samples = capped.samples_streamed + uncapped.samples_streamed
+    print(
+        f"  [streamed {streamed / 1e6:.1f} MB of node-power samples in "
+        f"{chunks} chunks ({samples:,} samples); peak resident "
+        f"memory stays O(chunk) + O(makespan)]"
+    )
+    _print_efficiency_summary()
     return 0
 
 
@@ -311,6 +384,44 @@ def build_parser() -> argparse.ArgumentParser:
     p_repro.add_argument("artifact", choices=sorted(ARTIFACTS))
     p_repro.add_argument("--json", default=None, help="also export result data")
     p_repro.set_defaults(func=_cmd_reproduce)
+
+    p_fleet = sub.add_parser(
+        "fleet",
+        help="trace-streamed fleet simulation (capped vs uncapped)",
+        parents=[obs_flags],
+    )
+    p_fleet.add_argument("--jobs", type=int, default=24, help="jobs in the stream")
+    p_fleet.add_argument("--nodes", type=int, default=16, help="node pool size")
+    p_fleet.add_argument("--seed", type=int, default=0)
+    p_fleet.add_argument(
+        "--watts-per-node",
+        type=float,
+        default=None,
+        help="facility power budget per node (default: unbounded)",
+    )
+    p_fleet.add_argument(
+        "--bin-s", type=float, default=1.0, help="system power bin width in s"
+    )
+    p_fleet.add_argument(
+        "--chunk",
+        type=int,
+        default=None,
+        metavar="SAMPLES",
+        help="streaming chunk size in samples (default: engine default)",
+    )
+    p_fleet.add_argument(
+        "--resolution",
+        type=float,
+        default=1.0,
+        metavar="SECONDS",
+        help="trace sample interval (coarser = faster; 0.1 matches the paper)",
+    )
+    p_fleet.add_argument(
+        "--retain-traces",
+        action="store_true",
+        help="dense reference path: retain all traces (O(fleet) memory)",
+    )
+    p_fleet.set_defaults(func=_cmd_fleet)
 
     p_sched = sub.add_parser("schedule", help="run the power-aware scheduling study")
     p_sched.add_argument("--nodes", type=int, default=16)

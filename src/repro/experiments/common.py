@@ -16,7 +16,7 @@ from repro.analysis.stats import DistributionSummary, summarize
 from repro.hardware.node import GpuNode
 from repro.runner.cache import RunCache, caching_disabled, disk_dir_from_env, fingerprint
 from repro.runner.engine import EngineConfig, PowerEngine
-from repro.runner.trace import PowerTrace, RunResult
+from repro.runner.trace import PowerTrace, RunResult, trace_dtype
 from repro.telemetry.downsample import downsample_trace
 from repro.vasp.parallel import ParallelConfig
 from repro.vasp.workload import VaspWorkload
@@ -100,6 +100,7 @@ def run_workload(
                 seed,
                 engine_config,
                 TELEMETRY_INTERVAL_S,
+                trace_dtype().name,
             )
             return _RUN_CACHE.get_or_compute(
                 key,

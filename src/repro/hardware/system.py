@@ -3,15 +3,194 @@
 ``PerlmutterSystem`` stands in for the machine as the batch system sees it:
 a set of named nodes, a facility power envelope, and allocate/release
 primitives the power-aware scheduler (``repro.capping.scheduler``) builds
-on.
+on.  :class:`RunningMoments` and :class:`SystemPowerAccumulator` are the
+incremental aggregation primitives the fleet simulation streams node
+traces through — system power statistics in bounded memory, without
+retaining any job's full trace.
 """
 
 from __future__ import annotations
 
+import math
+
 from dataclasses import dataclass, field
+
+import numpy as np
 
 from repro.units.constants import PERLMUTTER_SYSTEM_TDP_W
 from repro.hardware.node import GpuNode
+
+
+class RunningMoments:
+    """Streaming count/mean/variance (Welford) plus sum, min, max.
+
+    Batches merge via the Chan et al. parallel update, so arbitrarily
+    large sample streams reduce to O(1) state.  Population variance, to
+    match ``np.var`` over the concatenated stream.
+    """
+
+    __slots__ = ("count", "mean", "_m2", "total", "minimum", "maximum")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.mean = 0.0
+        self._m2 = 0.0
+        self.total = 0.0
+        self.minimum = math.inf
+        self.maximum = -math.inf
+
+    def update(self, values: np.ndarray) -> None:
+        """Fold a batch of samples into the moments."""
+        values = np.asarray(values, dtype=float).ravel()
+        n = values.size
+        if n == 0:
+            return
+        batch_mean = float(values.mean())
+        batch_m2 = float(np.sum((values - batch_mean) ** 2))
+        delta = batch_mean - self.mean
+        merged = self.count + n
+        self.mean += delta * n / merged
+        self._m2 += batch_m2 + delta * delta * self.count * n / merged
+        self.count = merged
+        self.total += float(values.sum())
+        self.minimum = min(self.minimum, float(values.min()))
+        self.maximum = max(self.maximum, float(values.max()))
+
+    @property
+    def variance(self) -> float:
+        """Population variance of everything folded in so far."""
+        return self._m2 / self.count if self.count else 0.0
+
+    @property
+    def std(self) -> float:
+        """Population standard deviation."""
+        return math.sqrt(self.variance)
+
+    @property
+    def peak(self) -> float:
+        """Largest sample seen (0.0 when empty)."""
+        return self.maximum if self.count else 0.0
+
+
+@dataclass
+class SystemPowerStats:
+    """Finalized system-power statistics from an accumulator."""
+
+    mean_power_w: float
+    peak_power_w: float
+    power_std_w: float
+    horizon_s: float
+    energy_j: float
+    n_bins: int
+
+
+class SystemPowerAccumulator:
+    """Incremental system-power aggregation over streamed trace chunks.
+
+    Jobs overlap in time, so per-sample powers cannot be reduced to
+    scalar moments directly; instead each streamed sample deposits its
+    energy into a fixed-width time bin (columnar, grown geometrically),
+    and busy-node intervals deposit node-seconds the same way.  Memory is
+    O(makespan / bin_s) + O(chunk) — independent of how many node traces
+    stream through.  ``finalize`` converts bins to a system power series
+    (job power + idle power of unoccupied nodes) and reduces it through
+    :class:`RunningMoments`.
+    """
+
+    def __init__(
+        self, n_nodes: int, bin_s: float = 1.0, idle_node_w: float = 460.0
+    ) -> None:
+        if n_nodes < 1:
+            raise ValueError(f"n_nodes must be >= 1, got {n_nodes}")
+        if bin_s <= 0:
+            raise ValueError(f"bin_s must be positive, got {bin_s}")
+        self.n_nodes = n_nodes
+        self.bin_s = bin_s
+        self.idle_node_w = idle_node_w
+        self._energy_j = np.zeros(1024)
+        self._busy_node_s = np.zeros(1024)
+        self._horizon_s = 0.0
+        self.samples_added = 0
+
+    @property
+    def resident_bytes(self) -> int:
+        """Bytes held by the bin arrays — the accumulator's whole footprint."""
+        return int(self._energy_j.nbytes + self._busy_node_s.nbytes)
+
+    def _ensure_bins(self, n: int) -> None:
+        if n <= len(self._energy_j):
+            return
+        size = max(n, 2 * len(self._energy_j))
+        self._energy_j = np.concatenate(
+            [self._energy_j, np.zeros(size - len(self._energy_j))]
+        )
+        self._busy_node_s = np.concatenate(
+            [self._busy_node_s, np.zeros(size - len(self._busy_node_s))]
+        )
+
+    def add_samples(
+        self,
+        start_s: float,
+        times: np.ndarray,
+        powers: np.ndarray,
+        interval_s: float,
+    ) -> None:
+        """Deposit one chunk of node-power samples.
+
+        ``times`` are sample midpoints relative to the job, offset by
+        ``start_s`` on the system clock; each sample's energy
+        (``power * interval_s``) lands in the bin holding its midpoint.
+        """
+        if len(times) == 0:
+            return
+        absolute = start_s + np.asarray(times, dtype=float)
+        index = np.floor(absolute / self.bin_s).astype(np.intp)
+        index = np.maximum(index, 0)
+        self._ensure_bins(int(index[-1]) + 1 if index.size else 0)
+        energy = np.asarray(powers, dtype=float) * interval_s
+        np.add.at(self._energy_j, index, energy)
+        self._horizon_s = max(
+            self._horizon_s, float(absolute[-1]) + interval_s / 2.0
+        )
+        self.samples_added += len(times)
+
+    def add_busy_interval(self, start_s: float, end_s: float, n_nodes: int) -> None:
+        """Mark nodes busy over a wall-clock interval (for idle power)."""
+        if end_s <= start_s or n_nodes <= 0:
+            return
+        first = int(start_s / self.bin_s)
+        last = int(np.ceil(end_s / self.bin_s))
+        self._ensure_bins(last)
+        edges = np.arange(first, last + 1) * self.bin_s
+        overlap = np.minimum(edges[1:], end_s) - np.maximum(edges[:-1], start_s)
+        self._busy_node_s[first:last] += n_nodes * np.maximum(overlap, 0.0)
+        self._horizon_s = max(self._horizon_s, end_s)
+
+    def finalize(self) -> SystemPowerStats:
+        """Reduce the bins to system power statistics.
+
+        System power per bin = deposited job power + idle power of the
+        nodes not busy in that bin (fractional occupancy honoured).
+        """
+        # Epsilon guards against float slivers (e.g. a horizon of
+        # 10.000000000000002 s) opening a spurious all-idle trailing bin.
+        n_bins = max(int(np.ceil(self._horizon_s / self.bin_s - 1e-9)), 1)
+        job_power = self._energy_j[:n_bins] / self.bin_s
+        busy_nodes = np.clip(
+            self._busy_node_s[:n_bins] / self.bin_s, 0.0, self.n_nodes
+        )
+        system = job_power + (self.n_nodes - busy_nodes) * self.idle_node_w
+        moments = RunningMoments()
+        moments.update(system)
+        return SystemPowerStats(
+            mean_power_w=moments.mean,
+            peak_power_w=moments.peak,
+            power_std_w=moments.std,
+            horizon_s=self._horizon_s,
+            energy_j=float(self._energy_j[:n_bins].sum())
+            + float((self.n_nodes - busy_nodes).sum()) * self.bin_s * self.idle_node_w,
+            n_bins=n_bins,
+        )
 
 
 class AllocationError(RuntimeError):

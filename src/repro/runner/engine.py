@@ -16,6 +16,8 @@ KDE analysis of Section III meaningful).
 from __future__ import annotations
 
 import logging
+import os
+from collections.abc import Iterator
 from dataclasses import dataclass
 
 import numpy as np
@@ -27,9 +29,42 @@ from repro.hardware.node import GpuNode
 from repro.hardware.variability import unit_rng
 from repro.perfmodel.power import demand_power_batch, demand_power_w
 from repro.vasp.phases import MacroPhase
-from repro.runner.trace import COMPONENT_KEYS, GPU_KEYS, PhaseRecord, PowerTrace, RunResult
+from repro.runner.trace import (
+    COMPONENT_KEYS,
+    GPU_KEYS,
+    PhaseRecord,
+    PowerTrace,
+    RunResult,
+    TraceBlock,
+    trace_dtype,
+)
 
 logger = logging.getLogger(__name__)
+
+#: Environment variable selecting the render chunk size, in samples.
+#: When set, ``run()`` renders through the chunked streaming path
+#: (bit-identical to the whole-schedule render); streaming consumers
+#: (:meth:`PowerEngine.stream`) use it as their default chunk size.
+RENDER_CHUNK_ENV = "REPRO_RENDER_CHUNK"
+
+#: Default chunk size for streaming consumers when the env is unset.
+DEFAULT_STREAM_CHUNK = 16_384
+
+
+def render_chunk_samples() -> int | None:
+    """Chunk size from ``REPRO_RENDER_CHUNK`` (None = whole-schedule)."""
+    raw = os.environ.get(RENDER_CHUNK_ENV)
+    if raw is None or raw.strip() == "":
+        return None
+    try:
+        value = int(raw)
+    except ValueError:
+        logger.warning("ignoring invalid %s=%r", RENDER_CHUNK_ENV, raw)
+        return None
+    if value < 1:
+        logger.warning("ignoring non-positive %s=%r", RENDER_CHUNK_ENV, raw)
+        return None
+    return value
 
 
 @dataclass(frozen=True)
@@ -63,6 +98,46 @@ class EngineConfig:
             raise ValueError(
                 f"rank_imbalance must be in [0, 1), got {self.rank_imbalance}"
             )
+
+
+@dataclass(frozen=True)
+class TraceChunk:
+    """One fixed-size slice of one node component's rendered series."""
+
+    node_name: str
+    node_index: int
+    component: str
+    #: Sample offset of this chunk within the schedule's regular grid.
+    start_index: int
+    times: np.ndarray
+    values: np.ndarray
+
+    @property
+    def n_samples(self) -> int:
+        """Samples in this chunk."""
+        return len(self.values)
+
+
+@dataclass
+class StreamedRun:
+    """A resolved schedule whose render arrives as a chunk stream.
+
+    ``chunks`` is a single-pass iterator over :class:`TraceChunk` records
+    in (node, component, time) order — every component of
+    :data:`~repro.runner.trace.COMPONENT_KEYS` is rendered (the RNG
+    stream must advance identically to the whole-schedule render), so
+    consumers filter for the components they aggregate.
+    """
+
+    label: str
+    phases: list[PhaseRecord]
+    runtime_s: float
+    gpu_power_cap_w: float
+    n_nodes: int
+    n_samples: int
+    base_interval_s: float
+    chunk_samples: int
+    chunks: Iterator[TraceChunk]
 
 
 @dataclass(frozen=True)
@@ -276,28 +351,13 @@ class PowerEngine:
         )
         return _ResolvedPhase(record=record, node_means=node_means)
 
-    def _render_traces(
-        self, resolved: list[_ResolvedPhase], rng: np.random.Generator
-    ) -> list[PowerTrace]:
-        """Render the resolved schedule onto the regular sample grid."""
+    def _phase_sample_counts(
+        self, resolved: list[_ResolvedPhase]
+    ) -> tuple[int, list[int]]:
+        """(total samples, per-phase sample counts) on the regular grid."""
         dt = self.config.base_interval_s
-        if not resolved:
-            # Nothing scheduled: zero-sample traces (run() rejects empty
-            # phase lists, but callers may render filtered schedules).
-            empty = np.empty(0)
-            return [
-                PowerTrace(
-                    node_name=node.name,
-                    times=empty,
-                    components={key: np.empty(0) for key in COMPONENT_KEYS},
-                )
-                for node in self.nodes
-            ]
         total = sum(r.record.duration_s for r in resolved)
         n_samples = max(int(round(total / dt)), 1)
-        times = (np.arange(n_samples) + 0.5) * dt
-
-        # Sample counts per phase (piecewise-constant segments).
         counts = []
         acc = 0
         t_acc = 0.0
@@ -310,31 +370,135 @@ class PowerEngine:
             # Rounding drift: park the remainder on the final phase so the
             # per-phase counts always sum to n_samples.
             counts[-1] += n_samples - acc
+        return n_samples, counts
 
-        traces = []
-        for node_index, node in enumerate(self.nodes):
-            components: dict[str, np.ndarray] = {}
-            for key in COMPONENT_KEYS:
-                means = np.repeat(
-                    [r.node_means[node_index][key] for r in resolved], counts
+    def _empty_traces(self) -> list[PowerTrace]:
+        """Zero-sample traces (run() rejects empty phase lists, but
+        callers may render filtered schedules)."""
+        dtype = trace_dtype()
+        return [
+            PowerTrace.from_block(
+                TraceBlock(
+                    node_name=node.name,
+                    times=np.empty(0),
+                    data=np.empty((len(COMPONENT_KEYS), 0), dtype=dtype),
+                    base_interval_s=self.config.base_interval_s,
                 )
-                components[key] = self._add_noise(means, rng)
-            traces.append(
-                PowerTrace(node_name=node.name, times=times, components=components)
             )
-        return traces
+            for node in self.nodes
+        ]
+
+    def _render_traces(
+        self,
+        resolved: list[_ResolvedPhase],
+        rng: np.random.Generator,
+        chunk_samples: int | None = None,
+    ) -> list[PowerTrace]:
+        """Render the resolved schedule onto the regular sample grid.
+
+        The output is columnar: one ``(n_components, n_samples)`` block
+        per node.  With ``chunk_samples`` set, rows are filled through the
+        chunked path (bit-identical; see :meth:`_iter_component_chunks`).
+        """
+        if not resolved:
+            return self._empty_traces()
+        dt = self.config.base_interval_s
+        dtype = trace_dtype()
+        n_samples, counts = self._phase_sample_counts(resolved)
+        times = (np.arange(n_samples) + 0.5) * dt
+
+        blocks = [
+            TraceBlock(
+                node_name=node.name,
+                times=times,
+                data=np.empty((len(COMPONENT_KEYS), n_samples), dtype=dtype),
+                base_interval_s=dt,
+            )
+            for node in self.nodes
+        ]
+        if chunk_samples is None:
+            for node_index in range(len(self.nodes)):
+                block = blocks[node_index]
+                for row, key in enumerate(COMPONENT_KEYS):
+                    means = np.repeat(
+                        [r.node_means[node_index][key] for r in resolved], counts
+                    )
+                    block.data[row] = self._add_noise(means, rng)
+        else:
+            for node_index, key, start, values in self._iter_component_chunks(
+                resolved, rng, n_samples, counts, chunk_samples
+            ):
+                blocks[node_index].data[
+                    COMPONENT_KEYS.index(key), start : start + len(values)
+                ] = values
+        return [PowerTrace.from_block(block) for block in blocks]
+
+    def _iter_component_chunks(
+        self,
+        resolved: list[_ResolvedPhase],
+        rng: np.random.Generator,
+        n_samples: int,
+        counts: list[int],
+        chunk_samples: int,
+    ) -> Iterator[tuple[int, str, int, np.ndarray]]:
+        """Yield ``(node_index, component, start, values)`` fixed-size chunks.
+
+        Bit-identical to the whole-schedule render: chunks are emitted in
+        the same (node, component, time) order the whole render consumes
+        the RNG stream in, and the AR(1) filter state is carried across
+        chunk boundaries via ``lfilter``'s ``zi``/``zf`` so a chunked
+        series equals its unchunked counterpart sample for sample.  Peak
+        working memory is O(chunk), not O(schedule).
+        """
+        if chunk_samples < 1:
+            raise ValueError(f"chunk_samples must be >= 1, got {chunk_samples}")
+        cfg = self.config
+        edges = np.concatenate([[0], np.cumsum(counts)]).astype(np.intp)
+        dt = cfg.base_interval_s
+        for node_index in range(len(self.nodes)):
+            for key in COMPONENT_KEYS:
+                levels = np.array(
+                    [r.node_means[node_index][key] for r in resolved], dtype=float
+                )
+                zi = np.zeros(1)
+                for start in range(0, n_samples, chunk_samples):
+                    stop = min(start + chunk_samples, n_samples)
+                    # Phase segments overlapping [start, stop).
+                    i0 = int(np.searchsorted(edges, start, side="right")) - 1
+                    i1 = int(np.searchsorted(edges, stop, side="left"))
+                    seg_counts = (
+                        np.minimum(edges[i0 + 1 : i1 + 1], stop)
+                        - np.maximum(edges[i0:i1], start)
+                    )
+                    means = np.repeat(levels[i0:i1], seg_counts)
+                    values, zi = self._add_noise_chunk(means, rng, zi)
+                    obs.inc("repro_engine_chunks_total")
+                    yield node_index, key, start, values
 
     def _add_noise(self, means: np.ndarray, rng: np.random.Generator) -> np.ndarray:
         """AR(1) noise proportional to the signal's dynamic range."""
+        values, _zi = self._add_noise_chunk(means, rng, np.zeros(1))
+        return values
+
+    def _add_noise_chunk(
+        self, means: np.ndarray, rng: np.random.Generator, zi: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """One noise chunk plus the AR(1) filter state to carry forward.
+
+        ``zi`` is the direct-form filter state from the previous chunk of
+        the same series (zeros at series start); threading it through
+        ``lfilter`` makes chunked rendering bit-identical to filtering the
+        whole series at once.
+        """
         cfg = self.config
         if cfg.noise_rel_sigma == 0.0 or len(means) == 0:
-            return means.astype(float)
+            return means.astype(float), zi
         sigma = cfg.noise_rel_sigma * means + cfg.noise_floor_w
         white = rng.standard_normal(len(means)) * sigma
         # AR(1) filter: y[t] = a*y[t-1] + e[t]; normalize stationary variance.
-        ar = lfilter([1.0], [1.0, -cfg.noise_ar_coeff], white)
+        ar, zf = lfilter([1.0], [1.0, -cfg.noise_ar_coeff], white, zi=zi)
         ar *= np.sqrt(1.0 - cfg.noise_ar_coeff**2)
-        return np.maximum(means + ar, 0.0)
+        return np.maximum(means + ar, 0.0), zf
 
     # ------------------------------------------------------------------
     def run(
@@ -357,15 +521,14 @@ class PowerEngine:
         ):
             return self._run_instrumented(phases, label, seed)
 
-    def _run_instrumented(
-        self, phases: list[MacroPhase], label: str, seed: int
-    ) -> RunResult:
-        rng = np.random.default_rng(seed)
+    def _resolve_and_layout(
+        self, phases: list[MacroPhase]
+    ) -> tuple[list[_ResolvedPhase], list[PhaseRecord], float]:
+        """Cap-resolve phases and lay them out on the wall clock."""
         with obs.span(
             "engine.resolve_phases", phases=len(phases), nodes=len(self.nodes)
         ):
             resolved = self._resolve_phases(phases)
-        # Lay out the schedule.
         records = []
         clock = 0.0
         for r in resolved:
@@ -384,10 +547,19 @@ class PowerEngine:
             _ResolvedPhase(record=rec, node_means=r.node_means)
             for rec, r in zip(records, resolved)
         ]
+        return resolved, records, clock
+
+    def _run_instrumented(
+        self, phases: list[MacroPhase], label: str, seed: int
+    ) -> RunResult:
+        rng = np.random.default_rng(seed)
+        resolved, records, clock = self._resolve_and_layout(phases)
         with obs.span(
             "engine.render_traces", phases=len(resolved), nodes=len(self.nodes)
         ) as render_span:
-            traces = self._render_traces(resolved, rng)
+            traces = self._render_traces(
+                resolved, rng, chunk_samples=render_chunk_samples()
+            )
             render_span.annotate(samples=int(traces[0].times.size) if traces else 0)
         return RunResult(
             label=label,
@@ -395,4 +567,62 @@ class PowerEngine:
             phases=records,
             runtime_s=clock,
             gpu_power_cap_w=self.nodes[0].gpu_power_limit_w,
+        )
+
+    # ------------------------------------------------------------------
+    def stream(
+        self,
+        phases: list[MacroPhase],
+        label: str = "run",
+        seed: int = 0,
+        chunk_samples: int | None = None,
+    ) -> "StreamedRun":
+        """Resolve a schedule and stream its render in fixed-size chunks.
+
+        Returns a :class:`StreamedRun` whose ``chunks`` iterator yields
+        :class:`TraceChunk` records in (node, component, time) order; the
+        concatenation of one series' chunks is bit-identical to the trace
+        :meth:`run` renders for the same seed.  Peak render memory is
+        O(chunk) instead of O(schedule) — nothing is retained between
+        chunks, which is what lets fleet-scale consumers aggregate
+        thousands of node traces in bounded memory.
+        """
+        if not phases:
+            raise ValueError("cannot run an empty phase list")
+        if chunk_samples is None:
+            chunk_samples = render_chunk_samples() or DEFAULT_STREAM_CHUNK
+        obs.inc("repro_engine_streams_total")
+        rng = np.random.default_rng(seed)
+        resolved, records, clock = self._resolve_and_layout(phases)
+        if resolved:
+            n_samples, counts = self._phase_sample_counts(resolved)
+        else:  # pragma: no cover - guarded by the empty-phase check above
+            n_samples, counts = 0, []
+        dt = self.config.base_interval_s
+        dtype = trace_dtype()
+
+        def generate() -> Iterator[TraceChunk]:
+            for node_index, key, start, values in self._iter_component_chunks(
+                resolved, rng, n_samples, counts, chunk_samples
+            ):
+                stop = start + len(values)
+                yield TraceChunk(
+                    node_name=self.nodes[node_index].name,
+                    node_index=node_index,
+                    component=key,
+                    start_index=start,
+                    times=(np.arange(start, stop) + 0.5) * dt,
+                    values=values.astype(dtype),
+                )
+
+        return StreamedRun(
+            label=label,
+            phases=records,
+            runtime_s=clock,
+            gpu_power_cap_w=self.nodes[0].gpu_power_limit_w,
+            n_nodes=len(self.nodes),
+            n_samples=n_samples,
+            base_interval_s=dt,
+            chunk_samples=chunk_samples,
+            chunks=generate(),
         )

@@ -5,14 +5,21 @@ power data came from "previously-developed querying scripts" against it.
 :class:`OmniStore` ingests :class:`~repro.telemetry.sampler.SampledSeries`
 records and answers the same kind of queries: per-node, per-component,
 time-windowed power series for a job.
+
+The backend is columnar: segments are stored by (node, component) key as
+ingested (no copy), the key index is kept sorted incrementally (no
+per-query re-sort), and window queries on time-ordered segments are
+``searchsorted`` slices — zero-copy views into the ingested arrays.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_left, insort
 from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import obs
 from repro.telemetry.sampler import SampledSeries
 
 
@@ -35,15 +42,51 @@ class OmniQuery:
 
 
 @dataclass
-class OmniStore:
-    """In-memory time-series store keyed by (node, component)."""
+class _Column:
+    """Segments of one (node, component) stream plus its time ordering.
 
-    _data: dict[tuple[str, str], list[SampledSeries]] = field(default_factory=dict)
+    ``ordered`` means every segment is internally time-sorted and the
+    segments are mutually non-overlapping in ingest order — the common
+    case (samplers emit ordered series once per stream), under which
+    windows are ``searchsorted`` slices and concatenation needs no sort.
+    """
+
+    segments: list[SampledSeries] = field(default_factory=list)
+    segment_sorted: list[bool] = field(default_factory=list)
+    ordered: bool = True
+    _last_time: float = -np.inf
+
+    def append(self, series: SampledSeries) -> None:
+        times = series.times
+        is_sorted = len(times) < 2 or bool(np.all(np.diff(times) >= 0))
+        self.segments.append(series)
+        self.segment_sorted.append(is_sorted)
+        if len(times):
+            if not is_sorted or float(times[0]) < self._last_time:
+                self.ordered = False
+            if is_sorted:
+                self._last_time = max(self._last_time, float(times[-1]))
+            else:
+                self._last_time = max(self._last_time, float(np.max(times)))
+
+
+@dataclass
+class OmniStore:
+    """In-memory columnar time-series store keyed by (node, component)."""
+
+    _data: dict[tuple[str, str], _Column] = field(default_factory=dict)
+    #: Sorted key index, maintained incrementally on ingest.
+    _keys: list[tuple[str, str]] = field(default_factory=list)
 
     def ingest(self, series: SampledSeries) -> None:
-        """Add a sampled series to the store."""
+        """Add a sampled series to the store — no copy, no re-sort."""
         key = (series.node_name, series.component)
-        self._data.setdefault(key, []).append(series)
+        column = self._data.get(key)
+        if column is None:
+            column = self._data[key] = _Column()
+            insort(self._keys, key)
+        column.append(series)
+        obs.inc("repro_omni_ingest_total")
 
     def ingest_all(self, series_by_component: dict[str, SampledSeries]) -> None:
         """Add every component series of one node."""
@@ -53,28 +96,68 @@ class OmniStore:
     @property
     def nodes(self) -> list[str]:
         """Node names present in the store."""
-        return sorted({node for node, _ in self._data})
+        return sorted({node for node, _ in self._keys})
 
     @property
     def components(self) -> list[str]:
         """Component names present in the store."""
-        return sorted({component for _, component in self._data})
+        return sorted({component for _, component in self._keys})
+
+    # ------------------------------------------------------------------
+    def _matching_keys(self, query: OmniQuery) -> list[tuple[str, str]]:
+        """Keys matching the selectors, in sorted key order.
+
+        Exact and per-node selections resolve through the sorted key
+        index (dict probe / bisect range) rather than a store scan.
+        """
+        if query.node_name is not None and query.component is not None:
+            key = (query.node_name, query.component)
+            obs.inc("repro_omni_index_hits_total", path="exact")
+            return [key] if key in self._data else []
+        if query.node_name is not None:
+            # Keys sort by (node, component): the node's keys are one
+            # contiguous run of the sorted index.
+            lo = bisect_left(self._keys, (query.node_name, ""))
+            keys = []
+            for key in self._keys[lo:]:
+                if key[0] != query.node_name:
+                    break
+                keys.append(key)
+            obs.inc("repro_omni_index_hits_total", path="node-range")
+            return keys
+        keys = list(self._keys)
+        if query.component is not None:
+            keys = [key for key in keys if key[1] == query.component]
+        return keys
+
+    @staticmethod
+    def _window(
+        series: SampledSeries, is_sorted: bool, query: OmniQuery
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """(times, values) restricted to the query window.
+
+        Sorted segments are sliced via ``searchsorted`` — views into the
+        ingested arrays, no copy; unsorted segments fall back to masks.
+        """
+        times, values = series.times, series.values
+        if query.start_s is None and query.end_s is None:
+            return times, values
+        lo = query.start_s if query.start_s is not None else -np.inf
+        hi = query.end_s if query.end_s is not None else np.inf
+        if is_sorted:
+            i0, i1 = np.searchsorted(times, (lo, hi), side="left")
+            return times[i0:i1], values[i0:i1]
+        mask = (times >= lo) & (times < hi)
+        return times[mask], values[mask]
 
     def query(self, query: OmniQuery) -> list[SampledSeries]:
         """All series matching a query, with time windows applied."""
+        obs.inc("repro_omni_queries_total")
         out: list[SampledSeries] = []
-        for (node, component), series_list in sorted(self._data.items()):
-            if query.node_name is not None and node != query.node_name:
-                continue
-            if query.component is not None and component != query.component:
-                continue
-            for series in series_list:
-                times, values = series.times, series.values
-                if query.start_s is not None or query.end_s is not None:
-                    lo = query.start_s if query.start_s is not None else -np.inf
-                    hi = query.end_s if query.end_s is not None else np.inf
-                    mask = (times >= lo) & (times < hi)
-                    times, values = times[mask], values[mask]
+        for node, component in self._matching_keys(query):
+            column = self._data[(node, component)]
+            for series, is_sorted in zip(column.segments, column.segment_sorted):
+                times, values = self._window(series, is_sorted, query)
                 out.append(
                     SampledSeries(
                         node_name=node, component=component, times=times, values=values
@@ -84,6 +167,10 @@ class OmniStore:
 
     def concatenated(self, query: OmniQuery) -> SampledSeries:
         """Matching series merged into one, sorted by time.
+
+        When the matches are already time-ordered (the common one-series
+        case, or ordered segments of a single stream), the merge is a
+        single allocation — no stable-sort pass, no reorder copy.
 
         Raises
         ------
@@ -95,9 +182,37 @@ class OmniStore:
             raise LookupError(f"no series match {query}")
         node = query.node_name if query.node_name is not None else "*"
         component = query.component if query.component is not None else "*"
+        if len(matches) == 1:
+            # Zero-copy: the windowed views are already the merged series.
+            return SampledSeries(
+                node_name=node,
+                component=component,
+                times=matches[0].times,
+                values=matches[0].values,
+            )
         times = np.concatenate([m.times for m in matches])
         values = np.concatenate([m.values for m in matches])
+        if self._is_time_ordered(matches):
+            return SampledSeries(
+                node_name=node, component=component, times=times, values=values
+            )
         order = np.argsort(times, kind="stable")
         return SampledSeries(
             node_name=node, component=component, times=times[order], values=values[order]
         )
+
+    @staticmethod
+    def _is_time_ordered(matches: list[SampledSeries]) -> bool:
+        """Whether concatenating the matches in order is already sorted.
+
+        One linear monotonicity pass — cheaper than the stable sort plus
+        reorder copy it lets the caller skip.
+        """
+        last = -np.inf
+        for m in matches:
+            if len(m.times) == 0:
+                continue
+            if float(m.times[0]) < last or np.any(np.diff(m.times) < 0):
+                return False
+            last = float(m.times[-1])
+        return True

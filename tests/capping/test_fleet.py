@@ -7,9 +7,11 @@ from repro.capping.fleet import (
     compare_fleet_policies,
     job_stream,
     simulate_fleet,
+    simulate_fleet_traced,
 )
 from repro.capping.policy import CapPolicy
 from repro.experiments import system_power
+from repro.runner.engine import EngineConfig
 
 
 class TestJobStream:
@@ -49,6 +51,26 @@ class TestJobStream:
         with pytest.raises(ValueError):
             job_stream(mix={"PdO2": 0.0})
 
+    def test_mix_weight_normalization_invariance(self):
+        """Scaling every weight by the same factor changes nothing."""
+        a = job_stream(n_jobs=30, seed=4, mix={"PdO2": 2.0, "PdO4": 2.0})
+        b = job_stream(n_jobs=30, seed=4, mix={"PdO2": 0.5, "PdO4": 0.5})
+        assert [(j.job_id, j.n_nodes, j.submit_s) for j in a] == [
+            (j.job_id, j.n_nodes, j.submit_s) for j in b
+        ]
+
+    def test_zero_weight_entries_never_drawn(self):
+        jobs = job_stream(
+            n_jobs=100, seed=5, mix={"PdO2": 1.0, "Si256_hse": 0.0}
+        )
+        names = {j.job_id.split("@")[0] for j in jobs}
+        assert names == {"PdO2"}
+
+    def test_single_benchmark_mix(self):
+        jobs = job_stream(n_jobs=10, seed=6, mix={"CuC_vdw": 3.0})
+        assert all(j.job_id.startswith("CuC_vdw@") for j in jobs)
+        assert len(jobs) == 10
+
 
 class TestFleetSimulation:
     @pytest.fixture(scope="class")
@@ -76,6 +98,65 @@ class TestFleetSimulation:
         assert report.policy_name == "baseline"
         assert report.mean_power_w > 0
         assert report.peak_power_w >= report.mean_power_w
+
+
+class TestTracedFleet:
+    #: Coarse 1 s rendering keeps the traced runs fast in CI.
+    ENGINE = EngineConfig(base_interval_s=1.0)
+
+    @pytest.fixture(scope="class")
+    def jobs(self):
+        return job_stream(n_jobs=5, seed=7)
+
+    def test_streaming_matches_dense_bit_identical(self, jobs):
+        """The O(chunk) streaming path equals the O(fleet) dense path."""
+        kwargs = dict(
+            n_nodes=8, bin_s=2.0, chunk_samples=23, engine_config=self.ENGINE, seed=7
+        )
+        stream = simulate_fleet_traced(jobs, CapPolicy.half_tdp(), "capped", **kwargs)
+        dense = simulate_fleet_traced(
+            jobs, CapPolicy.half_tdp(), "capped", retain_traces=True, **kwargs
+        )
+        assert stream.system == dense.system
+        assert stream.node_power_mean_w == dense.node_power_mean_w
+        assert stream.node_power_std_w == dense.node_power_std_w
+        assert stream.node_power_peak_w == dense.node_power_peak_w
+        assert stream.samples_streamed == dense.samples_streamed
+        assert stream.chunks_streamed == dense.chunks_streamed
+
+    def test_capping_reduces_peak_and_variability(self, jobs):
+        kwargs = dict(n_nodes=8, engine_config=self.ENGINE, seed=7)
+        capped = simulate_fleet_traced(jobs, CapPolicy.half_tdp(), "capped", **kwargs)
+        uncapped = simulate_fleet_traced(
+            jobs, CapPolicy.uncapped(), "uncapped", **kwargs
+        )
+        assert capped.peak_power_w < uncapped.peak_power_w
+        assert capped.power_std_w < uncapped.power_std_w
+
+    def test_report_accounting(self, jobs):
+        report = simulate_fleet_traced(
+            jobs,
+            CapPolicy.uncapped(),
+            "uncapped",
+            n_nodes=8,
+            engine_config=self.ENGINE,
+            seed=7,
+        )
+        assert report.jobs_completed == len(jobs)
+        assert report.samples_streamed > 0
+        assert report.chunks_streamed > 0
+        assert report.bytes_streamed > 0
+        assert report.system.energy_j > 0
+        assert report.makespan_s > 0
+        assert report.node_power_peak_w >= report.node_power_mean_w
+
+    def test_deterministic_per_seed(self, jobs):
+        kwargs = dict(n_nodes=8, engine_config=self.ENGINE)
+        a = simulate_fleet_traced(jobs, CapPolicy.uncapped(), "u", seed=7, **kwargs)
+        b = simulate_fleet_traced(jobs, CapPolicy.uncapped(), "u", seed=7, **kwargs)
+        assert a.system == b.system
+        c = simulate_fleet_traced(jobs, CapPolicy.uncapped(), "u", seed=8, **kwargs)
+        assert c.system != a.system
 
 
 class TestSystemPowerExperiment:

@@ -75,6 +75,81 @@ class TestEmptyWindows:
         assert merged.energy_j() == 0.0
 
 
+class TestColumnarIndex:
+    def test_key_index_sorted_after_unordered_ingest(self):
+        st = OmniStore()
+        st.ingest(make_series(node="nid000009"))
+        st.ingest(make_series(node="nid000001", component="gpu0"))
+        st.ingest(make_series(node="nid000005"))
+        st.ingest(make_series(node="nid000001"))
+        assert st._keys == sorted(st._keys)
+        assert st.nodes == ["nid000001", "nid000005", "nid000009"]
+
+    def test_node_query_returns_sorted_component_order(self, store):
+        results = store.query(OmniQuery(node_name="nid000001"))
+        assert [r.component for r in results] == ["gpu0", "node"]
+
+    def test_ingest_does_not_copy(self):
+        st = OmniStore()
+        series = make_series()
+        st.ingest(series)
+        (result,) = st.query(OmniQuery(node_name=series.node_name))
+        assert result.times is series.times
+        assert result.values is series.values
+
+    def test_sorted_window_is_a_view(self, store):
+        (result,) = store.query(
+            OmniQuery(node_name="nid000001", component="node", start_s=1.0, end_s=3.0)
+        )
+        source = store._data[("nid000001", "node")].segments[0]
+        assert np.shares_memory(result.values, source.values)
+
+    def test_unsorted_segment_falls_back_to_mask(self):
+        st = OmniStore()
+        times = np.array([3.0, 1.0, 2.0, 0.0])
+        st.ingest(
+            SampledSeries(
+                node_name="n", component="node", times=times, values=times * 10.0
+            )
+        )
+        assert not st._data[("n", "node")].ordered
+        (result,) = st.query(
+            OmniQuery(node_name="n", component="node", start_s=1.0, end_s=3.0)
+        )
+        np.testing.assert_array_equal(sorted(result.times), [1.0, 2.0])
+
+
+class TestConcatenated:
+    def test_single_series_zero_copy(self, store):
+        merged = store.concatenated(OmniQuery(node_name="nid000001", component="node"))
+        source = store._data[("nid000001", "node")].segments[0]
+        assert merged.times is source.times
+        assert merged.values is source.values
+
+    def test_ordered_segments_skip_sort(self):
+        """Back-to-back ordered segments merge without a sort pass."""
+        st = OmniStore()
+        st.ingest(make_series(t0=0.0))
+        st.ingest(make_series(t0=10.0))
+        merged = st.concatenated(OmniQuery(node_name="nid000001", component="node"))
+        assert np.all(np.diff(merged.times) >= 0)
+        assert len(merged.times) == 10
+
+    def test_ordered_and_unordered_merges_agree(self):
+        """The ordered fast path and the sort fallback give equal output."""
+        ordered, shuffled = OmniStore(), OmniStore()
+        a, b = make_series(t0=0.0), make_series(t0=10.0)
+        ordered.ingest(a)
+        ordered.ingest(b)
+        shuffled.ingest(b)  # reverse ingest order forces the sort path
+        shuffled.ingest(a)
+        q = OmniQuery(node_name="nid000001", component="node")
+        fast = ordered.concatenated(q)
+        slow = shuffled.concatenated(q)
+        np.testing.assert_array_equal(fast.times, slow.times)
+        np.testing.assert_array_equal(fast.values, slow.values)
+
+
 class TestUnknownSelectors:
     def test_unknown_node_matches_nothing(self, store):
         assert store.query(OmniQuery(node_name="nid999999")) == []
