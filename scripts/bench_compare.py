@@ -44,6 +44,10 @@ MEMORY_REDUCTION_FLOOR = 3.0
 #: Allocation peaks are deterministic (seeded run, tracemalloc), so a
 #: wide band only has to absorb allocator/version noise, not host load.
 MEMORY_GROWTH_THRESHOLD = 0.50
+#: Wall-time overhead of a monitored fleet run that fails the gate.
+#: The interleaved min-of-rounds ratio cancels uniform host slowdown,
+#: so this band absorbs only scheduling jitter, not load.
+MONITOR_OVERHEAD_THRESHOLD = 0.10
 
 
 def collect_efficiency() -> dict[str, float | int]:
@@ -109,6 +113,41 @@ def collect_memory() -> dict[str, float | int]:
     }
 
 
+def collect_monitor() -> dict[str, float | int]:
+    """Monitor overhead and collector effectiveness for the baseline.
+
+    Reuses the benchmark suite's interleaved measurement: the overhead
+    ratio is host-jitter-bound (gated wide at 10 %), while the signal
+    and energy fields are seeded-deterministic and record what the
+    collector actually observed — a silent detector regression shows up
+    as a changed count even when timings are clean.
+    """
+    import sys as _sys
+
+    _sys.path.insert(0, str(REPO_ROOT / "src"))
+    _sys.path.insert(0, str(REPO_ROOT))
+    from benchmarks.test_monitor_bench import (
+        MONITOR_JOBS,
+        MONITOR_NODES,
+        measure_monitor_overhead,
+        paired_overhead,
+    )
+
+    plain, watched, report, plain_times, monitored_times = measure_monitor_overhead()
+    if watched.system != plain.system:
+        raise SystemExit("monitored fleet statistics diverged from plain run")
+    return {
+        "fleet_nodes": MONITOR_NODES,
+        "fleet_jobs": MONITOR_JOBS,
+        "overhead": round(paired_overhead(plain_times, monitored_times), 4),
+        "samples_observed": report.samples_observed,
+        "signals_total": report.total_signals,
+        "signal_kinds": report.distinct_signal_kinds,
+        "alerts_fired": report.alerts_fired,
+        "energy_mj": round(report.energy["totals"]["energy_mj"], 3),
+    }
+
+
 def run_benchmarks(json_path: Path) -> None:
     """Run the benchmark suite, writing pytest-benchmark JSON output."""
     cmd = [
@@ -146,6 +185,7 @@ def write_baseline(times: dict[str, float], machine_note: str = "") -> None:
         "guarded_substring": GUARDED_SUBSTRING,
         "efficiency": collect_efficiency(),
         "memory": collect_memory(),
+        "monitor": collect_monitor(),
         "benchmarks": {name: {"min_s": value} for name, value in sorted(times.items())},
     }
     BASELINE_PATH.write_text(json.dumps(payload, indent=2) + "\n")
@@ -251,6 +291,24 @@ def compare(times: dict[str, float], threshold: float) -> int:
                     f"memory: streaming peak grew {growth:+.0%} "
                     f"(> {MEMORY_GROWTH_THRESHOLD:.0%})"
                 )
+    # Monitor gate: the collector must stay a near-free observer (and
+    # keep observing — deterministic counts are printed for drift).
+    base_mon = baseline.get("monitor")
+    if base_mon is not None:
+        now_mon = collect_monitor()
+        print("\nmonitor (overhead ratio + seeded collector counts):")
+        for key in sorted(set(base_mon) | set(now_mon)):
+            base_v = base_mon.get(key, "-")
+            now_v = now_mon.get(key, "-")
+            changed = "" if base_v == now_v else "  (changed)"
+            print(f"  {key:22s} {base_v!s:>12} -> {now_v!s:>12}{changed}")
+        if now_mon["overhead"] > MONITOR_OVERHEAD_THRESHOLD:
+            failures.append(
+                f"monitor: fleet overhead {now_mon['overhead']:+.1%} "
+                f"above the {MONITOR_OVERHEAD_THRESHOLD:.0%} gate"
+            )
+        if now_mon["samples_observed"] == 0:
+            failures.append("monitor: collector observed no samples")
     if failures:
         print("\nguarded benches regressed:")
         for line in failures:

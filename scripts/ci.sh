@@ -28,6 +28,9 @@ done
 echo "== tier-1 tests =="
 python -m pytest -x -q
 
+echo "== monitor smoke run (dashboard + energy report) =="
+python -m repro monitor --jobs 6 --nodes 8 --seed 3 --resolution 1.0
+
 if [[ "$SKIP_BENCH" == "1" ]]; then
     echo "== benches skipped (--skip-bench) =="
     exit 0

@@ -21,6 +21,7 @@ import heapq
 import logging
 import zlib
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -33,6 +34,7 @@ from repro.capping.scheduler import (
     PowerAwareScheduler,
     ScheduleResult,
     SchedulerConfig,
+    cached_estimate_run,
 )
 from repro.hardware.system import (
     PerlmutterSystem,
@@ -51,6 +53,9 @@ from repro.runner.sweep import SweepExecutor
 from repro.runner.trace import RunResult
 from repro.vasp.benchmarks import BENCHMARKS
 from repro.vasp.parallel import ParallelConfig
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations
+    from repro.monitor.collector import FleetMonitor
 
 logger = logging.getLogger(__name__)
 
@@ -246,6 +251,7 @@ def simulate_fleet_traced(
     engine_config: EngineConfig | None = None,
     seed: int = 0,
     retain_traces: bool = False,
+    monitor: "FleetMonitor | None" = None,
 ) -> FleetTraceReport:
     """Schedule a stream, render every job's traces, aggregate streaming.
 
@@ -262,7 +268,21 @@ def simulate_fleet_traced(
     accumulator in the same chunk order, producing bit-identical
     statistics at O(sum-of-traces) memory.  The memory-gated fleet bench
     compares the two.
+
+    ``monitor`` attaches a :class:`repro.monitor.FleetMonitor` as an
+    engine-stream tap: it observes every chunk (all components) plus the
+    job lifecycle, deriving health signals and per-job energy accounts,
+    and never writes back — the report is bit-identical with or without
+    it.  The caller finalizes the monitor (so one monitor can watch
+    several fleets, or sweep staleness at a horizon of its choosing).
+    Incompatible with ``retain_traces`` (the monitor rides the streaming
+    path).
     """
+    if monitor is not None and retain_traces:
+        raise ValueError(
+            "monitor= requires the streaming path; retain_traces=True "
+            "renders dense traces (monitor them with observe_run instead)"
+        )
     if power_budget_w is None:
         power_budget_w = n_nodes * 2350.0  # node TDP: effectively unbounded
     config = SchedulerConfig(
@@ -272,6 +292,8 @@ def simulate_fleet_traced(
         schedule = PowerAwareScheduler(config).schedule(list(jobs))
     workloads = {job.job_id: job.workload for job in jobs}
     pool = PerlmutterSystem(n_nodes=n_nodes)
+    if monitor is not None:
+        monitor.attach_pool(list(pool.nodes.values()))
     accumulator = SystemPowerAccumulator(
         n_nodes=n_nodes, bin_s=bin_s, idle_node_w=IDLE_NODE_W
     )
@@ -284,6 +306,11 @@ def simulate_fleet_traced(
     #: Jobs of the same benchmark at the same width share a phase list;
     #: building one is ~25 ms of SCF modelling, so memoize by content.
     phase_cache: dict[str, list] = {}
+    #: Uncapped runtime per (workload, width) for the monitor's slowdown
+    #: accounting.  cached_estimate_run is itself memoized, but its key
+    #: canonicalizes the whole workload (~1 ms/call) — at one call per
+    #: job start that alone would cost the monitor its overhead budget.
+    nominal_cache: dict[str, float] = {}
 
     def ingest(record: JobRecord, times, values, dt: float) -> None:
         nonlocal chunks_streamed, bytes_streamed
@@ -321,11 +348,30 @@ def simulate_fleet_traced(
                 result = engine.run(phases, label=record.job_id, seed=job_seed)
                 retained.append((record, result))
             else:
+                on_chunk = None
+                if monitor is not None:
+                    nominal_s = nominal_cache.get(phase_key)
+                    if nominal_s is None:
+                        nominal_s = nominal_cache[phase_key] = cached_estimate_run(
+                            workload, record.n_nodes, None
+                        ).runtime_s
+                    monitor.on_job_start(
+                        record.job_id,
+                        n_nodes=record.n_nodes,
+                        cap_w=record.cap_w,
+                        start_s=record.start_s,
+                        end_s=record.end_s,
+                        nominal_runtime_s=nominal_s,
+                    )
+                    on_chunk = monitor.tap(
+                        record.job_id, engine.config.base_interval_s
+                    )
                 streamed = engine.stream(
                     phases,
                     label=record.job_id,
                     seed=job_seed,
                     chunk_samples=chunk_samples,
+                    on_chunk=on_chunk,
                 )
                 dt = streamed.base_interval_s
                 for chunk in streamed.chunks:
@@ -337,6 +383,8 @@ def simulate_fleet_traced(
                     record.start_s + streamed.runtime_s,
                     record.n_nodes,
                 )
+                if monitor is not None:
+                    monitor.on_job_end(record.job_id)
             obs.inc("repro_fleet_jobs_rendered_total")
             obs.gauge_set(
                 "repro_fleet_resident_bytes",
@@ -395,10 +443,18 @@ def compare_fleet_policies_traced(
     chunk_samples: int | None = None,
     engine_config: EngineConfig | None = None,
     retain_traces: bool = False,
+    monitors: "tuple[FleetMonitor | None, FleetMonitor | None] | None" = None,
 ) -> tuple[FleetTraceReport, FleetTraceReport]:
-    """(capped, uncapped) trace-streamed fleet reports, same job stream."""
+    """(capped, uncapped) trace-streamed fleet reports, same job stream.
+
+    ``monitors`` optionally attaches one :class:`repro.monitor.FleetMonitor`
+    per policy, ``(capped, uncapped)`` — each policy replays the same job
+    ids, so the two runs cannot share a single ledger.  Callers finalize.
+    """
     reports = []
-    for capped, policy_name in ((True, "50% TDP policy"), (False, "uncapped")):
+    for index, (capped, policy_name) in enumerate(
+        ((True, "50% TDP policy"), (False, "uncapped"))
+    ):
         policy = CapPolicy.half_tdp() if capped else CapPolicy.uncapped()
         jobs = job_stream(n_jobs=n_jobs, seed=seed)
         reports.append(
@@ -413,6 +469,7 @@ def compare_fleet_policies_traced(
                 engine_config=engine_config,
                 seed=seed,
                 retain_traces=retain_traces,
+                monitor=monitors[index] if monitors is not None else None,
             )
         )
     return reports[0], reports[1]

@@ -52,11 +52,26 @@ from repro.experiments import (
     table1,
     topdown,
 )
-from repro.capping.fleet import compare_fleet_policies_traced
+from repro.capping.fleet import (
+    compare_fleet_policies_traced,
+    job_stream,
+    simulate_fleet_traced,
+)
+from repro.capping.policy import CapPolicy
 from repro.capping.scheduler import estimate_cache
 from repro.experiments.common import run_cache, run_workload
 from repro.experiments.report import format_table, sparkline
 from repro.io import result_to_json, save_trace_csv
+from repro.monitor import (
+    MONITOR_ENV,
+    MONITOR_LOG_ENV,
+    MONITOR_WINDOW_ENV,
+    FleetMonitor,
+    MonitorConfig,
+    monitor_state,
+    monitoring_requested,
+    render_dashboard,
+)
 from repro.runner.cache import CACHE_DIR_ENV, CACHE_ENABLE_ENV
 from repro.runner.engine import RENDER_CHUNK_ENV, EngineConfig
 from repro.runner.sweep import WORKERS_ENV, sweep_stats
@@ -165,13 +180,27 @@ def _cmd_cap_sweep(args: argparse.Namespace) -> int:
     case = benchmark(args.benchmark)
     workload = case.build()
     n_nodes = args.nodes if args.nodes else case.optimal_nodes
+    monitor = None
+    if args.monitor or monitoring_requested():
+        monitor = FleetMonitor(label=f"{workload.name} cap sweep")
     rows = []
     base = None
+    clock = 0.0
     for cap in args.caps:
         measured = run_workload(workload, n_nodes=n_nodes, gpu_cap_w=cap, seed=args.seed)
         gpu_hpm = high_power_mode_w(measured.telemetry[0].gpu_power(0))
         if base is None:
             base = measured.runtime_s
+        if monitor is not None:
+            # Replay each sweep point's retained traces through the
+            # streaming monitor path, laid out back-to-back on one clock.
+            monitor.observe_run(
+                measured.result,
+                job_id=f"{workload.name}@{cap:.0f}W",
+                start_s=clock,
+                nominal_runtime_s=base,
+            )
+            clock += measured.runtime_s
         rows.append(
             [f"{cap:.0f}", measured.runtime_s, base / measured.runtime_s, gpu_hpm, gpu_hpm / cap]
         )
@@ -182,6 +211,9 @@ def _cmd_cap_sweep(args: argparse.Namespace) -> int:
             title=f"{workload.name} cap sweep ({n_nodes} node(s))",
         )
     )
+    if monitor is not None:
+        print()
+        print(render_dashboard(monitor.finalize()))
     _print_efficiency_summary()
     return 0
 
@@ -201,6 +233,8 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
 def _cmd_obs(args: argparse.Namespace) -> int:
     status = obs.status()
     if args.json_status:
+        status = dict(status)
+        status["monitor"] = monitor_state()
         print(json.dumps(status, indent=2))
         return 0
     print("observability status")
@@ -216,11 +250,20 @@ def _cmd_obs(args: argparse.Namespace) -> int:
     print()
     if metrics["names"]:
         print(f"  registered metrics: {', '.join(metrics['names'])}")
+    mon = monitor_state()
+    print(
+        f"  monitor  : {mon['active_collectors']} active collector(s), "
+        f"{mon['collectors_started']} started, "
+        f"{mon['signals_emitted']} health signal(s) emitted this process"
+    )
     print("\nenvironment")
     for env in (
         obs.TRACE_ENV,
         obs.METRICS_ENV,
         obs.LOG_ENV,
+        MONITOR_ENV,
+        MONITOR_WINDOW_ENV,
+        MONITOR_LOG_ENV,
         CACHE_ENABLE_ENV,
         CACHE_DIR_ENV,
         WORKERS_ENV,
@@ -245,6 +288,15 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     engine_config = (
         EngineConfig(base_interval_s=args.resolution) if args.resolution else None
     )
+    monitors = None
+    if args.monitor or monitoring_requested():
+        if args.retain_traces:
+            print("--monitor requires the streaming path; ignoring with --retain-traces")
+        else:
+            monitors = (
+                FleetMonitor(label="50% TDP policy"),
+                FleetMonitor(label="uncapped"),
+            )
     with obs.span("cli.fleet", jobs=args.jobs, nodes=args.nodes):
         capped, uncapped = compare_fleet_policies_traced(
             n_jobs=args.jobs,
@@ -255,6 +307,7 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
             chunk_samples=args.chunk,
             engine_config=engine_config,
             retain_traces=args.retain_traces,
+            monitors=monitors,
         )
     rows = [
         [
@@ -303,7 +356,50 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         f"{chunks} chunks ({samples:,} samples); peak resident "
         f"memory stays O(chunk) + O(makespan)]"
     )
+    if monitors is not None:
+        for fleet_monitor in monitors:
+            print()
+            print(render_dashboard(fleet_monitor.finalize()))
     _print_efficiency_summary()
+    return 0
+
+
+def _cmd_monitor(args: argparse.Namespace) -> int:
+    """One monitored fleet run: health dashboard plus power report."""
+    budget = args.watts_per_node * args.nodes if args.watts_per_node else None
+    capped = args.policy == "capped"
+    policy = CapPolicy.half_tdp() if capped else CapPolicy.uncapped()
+    policy_name = "50% TDP policy" if capped else "uncapped"
+    config = MonitorConfig(
+        window_samples=args.window,
+        alert_log=args.alert_log,
+    )
+    monitor = FleetMonitor(config, label=policy_name)
+    engine_config = (
+        EngineConfig(base_interval_s=args.resolution) if args.resolution else None
+    )
+    jobs = job_stream(n_jobs=args.jobs, seed=args.seed)
+    with obs.span("cli.monitor", jobs=args.jobs, nodes=args.nodes):
+        simulate_fleet_traced(
+            jobs,
+            policy,
+            policy_name,
+            n_nodes=args.nodes,
+            power_budget_w=budget,
+            engine_config=engine_config,
+            seed=args.seed,
+            monitor=monitor,
+        )
+    report = monitor.finalize()
+    print(render_dashboard(report))
+    print()
+    print("per-job power report")
+    print(monitor.ledger.render_text())
+    if args.report_json:
+        path = report.export_json(args.report_json)
+        print(f"\nmonitor report written to {path}")
+    if config.resolved_alert_log() is not None:
+        print(f"alert log written to {config.resolved_alert_log()}")
     return 0
 
 
@@ -376,6 +472,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--caps", type=float, nargs="+", default=[400.0, 300.0, 200.0, 100.0]
     )
     p_sweep.add_argument("--seed", type=int, default=7)
+    p_sweep.add_argument(
+        "--monitor",
+        action="store_true",
+        help="replay each sweep point through the fleet health monitor",
+    )
     p_sweep.set_defaults(func=_cmd_cap_sweep)
 
     p_repro = sub.add_parser(
@@ -421,7 +522,60 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="dense reference path: retain all traces (O(fleet) memory)",
     )
+    p_fleet.add_argument(
+        "--monitor",
+        action="store_true",
+        help="attach a live health monitor per policy and print its dashboard",
+    )
     p_fleet.set_defaults(func=_cmd_fleet)
+
+    p_monitor = sub.add_parser(
+        "monitor",
+        help="monitored fleet run: health signals, alerts, energy report",
+        parents=[obs_flags],
+    )
+    p_monitor.add_argument("--jobs", type=int, default=24, help="jobs in the stream")
+    p_monitor.add_argument("--nodes", type=int, default=16, help="node pool size")
+    p_monitor.add_argument("--seed", type=int, default=0)
+    p_monitor.add_argument(
+        "--policy",
+        choices=("capped", "uncapped"),
+        default="capped",
+        help="cap policy for the run (default: the 50%%-of-TDP policy)",
+    )
+    p_monitor.add_argument(
+        "--watts-per-node",
+        type=float,
+        default=None,
+        help="facility power budget per node (default: unbounded)",
+    )
+    p_monitor.add_argument(
+        "--resolution",
+        type=float,
+        default=1.0,
+        metavar="SECONDS",
+        help="trace sample interval (coarser = faster; 0.1 matches the paper)",
+    )
+    p_monitor.add_argument(
+        "--window",
+        type=int,
+        default=None,
+        metavar="SAMPLES",
+        help=f"per-node ring-buffer window (default: ${MONITOR_WINDOW_ENV} or 512)",
+    )
+    p_monitor.add_argument(
+        "--alert-log",
+        default=None,
+        metavar="FILE",
+        help=f"write alert lifecycle events as JSON lines (or ${MONITOR_LOG_ENV})",
+    )
+    p_monitor.add_argument(
+        "--report-json",
+        default=None,
+        metavar="FILE",
+        help="write the full monitor report (signals, alerts, energy) as JSON",
+    )
+    p_monitor.set_defaults(func=_cmd_monitor)
 
     p_sched = sub.add_parser("schedule", help="run the power-aware scheduling study")
     p_sched.add_argument("--nodes", type=int, default=16)
@@ -451,6 +605,9 @@ def main(argv: Sequence[str] | None = None) -> int:
         metrics=getattr(args, "metrics", None) or False,
         log_level=getattr(args, "log_level", None),
     )
+    # Label the viewer rows in exported Chrome traces.
+    obs.name_process(f"repro {args.command}")
+    obs.name_thread("main")
     try:
         code = args.func(args)
         for path, kind in obs.flush().items():

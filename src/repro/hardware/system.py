@@ -56,6 +56,57 @@ class RunningMoments:
         self.minimum = min(self.minimum, float(values.min()))
         self.maximum = max(self.maximum, float(values.max()))
 
+    def update_scalar(self, value: float) -> None:
+        """Fold a single sample into the moments (no array round-trip)."""
+        value = float(value)
+        delta = value - self.mean
+        self.count += 1
+        self.mean += delta / self.count
+        self._m2 += delta * (value - self.mean)
+        self.total += value
+        self.minimum = min(self.minimum, value)
+        self.maximum = max(self.maximum, value)
+
+    def merge(self, other: "RunningMoments") -> None:
+        """Fold another moment set into this one (Chan et al. merge).
+
+        The fleet monitor maintains per-node moments and derives the
+        fleet-wide distribution by merging them — merging then reading is
+        equivalent to having streamed every sample through one instance.
+        """
+        if other.count == 0:
+            return
+        if self.count == 0:
+            self.count = other.count
+            self.mean = other.mean
+            self._m2 = other._m2
+            self.total = other.total
+            self.minimum = other.minimum
+            self.maximum = other.maximum
+            return
+        delta = other.mean - self.mean
+        merged = self.count + other.count
+        self.mean += delta * other.count / merged
+        self._m2 += other._m2 + delta * delta * self.count * other.count / merged
+        self.count = merged
+        self.total += other.total
+        self.minimum = min(self.minimum, other.minimum)
+        self.maximum = max(self.maximum, other.maximum)
+
+    def zscore(self, value: float) -> float:
+        """Standard score of ``value`` against these moments.
+
+        Returns 0.0 when the distribution is degenerate (fewer than two
+        samples, or zero variance) — a lone node can never drift from a
+        fleet of itself.
+        """
+        if self.count < 2:
+            return 0.0
+        std = self.std
+        if std <= 0.0:
+            return 0.0
+        return (float(value) - self.mean) / std
+
     @property
     def variance(self) -> float:
         """Population variance of everything folded in so far."""

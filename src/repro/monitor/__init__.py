@@ -1,0 +1,81 @@
+"""``repro.monitor`` — OMNI-style fleet telemetry pipeline.
+
+A streaming health monitor over the simulated fleet's power telemetry:
+per-node ring buffers plus incremental moments
+(:mod:`~repro.monitor.buffers`), derived health signals — idle-power
+outliers, cap violations, throttle residency, sampler staleness, fleet
+drift (:mod:`~repro.monitor.health`) — a declarative alert-rules engine
+with debounce/hysteresis and a JSON log sink
+(:mod:`~repro.monitor.alerts`), and per-job energy accounting rendered
+as text/JSON power reports (:mod:`~repro.monitor.energy`).
+
+:class:`FleetMonitor` ties it together and subscribes to the engine's
+chunk streams, ``simulate_fleet_traced(monitor=...)``, or OmniStore
+ingest.  The collector is observation-only: monitored runs are
+bit-identical to unmonitored ones.
+
+Environment variables: ``REPRO_MONITOR`` (ambient CLI monitoring),
+``REPRO_MONITOR_WINDOW`` (ring-buffer samples per node),
+``REPRO_MONITOR_LOG`` (alert-log JSON-lines sink).
+"""
+
+from repro.monitor.alerts import (
+    SEVERITIES,
+    AlertEvent,
+    AlertManager,
+    AlertRule,
+    default_rules,
+)
+from repro.monitor.buffers import RingBuffer
+from repro.monitor.collector import (
+    MONITOR_ENV,
+    MONITOR_LOG_ENV,
+    MONITOR_WINDOW_ENV,
+    FleetMonitor,
+    MonitorConfig,
+    monitor_state,
+    monitor_window_samples,
+    monitoring_requested,
+    reset_monitor_state,
+)
+from repro.monitor.energy import EnergyLedger, JobEnergyAccount
+from repro.monitor.health import (
+    SIGNAL_KINDS,
+    CapMonitor,
+    CapUsage,
+    DriftDetector,
+    HealthSignal,
+    IdleOutlierDetector,
+    StalenessDetector,
+)
+from repro.monitor.report import MonitorReport, NodeSummary, render_dashboard
+
+__all__ = [
+    "SEVERITIES",
+    "SIGNAL_KINDS",
+    "MONITOR_ENV",
+    "MONITOR_LOG_ENV",
+    "MONITOR_WINDOW_ENV",
+    "AlertEvent",
+    "AlertManager",
+    "AlertRule",
+    "CapMonitor",
+    "CapUsage",
+    "DriftDetector",
+    "EnergyLedger",
+    "FleetMonitor",
+    "HealthSignal",
+    "IdleOutlierDetector",
+    "JobEnergyAccount",
+    "MonitorConfig",
+    "MonitorReport",
+    "NodeSummary",
+    "RingBuffer",
+    "StalenessDetector",
+    "default_rules",
+    "monitor_state",
+    "monitor_window_samples",
+    "monitoring_requested",
+    "render_dashboard",
+    "reset_monitor_state",
+]

@@ -1,0 +1,95 @@
+"""Per-node ring buffers for the live telemetry collector.
+
+OMNI keeps the full history in its store; a *live* monitor only ever
+needs the recent past — enough samples to judge whether a node's current
+draw is an outlier, whether it sits pinned at its cap, or whether its
+stream went stale.  :class:`RingBuffer` is that bounded window: a
+numpy-backed circular buffer of (time, value) samples with O(1)
+amortized batch pushes and zero growth after construction, so a monitor
+watching thousands of nodes holds a fixed, predictable footprint.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class RingBuffer:
+    """Fixed-capacity circular buffer of (time, value) samples.
+
+    Batch pushes larger than the capacity keep only the trailing
+    ``capacity`` samples — exactly what a sliding window would retain.
+    ``view()`` returns the window in arrival order (oldest first) as
+    copies, so readers never alias the mutating storage.
+    """
+
+    __slots__ = ("capacity", "_times", "_values", "_head", "_count", "pushed")
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._times = np.zeros(capacity)
+        self._values = np.zeros(capacity)
+        #: Next write position.
+        self._head = 0
+        self._count = 0
+        #: Total samples ever pushed (including overwritten ones).
+        self.pushed = 0
+
+    def __len__(self) -> int:
+        return self._count
+
+    @property
+    def nbytes(self) -> int:
+        """Resident bytes of the sample storage."""
+        return int(self._times.nbytes + self._values.nbytes)
+
+    def push_batch(self, times: np.ndarray, values: np.ndarray) -> None:
+        """Append a batch of samples, evicting the oldest on overflow."""
+        times = np.asarray(times, dtype=float)
+        values = np.asarray(values, dtype=float)
+        if times.shape != values.shape:
+            raise ValueError(f"shape mismatch: {times.shape} vs {values.shape}")
+        n = times.size
+        if n == 0:
+            return
+        self.pushed += n
+        if n >= self.capacity:
+            # The batch alone fills the window: keep its tail.
+            self._times[:] = times[n - self.capacity :]
+            self._values[:] = values[n - self.capacity :]
+            self._head = 0
+            self._count = self.capacity
+            return
+        first = min(n, self.capacity - self._head)
+        self._times[self._head : self._head + first] = times[:first]
+        self._values[self._head : self._head + first] = values[:first]
+        if n > first:
+            self._times[: n - first] = times[first:]
+            self._values[: n - first] = values[first:]
+        self._head = (self._head + n) % self.capacity
+        self._count = min(self._count + n, self.capacity)
+
+    def view(self) -> tuple[np.ndarray, np.ndarray]:
+        """(times, values) in arrival order — copies, never views."""
+        if self._count < self.capacity:
+            return self._times[: self._count].copy(), self._values[: self._count].copy()
+        order = np.concatenate(
+            [np.arange(self._head, self.capacity), np.arange(self._head)]
+        )
+        return self._times[order], self._values[order]
+
+    @property
+    def latest_time(self) -> float:
+        """Time of the most recent sample (-inf when empty)."""
+        if self._count == 0:
+            return -np.inf
+        return float(self._times[(self._head - 1) % self.capacity])
+
+    @property
+    def latest_value(self) -> float:
+        """Most recent sample value (nan when empty)."""
+        if self._count == 0:
+            return float("nan")
+        return float(self._values[(self._head - 1) % self.capacity])

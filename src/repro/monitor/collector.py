@@ -1,0 +1,465 @@
+"""The live telemetry collector: streams in, health signals out.
+
+:class:`FleetMonitor` is the OMNI/LDMS-style standing pipeline the paper's
+methodology presumes: it subscribes to chunk streams
+(:meth:`repro.runner.engine.PowerEngine.stream` taps,
+:func:`repro.capping.fleet.simulate_fleet_traced`, or
+:class:`repro.telemetry.omni.OmniStore` ingest), maintains per-node ring
+buffers plus incremental :class:`~repro.hardware.system.RunningMoments`,
+and derives the health signals of :mod:`repro.monitor.health`.  On top
+sit the declarative alert rules (:mod:`repro.monitor.alerts`) and the
+per-job energy ledger (:mod:`repro.monitor.energy`).
+
+The collector is strictly an observer: it reads sample values and never
+writes back into the data path, so a monitored run is bit-identical to
+an unmonitored one (test-enforced).  Simulation time drives everything —
+staleness, debounce and hysteresis all use the sample clock, keeping
+monitor output deterministic per seed.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro import obs
+from repro.hardware.node import GpuNode
+from repro.hardware.system import RunningMoments
+from repro.monitor.alerts import AlertManager, AlertRule
+from repro.monitor.buffers import RingBuffer
+from repro.monitor.energy import EnergyLedger
+from repro.monitor.health import (
+    CapMonitor,
+    CapUsage,
+    DriftDetector,
+    HealthSignal,
+    IdleOutlierDetector,
+    StalenessDetector,
+)
+from repro.monitor.report import MonitorReport, NodeSummary
+from repro.runner.trace import GPU_KEYS, RunResult
+from repro.telemetry.sampler import SampledSeries
+
+#: Environment variable: ring-buffer window per node, in samples.
+MONITOR_WINDOW_ENV = "REPRO_MONITOR_WINDOW"
+#: Environment variable: path for the JSON-lines alert log sink.
+MONITOR_LOG_ENV = "REPRO_MONITOR_LOG"
+#: Environment variable: any non-empty value asks the CLI to attach a
+#: monitor to fleet/cap-sweep runs even without ``--monitor``.
+MONITOR_ENV = "REPRO_MONITOR"
+
+_GPU_COMPONENTS = frozenset(GPU_KEYS)
+
+
+def monitor_window_samples() -> int:
+    """Ring-buffer capacity from ``REPRO_MONITOR_WINDOW`` (default 512)."""
+    raw = os.environ.get(MONITOR_WINDOW_ENV, "").strip()
+    if not raw:
+        return 512
+    try:
+        value = int(raw)
+    except ValueError:
+        return 512
+    return value if value >= 1 else 512
+
+
+def monitoring_requested() -> bool:
+    """True when ``REPRO_MONITOR`` asks for ambient monitoring."""
+    value = os.environ.get(MONITOR_ENV, "").strip().lower()
+    return value not in ("", "0", "false", "off")
+
+
+@dataclass(frozen=True)
+class MonitorConfig:
+    """Collector tunables; defaults are the paper's observed envelopes."""
+
+    #: Per-node ring-buffer capacity (samples); None reads the env var.
+    window_samples: int | None = None
+    #: Sample-gap bound (§II-B: LDMS gaps never exceeded 5 s).
+    max_gap_s: float = 5.0
+    #: Idle band overrides; None uses the node envelope's 410-510 W.
+    idle_min_w: float | None = None
+    idle_max_w: float | None = None
+    #: Relative excess over the GPU cap that counts as a violation.
+    violation_tolerance: float = 0.02
+    #: Relative distance below the cap still counted as throttled.
+    throttle_band: float = 0.05
+    #: Job-level throttle residency that warrants a signal at close.
+    throttle_residency_threshold: float = 0.5
+    #: |z| beyond which a node's mean power counts as fleet drift.
+    drift_z_threshold: float = 2.5
+    #: Minimum samples a node needs before drift is judged.
+    drift_min_samples: int = 16
+    #: Alert-rule overrides; None installs :func:`default_rules`.
+    rules: tuple[AlertRule, ...] | None = None
+    #: JSON-lines alert log path; None reads ``REPRO_MONITOR_LOG``.
+    alert_log: str | Path | None = None
+
+    def resolved_window(self) -> int:
+        """The effective ring capacity."""
+        if self.window_samples is not None:
+            if self.window_samples < 1:
+                raise ValueError(
+                    f"window_samples must be >= 1, got {self.window_samples}"
+                )
+            return self.window_samples
+        return monitor_window_samples()
+
+    def resolved_alert_log(self) -> Path | None:
+        """The effective alert-log sink path."""
+        if self.alert_log is not None:
+            return Path(self.alert_log)
+        raw = os.environ.get(MONITOR_LOG_ENV, "").strip()
+        return Path(raw) if raw else None
+
+
+@dataclass
+class _JobState:
+    """Per-open-job monitor state (cap usage shared across its GPUs)."""
+
+    cap_w: float
+    start_s: float
+    usage: CapUsage = field(default_factory=CapUsage)
+
+
+class FleetMonitor:
+    """Streaming health monitor over a fleet's power telemetry."""
+
+    def __init__(self, config: MonitorConfig | None = None, label: str = "fleet") -> None:
+        self.config = config if config is not None else MonitorConfig()
+        self.label = label
+        window = self.config.resolved_window()
+        self._window = window
+        self._buffers: dict[str, RingBuffer] = {}
+        self._idle = IdleOutlierDetector(
+            idle_min_w=self.config.idle_min_w, idle_max_w=self.config.idle_max_w
+        )
+        self._caps = CapMonitor(
+            violation_tolerance=self.config.violation_tolerance,
+            throttle_band=self.config.throttle_band,
+        )
+        self._staleness = StalenessDetector(max_gap_s=self.config.max_gap_s)
+        self._drift = DriftDetector(
+            z_threshold=self.config.drift_z_threshold,
+            min_samples=self.config.drift_min_samples,
+        )
+        self.alerts = AlertManager(
+            list(self.config.rules) if self.config.rules is not None else None
+        )
+        self.ledger = EnergyLedger()
+        self._jobs: dict[str, _JobState] = {}
+        self.signals: list[HealthSignal] = []
+        self.signal_counts: dict[str, int] = {}
+        self.chunks_observed = 0
+        self.samples_observed = 0
+        self._horizon_s = 0.0
+        self._finalized: MonitorReport | None = None
+        _register_collector(self)
+
+    # ------------------------------------------------------------------
+    # Signal routing
+    # ------------------------------------------------------------------
+    def _emit(self, signals: list[HealthSignal]) -> None:
+        if not signals:  # the per-chunk common case — keep it free
+            return
+        for signal in signals:
+            self.signals.append(signal)
+            self.signal_counts[signal.kind] = (
+                self.signal_counts.get(signal.kind, 0) + 1
+            )
+            obs.inc("repro_monitor_signals_total", kind=signal.kind)
+            _count_signal()
+        self.alerts.process_all(signals)
+
+    def _buffer(self, node_name: str) -> RingBuffer:
+        buffer = self._buffers.get(node_name)
+        if buffer is None:
+            buffer = self._buffers[node_name] = RingBuffer(self._window)
+        return buffer
+
+    # ------------------------------------------------------------------
+    # Subscriptions
+    # ------------------------------------------------------------------
+    def attach_pool(self, nodes: list[GpuNode], time_s: float = 0.0) -> None:
+        """Run the idle-band survey over a node pool (§III-B as a check)."""
+        with obs.span("monitor.attach_pool", nodes=len(nodes)):
+            self._emit(self._idle.scan_pool(nodes, time_s=time_s))
+
+    def on_job_start(
+        self,
+        job_id: str,
+        n_nodes: int,
+        cap_w: float,
+        start_s: float,
+        end_s: float,
+        nominal_runtime_s: float | None = None,
+    ) -> None:
+        """Open accounting and cap tracking for a scheduled job."""
+        self.ledger.open_job(
+            job_id,
+            n_nodes=n_nodes,
+            cap_w=cap_w,
+            start_s=start_s,
+            end_s=end_s,
+            nominal_runtime_s=nominal_runtime_s,
+        )
+        self._jobs[job_id] = _JobState(cap_w=cap_w, start_s=start_s)
+
+    def observe_chunk(
+        self,
+        job_id: str,
+        node_name: str,
+        component: str,
+        times: np.ndarray,
+        values: np.ndarray,
+        interval_s: float,
+    ) -> None:
+        """Fold one streamed chunk of one component into the monitor.
+
+        ``times`` are job-relative sample midpoints; the job's start
+        offset (from :meth:`on_job_start`) places them on the system
+        clock.  Only ``node`` and GPU components carry health semantics;
+        other components return immediately.
+        """
+        is_gpu = component in _GPU_COMPONENTS
+        if component != "node" and not is_gpu:
+            return
+        if values.size == 0:
+            return
+        state = self._jobs[job_id]
+        absolute = state.start_s + np.asarray(times, dtype=float)
+        self.chunks_observed += 1
+        self.samples_observed += int(values.size)
+        obs.inc("repro_monitor_chunks_total")
+        horizon = float(absolute[-1]) + interval_s / 2.0
+        if horizon > self._horizon_s:
+            self._horizon_s = horizon
+        if is_gpu:
+            self._emit(
+                self._caps.check_chunk(
+                    node_name,
+                    state.cap_w,
+                    absolute,
+                    np.asarray(values, dtype=float),
+                    interval_s,
+                    state.usage,
+                )
+            )
+            return
+        values = np.asarray(values, dtype=float)
+        self.ledger.add_node_samples(job_id, values, interval_s)
+        self._buffer(node_name).push_batch(absolute, values)
+        self._drift.update(node_name, values)
+        self._emit(self._staleness.observe(node_name, absolute))
+        self._emit(self._idle.check_samples(node_name, absolute, values))
+
+    def on_job_end(self, job_id: str) -> None:
+        """Close a job: settle its ledger and judge throttle residency."""
+        state = self._jobs.pop(job_id)
+        self.ledger.add_gpu_time(
+            job_id, state.usage.gpu_seconds, state.usage.cap_limited_s
+        )
+        account = self.ledger.close_job(job_id)
+        residency = state.usage.throttle_residency
+        if residency >= self.config.throttle_residency_threshold:
+            self._emit(
+                [
+                    HealthSignal(
+                        kind="throttle_residency",
+                        node_name=job_id,
+                        time_s=account.end_s,
+                        value=residency,
+                        threshold=self.config.throttle_residency_threshold,
+                        detail=(
+                            f"{residency:.0%} of GPU time at cap "
+                            f"{state.cap_w:.0f} W "
+                            f"(est. slowdown {account.cap_slowdown:.2f}x)"
+                        ),
+                    )
+                ]
+            )
+
+    def tap(self, job_id: str, interval_s: float):
+        """A :meth:`PowerEngine.stream` ``on_chunk`` callback for a job."""
+
+        def _on_chunk(chunk) -> None:
+            self.observe_chunk(
+                job_id,
+                chunk.node_name,
+                chunk.component,
+                chunk.times,
+                chunk.values,
+                interval_s,
+            )
+
+        return _on_chunk
+
+    def observe_run(
+        self,
+        result: RunResult,
+        job_id: str | None = None,
+        start_s: float = 0.0,
+        nominal_runtime_s: float | None = None,
+        chunk_samples: int = 4096,
+    ) -> None:
+        """Post-hoc monitoring of a completed run's retained traces.
+
+        Replays the node and GPU rows of every trace through the same
+        streaming path ``observe_chunk`` serves — what ``cap-sweep
+        --monitor`` uses, since sweeps retain whole traces.
+        """
+        label = job_id if job_id is not None else result.label
+        self.on_job_start(
+            label,
+            n_nodes=result.n_nodes,
+            cap_w=result.gpu_power_cap_w,
+            start_s=start_s,
+            end_s=start_s + result.runtime_s,
+            nominal_runtime_s=nominal_runtime_s,
+        )
+        with obs.span("monitor.observe_run", job=label, nodes=result.n_nodes):
+            for trace in result.traces:
+                dt = trace.sample_interval_s
+                times = trace.times
+                for component in ("node",) + GPU_KEYS:
+                    series = trace.components[component]
+                    for lo in range(0, len(times), chunk_samples):
+                        hi = min(lo + chunk_samples, len(times))
+                        self.observe_chunk(
+                            label,
+                            trace.node_name,
+                            component,
+                            times[lo:hi],
+                            series[lo:hi],
+                            dt,
+                        )
+        self.on_job_end(label)
+
+    def ingest_series(self, series: SampledSeries) -> None:
+        """OmniStore subscription hook: watch an ingested sampled series.
+
+        Store streams carry no job attribution, so only stream-level
+        health applies: staleness on every component stream, ring
+        buffering plus idle checks on node power.
+        """
+        key = f"{series.node_name}:{series.component}"
+        times = np.asarray(series.times, dtype=float)
+        self._emit(self._staleness.observe(key, times, node_name=series.node_name))
+        if series.component != "node" or times.size == 0:
+            return
+        values = np.asarray(series.values, dtype=float)
+        self.chunks_observed += 1
+        self.samples_observed += int(values.size)
+        horizon = float(times[-1])
+        if horizon > self._horizon_s:
+            self._horizon_s = horizon
+        self._buffer(series.node_name).push_batch(times, values)
+        self._drift.update(series.node_name, values)
+        self._emit(self._idle.check_samples(series.node_name, times, values))
+
+    # ------------------------------------------------------------------
+    # Finalization
+    # ------------------------------------------------------------------
+    def finalize(self, now_s: float | None = None) -> MonitorReport:
+        """Run end-of-stream sweeps and freeze the report.
+
+        Safe to call more than once; later calls return the first report.
+        """
+        if self._finalized is not None:
+            return self._finalized
+        now = now_s if now_s is not None else self._horizon_s
+        with obs.span("monitor.finalize", label=self.label):
+            for job_id in sorted(self._jobs):
+                self.on_job_end(job_id)
+            self._emit(self._staleness.sweep(now))
+            self._emit(self._drift.finalize(now))
+            self.alerts.sweep(now + max(
+                (rule.clear_quiet_s for rule in self.alerts.rules), default=0.0
+            ))
+            log_path = self.config.resolved_alert_log()
+            if log_path is not None:
+                self.alerts.write_log(log_path)
+            obs.gauge_set(
+                "repro_monitor_nodes_watched", float(len(self._buffers))
+            )
+            self._finalized = self._build_report(now)
+        _unregister_collector(self)
+        return self._finalized
+
+    def _build_report(self, now_s: float) -> MonitorReport:
+        nodes = []
+        for name in sorted(self._drift.per_node):
+            moments = self._drift.per_node[name]
+            buffer = self._buffers.get(name)
+            nodes.append(
+                NodeSummary(
+                    node_name=name,
+                    samples=moments.count,
+                    mean_w=moments.mean,
+                    peak_w=moments.peak,
+                    last_seen_s=(
+                        buffer.latest_time if buffer is not None else -float("inf")
+                    ),
+                )
+            )
+        return MonitorReport(
+            label=self.label,
+            horizon_s=now_s,
+            nodes_watched=len(self._buffers),
+            chunks_observed=self.chunks_observed,
+            samples_observed=self.samples_observed,
+            signal_counts=dict(sorted(self.signal_counts.items())),
+            signals=tuple(self.signals),
+            alert_events=tuple(self.alerts.events),
+            energy=self.ledger.to_json(),
+            nodes=tuple(nodes),
+        )
+
+    @property
+    def resident_bytes(self) -> int:
+        """Bytes held by the per-node ring buffers."""
+        return sum(buffer.nbytes for buffer in self._buffers.values())
+
+
+# ----------------------------------------------------------------------
+# Module-level state (surfaced by `repro obs`)
+# ----------------------------------------------------------------------
+_ACTIVE: set[int] = set()
+_TOTALS = {"collectors_started": 0, "signals_emitted": 0}
+
+
+def _register_collector(monitor: FleetMonitor) -> None:
+    _ACTIVE.add(id(monitor))
+    _TOTALS["collectors_started"] += 1
+
+
+def _unregister_collector(monitor: FleetMonitor) -> None:
+    _ACTIVE.discard(id(monitor))
+
+
+def _count_signal() -> None:
+    _TOTALS["signals_emitted"] += 1
+
+
+def monitor_state() -> dict[str, object]:
+    """Process-wide monitor status for ``repro obs``."""
+    return {
+        "active_collectors": len(_ACTIVE),
+        "collectors_started": _TOTALS["collectors_started"],
+        "signals_emitted": _TOTALS["signals_emitted"],
+        "env": {
+            MONITOR_ENV: os.environ.get(MONITOR_ENV) or None,
+            MONITOR_WINDOW_ENV: os.environ.get(MONITOR_WINDOW_ENV) or None,
+            MONITOR_LOG_ENV: os.environ.get(MONITOR_LOG_ENV) or None,
+        },
+    }
+
+
+def reset_monitor_state() -> None:
+    """Forget process-wide totals (test isolation)."""
+    _ACTIVE.clear()
+    _TOTALS["collectors_started"] = 0
+    _TOTALS["signals_emitted"] = 0

@@ -76,6 +76,8 @@ __all__ = [
     "instant",
     "is_active",
     "metrics",
+    "name_process",
+    "name_thread",
     "observe",
     "reset_logging",
     "span",
@@ -197,6 +199,20 @@ def instant(name: str, category: str = "repro", **args: Any) -> None:
     active = _STATE.tracer
     if active is not None:
         active.instant(name, category, **args)
+
+
+def name_process(name: str) -> None:
+    """Label this process's row in the exported trace (no-op when off)."""
+    active = _STATE.tracer
+    if active is not None:
+        active.name_process(name)
+
+
+def name_thread(name: str) -> None:
+    """Label this thread's row in the exported trace (no-op when off)."""
+    active = _STATE.tracer
+    if active is not None:
+        active.name_thread(name)
 
 
 def inc(name: str, amount: float = 1.0, help_text: str = "", **labels: str) -> None:

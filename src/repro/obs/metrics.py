@@ -42,19 +42,40 @@ def _label_key(labels: dict[str, str]) -> _LabelKey:
     return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
 
 
+def _escape_label_value(value: str) -> str:
+    """Escape a label value per the text exposition format.
+
+    Backslash, double-quote and line-feed must be escaped (in that
+    order, so inserted backslashes are not re-escaped).
+    """
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _escape_help(text: str) -> str:
+    """Escape ``# HELP`` text: backslash and line-feed only."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
 def _format_labels(key: _LabelKey) -> str:
     if not key:
         return ""
-    inner = ",".join(f'{name}="{value}"' for name, value in key)
+    inner = ",".join(
+        f'{name}="{_escape_label_value(value)}"' for name, value in key
+    )
     return "{" + inner + "}"
 
 
 def _format_value(value: float) -> str:
+    value = float(value)
     if value == math.inf:
         return "+Inf"
-    if float(value).is_integer():
+    if value == -math.inf:
+        return "-Inf"
+    if math.isnan(value):
+        return "NaN"
+    if value.is_integer():
         return str(int(value))
-    return repr(float(value))
+    return repr(value)
 
 
 class Counter:
@@ -87,7 +108,7 @@ class Counter:
     def expose(self) -> list[str]:
         lines = []
         if self.help_text:
-            lines.append(f"# HELP {self.name} {self.help_text}")
+            lines.append(f"# HELP {self.name} {_escape_help(self.help_text)}")
         lines.append(f"# TYPE {self.name} counter")
         with self._lock:
             series = sorted(self._values.items())
@@ -133,7 +154,7 @@ class Gauge:
     def expose(self) -> list[str]:
         lines = []
         if self.help_text:
-            lines.append(f"# HELP {self.name} {self.help_text}")
+            lines.append(f"# HELP {self.name} {_escape_help(self.help_text)}")
         lines.append(f"# TYPE {self.name} gauge")
         with self._lock:
             series = sorted(self._values.items())
@@ -201,7 +222,7 @@ class Histogram:
     def expose(self) -> list[str]:
         lines = []
         if self.help_text:
-            lines.append(f"# HELP {self.name} {self.help_text}")
+            lines.append(f"# HELP {self.name} {_escape_help(self.help_text)}")
         lines.append(f"# TYPE {self.name} histogram")
         with self._lock:
             counts = list(self._counts)

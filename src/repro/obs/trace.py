@@ -136,6 +136,10 @@ class Tracer:
         self._epoch = time.perf_counter()
         self._lock = threading.Lock()
         self._events: list[TraceEvent] = []
+        #: pid -> process label (``process_name`` metadata events).
+        self._process_names: dict[int, str] = {}
+        #: (pid, tid) -> thread label (``thread_name`` metadata events).
+        self._thread_names: dict[tuple[int, int], str] = {}
 
     # -- recording ------------------------------------------------------
     def _now_us(self) -> float:
@@ -163,6 +167,31 @@ class Tracer:
             )
         )
 
+    def name_process(self, name: str, pid: int | None = None) -> None:
+        """Label a process row in the trace viewer.
+
+        Emitted as a ``process_name`` metadata event (``ph: "M"``) —
+        Perfetto / ``chrome://tracing`` show the label instead of the
+        bare pid.  Defaults to the calling process.
+        """
+        key = pid if pid is not None else os.getpid()
+        with self._lock:
+            self._process_names[key] = name
+
+    def name_thread(
+        self, name: str, tid: int | None = None, pid: int | None = None
+    ) -> None:
+        """Label a thread row in the trace viewer (``thread_name``).
+
+        Defaults to the calling thread of the calling process.
+        """
+        key = (
+            pid if pid is not None else os.getpid(),
+            tid if tid is not None else threading.get_ident(),
+        )
+        with self._lock:
+            self._thread_names[key] = name
+
     # -- inspection / export -------------------------------------------
     @property
     def events(self) -> list[TraceEvent]:
@@ -180,9 +209,36 @@ class Tracer:
             self._events.clear()
 
     def to_chrome(self) -> dict[str, Any]:
-        """The full trace as a Chrome trace-event JSON object."""
+        """The full trace as a Chrome trace-event JSON object.
+
+        Metadata (``ph: "M"`` ``process_name`` / ``thread_name``) events
+        lead the event list, per the trace-event format: viewers apply
+        row labels before laying out the spans.
+        """
+        with self._lock:
+            process_names = dict(self._process_names)
+            thread_names = dict(self._thread_names)
+        metadata: list[dict[str, Any]] = [
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "args": {"name": name},
+            }
+            for pid, name in sorted(process_names.items())
+        ]
+        metadata += [
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": tid,
+                "args": {"name": name},
+            }
+            for (pid, tid), name in sorted(thread_names.items())
+        ]
         return {
-            "traceEvents": [e.to_chrome() for e in self.events],
+            "traceEvents": metadata + [e.to_chrome() for e in self.events],
             "displayTimeUnit": "ms",
             "otherData": {"producer": "repro.obs"},
         }

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import logging
 import os
-from collections.abc import Iterator
+from collections.abc import Callable, Iterator
 from dataclasses import dataclass
 
 import numpy as np
@@ -576,6 +576,7 @@ class PowerEngine:
         label: str = "run",
         seed: int = 0,
         chunk_samples: int | None = None,
+        on_chunk: "Callable[[TraceChunk], None] | None" = None,
     ) -> "StreamedRun":
         """Resolve a schedule and stream its render in fixed-size chunks.
 
@@ -586,6 +587,12 @@ class PowerEngine:
         O(chunk) instead of O(schedule) — nothing is retained between
         chunks, which is what lets fleet-scale consumers aggregate
         thousands of node traces in bounded memory.
+
+        ``on_chunk`` is an observer tap: it sees every chunk (all
+        components, not just the ones the consumer keeps) before the
+        consumer does.  Taps must not mutate chunk arrays — the render is
+        oblivious to them, which is what keeps monitored runs
+        bit-identical to unmonitored ones.
         """
         if not phases:
             raise ValueError("cannot run an empty phase list")
@@ -606,7 +613,7 @@ class PowerEngine:
                 resolved, rng, n_samples, counts, chunk_samples
             ):
                 stop = start + len(values)
-                yield TraceChunk(
+                chunk = TraceChunk(
                     node_name=self.nodes[node_index].name,
                     node_index=node_index,
                     component=key,
@@ -614,6 +621,9 @@ class PowerEngine:
                     times=(np.arange(start, stop) + 0.5) * dt,
                     values=values.astype(dtype),
                 )
+                if on_chunk is not None:
+                    on_chunk(chunk)
+                yield chunk
 
         return StreamedRun(
             label=label,

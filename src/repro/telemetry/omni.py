@@ -15,6 +15,7 @@ per-query re-sort), and window queries on time-ordered segments are
 from __future__ import annotations
 
 from bisect import bisect_left, insort
+from collections.abc import Callable
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -77,6 +78,20 @@ class OmniStore:
     _data: dict[tuple[str, str], _Column] = field(default_factory=dict)
     #: Sorted key index, maintained incrementally on ingest.
     _keys: list[tuple[str, str]] = field(default_factory=list)
+    #: Ingest observers (live monitors); see :meth:`subscribe`.
+    _subscribers: list[Callable[[SampledSeries], None]] = field(
+        default_factory=list
+    )
+
+    def subscribe(self, callback: Callable[[SampledSeries], None]) -> None:
+        """Register an observer called with every ingested series.
+
+        This is how a live monitor (e.g.
+        :meth:`repro.monitor.FleetMonitor.ingest_series`) rides the
+        store's ingest path.  Observers see the series after it is
+        stored and must not mutate it.
+        """
+        self._subscribers.append(callback)
 
     def ingest(self, series: SampledSeries) -> None:
         """Add a sampled series to the store — no copy, no re-sort."""
@@ -87,6 +102,8 @@ class OmniStore:
             insort(self._keys, key)
         column.append(series)
         obs.inc("repro_omni_ingest_total")
+        for callback in self._subscribers:
+            callback(series)
 
     def ingest_all(self, series_by_component: dict[str, SampledSeries]) -> None:
         """Add every component series of one node."""
@@ -200,6 +217,58 @@ class OmniStore:
         return SampledSeries(
             node_name=node, component=component, times=times[order], values=values[order]
         )
+
+    # ------------------------------------------------------------------
+    def latest_time_s(
+        self, node_name: str | None = None, component: str | None = None
+    ) -> float:
+        """Time of the newest sample in the selected streams.
+
+        Resolves from the columns' incrementally-maintained last-time
+        watermarks — no segment scan.
+
+        Raises
+        ------
+        LookupError
+            If no matching stream holds any samples (a stream of empty
+            segments counts as holding none).
+        """
+        keys = self._matching_keys(
+            OmniQuery(node_name=node_name, component=component)
+        )
+        latest = -np.inf
+        for key in keys:
+            latest = max(latest, self._data[key]._last_time)
+        if latest == -np.inf:
+            raise LookupError(
+                f"no samples for node={node_name or '*'} "
+                f"component={component or '*'}"
+            )
+        return float(latest)
+
+    def staleness_s(
+        self,
+        now_s: float | None = None,
+        node_name: str | None = None,
+        component: str | None = None,
+    ) -> float:
+        """Age of the selected streams' newest sample — the fig02 gap
+        logic as a store query.
+
+        With ``now_s`` the age is against that clock; without it, the
+        reference is the *store-wide* newest sample, so the result is how
+        far the selected streams lag the freshest one (0.0 for the
+        freshest stream itself, and 0.0 for a single-sample store).
+        Never negative.
+
+        Raises
+        ------
+        LookupError
+            If no matching stream holds any samples.
+        """
+        latest = self.latest_time_s(node_name=node_name, component=component)
+        reference = now_s if now_s is not None else self.latest_time_s()
+        return max(float(reference) - latest, 0.0)
 
     @staticmethod
     def _is_time_ordered(matches: list[SampledSeries]) -> bool:

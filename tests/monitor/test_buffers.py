@@ -1,0 +1,77 @@
+"""Ring-buffer semantics: windowing, eviction, constant footprint."""
+
+import numpy as np
+import pytest
+
+from repro.monitor import RingBuffer
+
+
+class TestRingBuffer:
+    def test_empty(self):
+        buf = RingBuffer(8)
+        assert len(buf) == 0
+        assert buf.latest_time == -np.inf
+        assert np.isnan(buf.latest_value)
+        times, values = buf.view()
+        assert times.size == 0 and values.size == 0
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            RingBuffer(0)
+
+    def test_rejects_shape_mismatch(self):
+        buf = RingBuffer(4)
+        with pytest.raises(ValueError):
+            buf.push_batch(np.arange(3.0), np.arange(4.0))
+
+    def test_partial_fill_preserves_order(self):
+        buf = RingBuffer(10)
+        buf.push_batch(np.array([0.0, 1.0]), np.array([10.0, 11.0]))
+        buf.push_batch(np.array([2.0]), np.array([12.0]))
+        times, values = buf.view()
+        assert times.tolist() == [0.0, 1.0, 2.0]
+        assert values.tolist() == [10.0, 11.0, 12.0]
+        assert buf.latest_time == 2.0
+        assert buf.latest_value == 12.0
+
+    def test_wraparound_keeps_newest(self):
+        buf = RingBuffer(4)
+        for start in range(0, 6, 2):
+            t = np.array([start, start + 1], dtype=float)
+            buf.push_batch(t, t * 100.0)
+        times, values = buf.view()
+        assert times.tolist() == [2.0, 3.0, 4.0, 5.0]
+        assert values.tolist() == [200.0, 300.0, 400.0, 500.0]
+        assert len(buf) == 4
+        assert buf.pushed == 6
+
+    def test_oversized_batch_keeps_tail(self):
+        buf = RingBuffer(3)
+        t = np.arange(10.0)
+        buf.push_batch(t, t + 0.5)
+        times, values = buf.view()
+        assert times.tolist() == [7.0, 8.0, 9.0]
+        assert values.tolist() == [7.5, 8.5, 9.5]
+
+    def test_footprint_is_fixed(self):
+        buf = RingBuffer(16)
+        before = buf.nbytes
+        t = np.arange(1000.0)
+        buf.push_batch(t, t)
+        assert buf.nbytes == before
+
+    def test_view_returns_copies(self):
+        buf = RingBuffer(4)
+        buf.push_batch(np.array([0.0]), np.array([1.0]))
+        times, values = buf.view()
+        times[0] = 99.0
+        values[0] = 99.0
+        again_t, again_v = buf.view()
+        assert again_t[0] == 0.0
+        assert again_v[0] == 1.0
+
+    def test_empty_push_is_noop(self):
+        buf = RingBuffer(4)
+        buf.push_batch(np.empty(0), np.empty(0))
+        assert len(buf) == 0
+        assert buf.pushed == 0

@@ -1,0 +1,155 @@
+"""Detector semantics: idle band, caps, staleness, drift."""
+
+import numpy as np
+import pytest
+
+from repro.hardware.node import GpuNode
+from repro.monitor import (
+    CapMonitor,
+    CapUsage,
+    DriftDetector,
+    IdleOutlierDetector,
+    StalenessDetector,
+)
+from repro.units.constants import PERLMUTTER_GPU_NODE
+
+
+class TestIdleOutlierDetector:
+    def test_defaults_to_paper_band(self):
+        det = IdleOutlierDetector()
+        assert det.idle_min_w == PERLMUTTER_GPU_NODE.idle_min_w == 410.0
+        assert det.idle_max_w == PERLMUTTER_GPU_NODE.idle_max_w == 510.0
+
+    def test_rejects_empty_band(self):
+        with pytest.raises(ValueError):
+            IdleOutlierDetector(idle_min_w=500.0, idle_max_w=450.0)
+
+    def test_pool_scan_within_band_is_quiet(self):
+        nodes = [GpuNode(name=f"nid{i:06d}") for i in range(8)]
+        assert IdleOutlierDetector().scan_pool(nodes) == []
+
+    def test_pool_scan_flags_narrowed_band(self):
+        nodes = [GpuNode(name=f"nid{i:06d}") for i in range(8)]
+        idles = [node.idle_sample().node_w for node in nodes]
+        # Narrow the ceiling below the hottest idler: it must be flagged.
+        det = IdleOutlierDetector(idle_max_w=max(idles) - 0.1)
+        signals = det.scan_pool(nodes, time_s=5.0)
+        assert signals
+        worst = max(idles)
+        assert any(s.value == pytest.approx(worst) for s in signals)
+        assert all(s.kind == "idle_outlier" and s.time_s == 5.0 for s in signals)
+
+    def test_check_samples_flags_low_idle(self):
+        det = IdleOutlierDetector()
+        times = np.arange(4.0)
+        values = np.array([450.0, 380.0, 1200.0, 360.0])
+        signals = det.check_samples("nid1", times, values)
+        assert len(signals) == 1  # one worst-offender signal per batch
+        assert signals[0].value == 360.0
+        assert signals[0].time_s == 3.0
+        assert "2 idle-like" in signals[0].detail
+
+    def test_check_samples_ignores_busy_power(self):
+        det = IdleOutlierDetector()
+        values = np.array([900.0, 1100.0, 2000.0])
+        assert det.check_samples("nid1", np.arange(3.0), values) == []
+
+
+class TestCapMonitor:
+    def test_accumulates_residency_and_violations(self):
+        mon = CapMonitor(violation_tolerance=0.02, throttle_band=0.05)
+        usage = CapUsage()
+        times = np.arange(5.0)
+        values = np.array([100.0, 195.0, 200.0, 210.0, 150.0])
+        signals = mon.check_chunk("nid1", 200.0, times, values, 1.0, usage)
+        assert usage.gpu_seconds == 5.0
+        # >= 190 W counts as pinned: 195, 200, 210.
+        assert usage.cap_limited_s == 3.0
+        # > 204 W is a violation: only 210.
+        assert usage.violation_s == 1.0
+        assert usage.peak_w == 210.0
+        assert usage.throttle_residency == pytest.approx(3.0 / 5.0)
+        assert len(signals) == 1
+        assert signals[0].kind == "cap_violation"
+        assert signals[0].value == 210.0
+        assert signals[0].time_s == 3.0
+
+    def test_quiet_below_cap(self):
+        mon = CapMonitor()
+        usage = CapUsage()
+        values = np.full(10, 120.0)
+        assert mon.check_chunk("n", 400.0, np.arange(10.0), values, 1.0, usage) == []
+        assert usage.cap_limited_s == 0.0
+
+    def test_rejects_bad_tolerances(self):
+        with pytest.raises(ValueError):
+            CapMonitor(violation_tolerance=-0.1)
+        with pytest.raises(ValueError):
+            CapMonitor(throttle_band=1.0)
+
+
+class TestStalenessDetector:
+    def test_regular_stream_is_fresh(self):
+        det = StalenessDetector(max_gap_s=5.0)
+        assert det.observe("a", np.arange(0.0, 10.0, 2.0)) == []
+        assert det.observe("a", np.arange(10.0, 20.0, 2.0)) == []
+
+    def test_intra_batch_gap_fires(self):
+        det = StalenessDetector(max_gap_s=5.0)
+        times = np.array([0.0, 2.0, 9.0, 11.0])
+        signals = det.observe("a", times)
+        assert len(signals) == 1
+        assert signals[0].kind == "sampler_staleness"
+        assert signals[0].value == 7.0
+        assert signals[0].time_s == 9.0
+
+    def test_boundary_gap_fires(self):
+        det = StalenessDetector(max_gap_s=5.0)
+        det.observe("a", np.array([0.0, 1.0]))
+        signals = det.observe("a", np.array([20.0, 21.0]))
+        assert len(signals) == 1
+        assert signals[0].value == 19.0
+
+    def test_sweep_flags_silent_streams(self):
+        det = StalenessDetector(max_gap_s=5.0)
+        det.observe("quiet", np.array([0.0, 1.0]))
+        det.observe("fresh", np.array([0.0, 98.0]))
+        signals = det.sweep(now_s=100.0)
+        assert [s.node_name for s in signals] == ["quiet"]
+        assert signals[0].value == 99.0
+        assert det.last_seen("quiet") == 1.0
+        assert det.last_seen("never") is None
+
+    def test_rejects_bad_gap(self):
+        with pytest.raises(ValueError):
+            StalenessDetector(max_gap_s=0.0)
+
+
+class TestDriftDetector:
+    def test_needs_three_eligible_nodes(self):
+        det = DriftDetector(min_samples=2)
+        det.update("a", np.full(4, 900.0))
+        det.update("b", np.full(4, 910.0))
+        assert det.finalize(now_s=10.0) == []
+
+    def test_flags_walked_off_node(self):
+        det = DriftDetector(z_threshold=1.5, min_samples=4)
+        for name, level in (("a", 900.0), ("b", 905.0), ("c", 895.0), ("d", 1400.0)):
+            det.update(name, np.full(16, level))
+        signals = det.finalize(now_s=50.0)
+        assert [s.node_name for s in signals] == ["d"]
+        assert signals[0].kind == "fleet_drift"
+        assert signals[0].value > 1.4
+        assert signals[0].time_s == 50.0
+
+    def test_min_samples_excludes_thin_nodes(self):
+        det = DriftDetector(z_threshold=1.5, min_samples=32)
+        for name, level in (("a", 900.0), ("b", 905.0), ("c", 895.0), ("d", 1400.0)):
+            det.update(name, np.full(4, level))  # all below min_samples
+        assert det.finalize(now_s=1.0) == []
+
+    def test_homogeneous_fleet_is_quiet(self):
+        det = DriftDetector(min_samples=4)
+        for name in "abcd":
+            det.update(name, np.full(8, 900.0))
+        assert det.finalize(now_s=1.0) == []

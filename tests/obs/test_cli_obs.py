@@ -60,7 +60,11 @@ class TestReproduceWithObservability:
         data = json.loads(trace_path.read_text())
         events = data["traceEvents"]
         assert events, "trace must not be empty"
-        for entry in events:
+        # Row-label metadata leads the list; spans/instants follow.
+        metadata = [e for e in events if e["ph"] == "M"]
+        assert {e["name"] for e in metadata} == {"process_name", "thread_name"}
+        assert events[: len(metadata)] == metadata
+        for entry in events[len(metadata):]:
             assert entry["ph"] in ("X", "i")
             assert {"name", "cat", "ts", "pid", "tid"} <= set(entry)
         names = {entry["name"] for entry in events}

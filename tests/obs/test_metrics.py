@@ -190,3 +190,121 @@ class TestRegistry:
         h.observe(1e12)
         lines = h.expose()
         assert any('le="+Inf"' in line for line in lines)
+
+
+def parse_exposition_strict(text: str):
+    """Quote-aware exposition parser that un-escapes label values.
+
+    Returns ({(name, ((label, value), ...)): float}, {name: help_text}).
+    Unlike :func:`parse_exposition`, this one handles label values
+    containing ``}``, ``,``, ``=``, escaped quotes, backslashes and
+    ``\\n`` sequences — so a test using it proves the escaping emitted
+    by ``expose()`` is actually reversible.
+    """
+    samples: dict = {}
+    helps: dict = {}
+    for line in text.splitlines():
+        if not line:
+            continue
+        if line.startswith("# HELP "):
+            name, _, help_text = line[len("# HELP "):].partition(" ")
+            unescaped = []
+            it = iter(help_text)
+            for ch in it:
+                if ch == "\\":
+                    nxt = next(it)
+                    unescaped.append({"\\": "\\", "n": "\n"}[nxt])
+                else:
+                    unescaped.append(ch)
+            helps[name] = "".join(unescaped)
+            continue
+        if line.startswith("# TYPE "):
+            continue
+        assert not line.startswith("#"), f"unknown comment: {line!r}"
+        # name{label="value",...} value  |  name value
+        brace = line.find("{")
+        labels = []
+        if brace == -1:
+            name, _, raw_value = line.partition(" ")
+        else:
+            name = line[:brace]
+            i = brace + 1
+            while line[i] != "}":
+                eq = line.index("=", i)
+                label_name = line[i:eq]
+                assert line[eq + 1] == '"', f"unquoted value in {line!r}"
+                j = eq + 2
+                chars = []
+                while line[j] != '"':
+                    if line[j] == "\\":
+                        nxt = line[j + 1]
+                        chars.append({"\\": "\\", '"': '"', "n": "\n"}[nxt])
+                        j += 2
+                    else:
+                        chars.append(line[j])
+                        j += 1
+                labels.append((label_name, "".join(chars)))
+                i = j + 1
+                if line[i] == ",":
+                    i += 1
+            raw_value = line[i + 2:]
+        samples[(name, tuple(labels))] = float(raw_value)
+    return samples, helps
+
+
+class TestExpositionEscaping:
+    def test_label_values_round_trip(self):
+        reg = MetricsRegistry()
+        hostile = 'a"b\\c\nd}e,f=g{h'
+        reg.counter("c_total").inc(5, path=hostile, plain="ok")
+        samples, _ = parse_exposition_strict(reg.to_prometheus())
+        key = ("c_total", (("path", hostile), ("plain", "ok")))
+        assert samples[key] == 5.0
+
+    def test_backslash_before_quote_order(self):
+        # A value ending in a backslash must not swallow the closing
+        # quote: \\ then " must parse back as exactly one backslash.
+        reg = MetricsRegistry()
+        reg.gauge("g").set(1, path="trailing\\")
+        samples, _ = parse_exposition_strict(reg.to_prometheus())
+        assert samples[("g", (("path", "trailing\\"),))] == 1.0
+
+    def test_help_text_round_trips(self):
+        reg = MetricsRegistry()
+        reg.counter("c_total", "line one\nline two \\ backslash").inc()
+        text = reg.to_prometheus()
+        assert "\n# TYPE" in text  # HELP stayed on one physical line
+        _, helps = parse_exposition_strict(text)
+        assert helps["c_total"] == "line one\nline two \\ backslash"
+
+    def test_non_finite_values(self):
+        reg = MetricsRegistry()
+        reg.gauge("plus").set(math.inf)
+        reg.gauge("minus").set(-math.inf)
+        reg.gauge("nan").set(math.nan)
+        samples, _ = parse_exposition_strict(reg.to_prometheus())
+        assert samples[("plus", ())] == math.inf
+        assert samples[("minus", ())] == -math.inf
+        assert math.isnan(samples[("nan", ())])
+
+    def test_histogram_inf_bucket_and_help(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("h_seconds", 'duration with "quotes"', buckets=(0.1, 1.0))
+        h.observe(0.05)
+        h.observe(50.0)
+        text = reg.to_prometheus()
+        samples, helps = parse_exposition_strict(text)
+        assert helps["h_seconds"] == 'duration with "quotes"'
+        assert samples[("h_seconds_bucket", (("le", "0.1"),))] == 1.0
+        assert samples[("h_seconds_bucket", (("le", "+Inf"),))] == 2.0
+        assert samples[("h_seconds_count", ())] == 2.0
+
+    def test_every_line_has_help_and_type(self):
+        reg = MetricsRegistry()
+        reg.counter("a_total", "a help").inc()
+        reg.gauge("b", "b help").set(1)
+        reg.histogram("c_seconds", "c help").observe(0.1)
+        text = reg.to_prometheus()
+        for name in ("a_total", "b", "c_seconds"):
+            assert f"# HELP {name} " in text
+            assert f"# TYPE {name} " in text

@@ -193,3 +193,66 @@ class TestFlush:
         assert status["tracing"]["active"] is True
         assert status["tracing"]["path"].endswith("t.json")
         assert "repro_status_total" in status["metrics"]["names"]
+
+
+class TestMetadataEvents:
+    def test_process_and_thread_names_lead_the_event_list(self):
+        import os
+        import threading as _threading
+
+        tracer = Tracer()
+        with tracer.span("work"):
+            pass
+        tracer.name_process("repro fleet")
+        tracer.name_thread("main")
+        events = tracer.to_chrome()["traceEvents"]
+        assert [e["ph"] for e in events[:2]] == ["M", "M"]
+        proc, thread = events[0], events[1]
+        assert proc["name"] == "process_name"
+        assert proc["pid"] == os.getpid()
+        assert proc["args"] == {"name": "repro fleet"}
+        assert thread["name"] == "thread_name"
+        assert thread["tid"] == _threading.get_ident()
+        assert thread["args"] == {"name": "main"}
+        # The real span still follows the metadata.
+        assert events[2]["name"] == "work"
+
+    def test_explicit_ids_and_renaming(self):
+        tracer = Tracer()
+        tracer.name_process("worker", pid=42)
+        tracer.name_process("worker-renamed", pid=42)
+        tracer.name_thread("io", tid=7, pid=42)
+        events = tracer.to_chrome()["traceEvents"]
+        # Last rename wins; one metadata event per process.
+        procs = [e for e in events if e["name"] == "process_name"]
+        assert len(procs) == 1
+        assert procs[0]["args"] == {"name": "worker-renamed"}
+        threads = [e for e in events if e["name"] == "thread_name"]
+        assert threads[0]["pid"] == 42
+        assert threads[0]["tid"] == 7
+
+    def test_metadata_survives_export(self, tmp_path):
+        tracer = Tracer()
+        tracer.name_process("exported")
+        with tracer.span("s"):
+            pass
+        path = tracer.export_chrome(tmp_path / "trace.json")
+        payload = json.loads(path.read_text())
+        assert payload["traceEvents"][0]["ph"] == "M"
+        # Metadata events carry no ts: they label rows, not time.
+        assert "ts" not in payload["traceEvents"][0]
+
+    def test_module_helpers_are_noops_when_disabled(self):
+        obs.disable()
+        obs.name_process("ignored")
+        obs.name_thread("ignored")
+        obs.enable(trace=True)
+        try:
+            obs.name_process("live")
+            events = obs.tracer().to_chrome()["traceEvents"]
+            names = [
+                e["args"]["name"] for e in events if e["name"] == "process_name"
+            ]
+            assert names == ["live"]
+        finally:
+            obs.disable()

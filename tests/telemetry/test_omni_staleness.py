@@ -1,0 +1,93 @@
+"""OmniStore staleness queries: latest-sample age, edge cases, subscribers."""
+
+import numpy as np
+import pytest
+
+from repro.telemetry.omni import OmniStore
+from repro.telemetry.sampler import SampledSeries
+
+
+def make_series(node="nid000001", component="node", times=(0.0, 1.0, 2.0)):
+    t = np.asarray(times, dtype=float)
+    return SampledSeries(
+        node_name=node, component=component, times=t, values=t * 10.0 + 100.0
+    )
+
+
+@pytest.fixture
+def store():
+    st = OmniStore()
+    st.ingest(make_series(times=(0.0, 5.0, 10.0)))
+    st.ingest(make_series(component="gpu0", times=(0.0, 4.0)))
+    st.ingest(make_series(node="nid000002", times=(0.0, 30.0)))
+    return st
+
+
+class TestLatestTime:
+    def test_store_wide_latest(self, store):
+        assert store.latest_time_s() == 30.0
+
+    def test_per_stream_latest(self, store):
+        assert store.latest_time_s(node_name="nid000001") == 10.0
+        assert store.latest_time_s(node_name="nid000001", component="gpu0") == 4.0
+        assert store.latest_time_s(component="node") == 30.0
+
+    def test_empty_store_raises(self):
+        with pytest.raises(LookupError):
+            OmniStore().latest_time_s()
+
+    def test_unknown_selector_raises(self, store):
+        with pytest.raises(LookupError, match="nid999999"):
+            store.latest_time_s(node_name="nid999999")
+
+    def test_empty_segment_counts_as_no_samples(self):
+        st = OmniStore()
+        st.ingest(make_series(times=()))
+        with pytest.raises(LookupError):
+            st.latest_time_s()
+
+    def test_watermark_tracks_ingest(self, store):
+        store.ingest(make_series(times=(40.0,)))
+        assert store.latest_time_s(node_name="nid000001", component="node") == 40.0
+
+
+class TestStaleness:
+    def test_against_explicit_clock(self, store):
+        assert store.staleness_s(now_s=35.0, node_name="nid000001") == 25.0
+        assert store.staleness_s(now_s=35.0, node_name="nid000002") == 5.0
+
+    def test_against_freshest_stream(self, store):
+        # Reference is the store-wide newest sample (t=30).
+        assert store.staleness_s(node_name="nid000001") == 20.0
+        assert store.staleness_s(node_name="nid000002") == 0.0
+
+    def test_never_negative(self, store):
+        assert store.staleness_s(now_s=1.0) == 0.0
+
+    def test_single_sample_store_is_fresh(self):
+        st = OmniStore()
+        st.ingest(make_series(times=(7.0,)))
+        assert st.staleness_s() == 0.0
+        assert st.staleness_s(now_s=12.0) == 5.0
+
+    def test_empty_store_raises(self):
+        with pytest.raises(LookupError):
+            OmniStore().staleness_s(now_s=0.0)
+
+
+class TestSubscribers:
+    def test_subscriber_sees_every_ingest(self):
+        st = OmniStore()
+        seen = []
+        st.subscribe(seen.append)
+        a, b = make_series(), make_series(component="gpu0")
+        st.ingest(a)
+        st.ingest(b)
+        assert seen == [a, b]
+
+    def test_subscriber_called_after_storage(self):
+        st = OmniStore()
+        latest_at_callback = []
+        st.subscribe(lambda s: latest_at_callback.append(st.latest_time_s()))
+        st.ingest(make_series(times=(0.0, 9.0)))
+        assert latest_at_callback == [9.0]
