@@ -175,12 +175,15 @@ def extract_times(json_path: Path) -> dict[str, float]:
 
 def write_baseline(times: dict[str, float], machine_note: str = "") -> None:
     """Write the committed baseline file."""
+    from repro.hardware.platform import DEFAULT_PLATFORM_ID
+
     payload = {
         "note": (
             "Benchmark baseline for scripts/bench_compare.py. Min seconds "
             "per bench; regenerate with --update when hardware changes."
         ),
         "machine": machine_note,
+        "platform": DEFAULT_PLATFORM_ID,
         "threshold": DEFAULT_THRESHOLD,
         "guarded_substring": GUARDED_SUBSTRING,
         "efficiency": collect_efficiency(),

@@ -31,6 +31,10 @@ python -m pytest -x -q
 echo "== monitor smoke run (dashboard + energy report) =="
 python -m repro monitor --jobs 6 --nodes 8 --seed 3 --resolution 1.0
 
+echo "== cross-platform smoke (registry + h100 cap sweep) =="
+python -m repro platforms
+python -m repro cap-sweep PdO2 --platform h100-sxm --nodes 1
+
 if [[ "$SKIP_BENCH" == "1" ]]; then
     echo "== benches skipped (--skip-bench) =="
     exit 0

@@ -227,11 +227,11 @@ def milc_cap_slowdown(
     workload: MilcWorkload, cap_w: float, n_nodes: int = 1
 ) -> float:
     """Runtime multiplier under a GPU power cap (analytic, no traces)."""
-    from repro.hardware.gpu import A100Gpu
+    from repro.hardware.gpu import GpuModel
     from repro.hardware.variability import ManufacturingVariation
     from repro.perfmodel.power import demand_power_w
 
-    gpu = A100Gpu(serial="MILC", variation=ManufacturingVariation.nominal())
+    gpu = GpuModel(serial="MILC", variation=ManufacturingVariation.nominal())
     gpu.set_power_limit(cap_w)
     base = 0.0
     capped = 0.0

@@ -24,7 +24,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.hardware.gpu import A100Gpu, MIN_CLOCK_FRACTION
+from repro.hardware.gpu import GpuModel
+from repro.hardware.platform import Platform, get_platform
 from repro.hardware.variability import ManufacturingVariation
 from repro.perfmodel.dvfs import capped_phase_slowdown, sustained_power_w
 from repro.perfmodel.power import demand_power_w, duty_cycle_power_w
@@ -55,10 +56,18 @@ class ControlOutcome:
         return self.peak_power_w > self.target_w * 1.001
 
 
-def _phase_table(workload: VaspWorkload, n_nodes: int):
+def _phase_table(
+    workload: VaspWorkload,
+    n_nodes: int,
+    platform: "str | Platform | None" = None,
+):
     """(duration, demand, compute_fraction, duty) per GPU-active phase."""
     parallel = ParallelConfig(n_nodes=n_nodes, kpar=workload.incar.kpar)
-    gpu = A100Gpu(serial="CTL", variation=ManufacturingVariation.nominal())
+    gpu = GpuModel(
+        serial="CTL",
+        spec=get_platform(platform).gpu,
+        variation=ManufacturingVariation.nominal(),
+    )
     rows = []
     for phase in workload.phases(parallel):
         profile = phase.gpu_profile
@@ -72,10 +81,13 @@ def _phase_table(workload: VaspWorkload, n_nodes: int):
 
 
 def run_with_capping(
-    workload: VaspWorkload, target_w: float, n_nodes: int = 1
+    workload: VaspWorkload,
+    target_w: float,
+    n_nodes: int = 1,
+    platform: "str | Platform | None" = None,
 ) -> ControlOutcome:
     """Per-phase adaptive control: the board's power-capping loop."""
-    gpu, rows = _phase_table(workload, n_nodes)
+    gpu, rows = _phase_table(workload, n_nodes, platform)
     gpu.set_power_limit(target_w)
     return _accumulate("capping", target_w, gpu, rows, clock=None)
 
@@ -85,6 +97,7 @@ def run_with_static_dvfs(
     target_w: float,
     n_nodes: int = 1,
     provision_for: str = "worst",
+    platform: "str | Platform | None" = None,
 ) -> ControlOutcome:
     """One pinned clock for the whole job.
 
@@ -95,7 +108,7 @@ def run_with_static_dvfs(
     """
     if provision_for not in ("worst", "mean"):
         raise ValueError(f"provision_for must be 'worst' or 'mean', got {provision_for!r}")
-    gpu, rows = _phase_table(workload, n_nodes)
+    gpu, rows = _phase_table(workload, n_nodes, platform)
     static = gpu.envelope.static_w
     demands = [d for _, d, _, duty in rows if duty > 0]
     if not demands:
@@ -105,7 +118,7 @@ def run_with_static_dvfs(
     else:
         weights = [t * duty for t, d, _, duty in rows if duty > 0]
         reference = float(np.average(demands, weights=weights))
-    clock = MIN_CLOCK_FRACTION
+    clock = gpu.spec.min_clock_fraction
     for step in CLOCK_LADDER:
         if sustained_power_w(reference, step, static) <= target_w:
             clock = step
@@ -178,11 +191,15 @@ class ControlComparison:
 
 
 def compare_control(
-    workload: VaspWorkload, target_w: float, n_nodes: int = 1
+    workload: VaspWorkload,
+    target_w: float,
+    n_nodes: int = 1,
+    platform: "str | Platform | None" = None,
 ) -> ControlComparison:
     """Run the three control schemes at the same power target."""
+    plat = get_platform(platform)
     return ControlComparison(
-        capping=run_with_capping(workload, target_w, n_nodes),
-        dvfs_safe=run_with_static_dvfs(workload, target_w, n_nodes, "worst"),
-        dvfs_mean=run_with_static_dvfs(workload, target_w, n_nodes, "mean"),
+        capping=run_with_capping(workload, target_w, n_nodes, plat),
+        dvfs_safe=run_with_static_dvfs(workload, target_w, n_nodes, "worst", plat),
+        dvfs_mean=run_with_static_dvfs(workload, target_w, n_nodes, "mean", plat),
     )

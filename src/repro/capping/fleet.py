@@ -28,7 +28,6 @@ import numpy as np
 from repro import obs
 from repro.capping.policy import CapPolicy
 from repro.capping.scheduler import (
-    IDLE_NODE_W,
     Job,
     JobRecord,
     PowerAwareScheduler,
@@ -36,6 +35,7 @@ from repro.capping.scheduler import (
     SchedulerConfig,
     cached_estimate_run,
 )
+from repro.hardware.platform import NodeSpec, Platform, get_platform
 from repro.hardware.system import (
     PerlmutterSystem,
     RunningMoments,
@@ -142,6 +142,7 @@ def simulate_fleet(
     policy_name: str,
     n_nodes: int = 16,
     power_budget_w: float | None = None,
+    platform: "str | Platform | None" = None,
 ) -> FleetReport:
     """Schedule a stream under a policy and summarize system power.
 
@@ -149,9 +150,13 @@ def simulate_fleet(
     (the samples are irregular when the scheduler skips quiet spans).
     """
     if power_budget_w is None:
-        power_budget_w = n_nodes * 2350.0  # node TDP: effectively unbounded
+        # Node TDP: effectively unbounded.
+        power_budget_w = n_nodes * get_platform(platform).node.tdp_w
     config = SchedulerConfig(
-        n_nodes=n_nodes, power_budget_w=power_budget_w, policy=policy
+        n_nodes=n_nodes,
+        power_budget_w=power_budget_w,
+        policy=policy,
+        platform=platform,
     )
     logger.debug(
         "simulating fleet: policy=%s, %d jobs on %d nodes, budget %.0f W",
@@ -252,6 +257,8 @@ def simulate_fleet_traced(
     seed: int = 0,
     retain_traces: bool = False,
     monitor: "FleetMonitor | None" = None,
+    platform: "str | Platform | None" = None,
+    node_platforms: "list[str | Platform | NodeSpec] | None" = None,
 ) -> FleetTraceReport:
     """Schedule a stream, render every job's traces, aggregate streaming.
 
@@ -277,25 +284,40 @@ def simulate_fleet_traced(
     several fleets, or sweep staleness at a horizon of its choosing).
     Incompatible with ``retain_traces`` (the monitor rides the streaming
     path).
+
+    ``platform`` selects the hardware platform for the whole pool;
+    ``node_platforms`` instead builds a *mixed* pool, cycling the given
+    platforms/specs round-robin across nodes.  In a mixed pool each
+    node's cap is clamped to its own GPU's supported range before being
+    applied (a clamped-up cap can surface as a ``cap_violation`` health
+    signal — the node genuinely cannot honour the policy's cap).
     """
     if monitor is not None and retain_traces:
         raise ValueError(
             "monitor= requires the streaming path; retain_traces=True "
             "renders dense traces (monitor them with observe_run instead)"
         )
+    pool = PerlmutterSystem(
+        n_nodes=n_nodes, platform=platform, node_platforms=node_platforms
+    )
+    pool_nodes = list(pool.nodes.values())
     if power_budget_w is None:
-        power_budget_w = n_nodes * 2350.0  # node TDP: effectively unbounded
+        # Node TDP: effectively unbounded.
+        power_budget_w = sum(node.spec.tdp_w for node in pool_nodes)
     config = SchedulerConfig(
-        n_nodes=n_nodes, power_budget_w=power_budget_w, policy=policy
+        n_nodes=n_nodes,
+        power_budget_w=power_budget_w,
+        policy=policy,
+        platform=platform,
     )
     with obs.span("fleet.schedule_traced", policy=policy_name, jobs=len(jobs)):
         schedule = PowerAwareScheduler(config).schedule(list(jobs))
     workloads = {job.job_id: job.workload for job in jobs}
-    pool = PerlmutterSystem(n_nodes=n_nodes)
     if monitor is not None:
-        monitor.attach_pool(list(pool.nodes.values()))
+        monitor.attach_pool(pool_nodes)
+    idle_node_w = sum(node.spec.idle_node_w for node in pool_nodes) / len(pool_nodes)
     accumulator = SystemPowerAccumulator(
-        n_nodes=n_nodes, bin_s=bin_s, idle_node_w=IDLE_NODE_W
+        n_nodes=n_nodes, bin_s=bin_s, idle_node_w=idle_node_w
     )
     node_moments = RunningMoments()
     chunks_streamed = 0
@@ -333,7 +355,13 @@ def simulate_fleet_traced(
             nodes = pool.allocate(record.job_id, record.n_nodes)
             heapq.heappush(release_queue, (record.end_s, record.job_id))
             for node in nodes:
-                node.set_gpu_power_limit(record.cap_w)
+                # A mixed pool may contain GPUs whose supported cap range
+                # does not include the policy's cap; clamp per node.
+                gpu_spec = node.spec.gpu
+                cap_w = min(
+                    max(record.cap_w, gpu_spec.cap_min_w), gpu_spec.cap_max_w
+                )
+                node.set_gpu_power_limit(cap_w)
             workload = workloads[record.job_id]
             phase_key = fingerprint("fleet_phases", workload, record.n_nodes)
             phases = phase_cache.get(phase_key)
@@ -353,7 +381,7 @@ def simulate_fleet_traced(
                     nominal_s = nominal_cache.get(phase_key)
                     if nominal_s is None:
                         nominal_s = nominal_cache[phase_key] = cached_estimate_run(
-                            workload, record.n_nodes, None
+                            workload, record.n_nodes, None, platform
                         ).runtime_s
                     monitor.on_job_start(
                         record.job_id,
@@ -444,6 +472,8 @@ def compare_fleet_policies_traced(
     engine_config: EngineConfig | None = None,
     retain_traces: bool = False,
     monitors: "tuple[FleetMonitor | None, FleetMonitor | None] | None" = None,
+    platform: "str | Platform | None" = None,
+    node_platforms: "list[str | Platform | NodeSpec] | None" = None,
 ) -> tuple[FleetTraceReport, FleetTraceReport]:
     """(capped, uncapped) trace-streamed fleet reports, same job stream.
 
@@ -455,7 +485,9 @@ def compare_fleet_policies_traced(
     for index, (capped, policy_name) in enumerate(
         ((True, "50% TDP policy"), (False, "uncapped"))
     ):
-        policy = CapPolicy.half_tdp() if capped else CapPolicy.uncapped()
+        policy = (
+            CapPolicy.half_tdp(platform) if capped else CapPolicy.uncapped(platform)
+        )
         jobs = job_stream(n_jobs=n_jobs, seed=seed)
         reports.append(
             simulate_fleet_traced(
@@ -470,24 +502,30 @@ def compare_fleet_policies_traced(
                 seed=seed,
                 retain_traces=retain_traces,
                 monitor=monitors[index] if monitors is not None else None,
+                platform=platform,
+                node_platforms=node_platforms,
             )
         )
     return reports[0], reports[1]
 
 
 def _policy_task(
-    task: tuple[bool, str, int, int, float | None, int]
+    task: tuple[bool, str, int, int, float | None, int, str]
 ) -> FleetReport:
     """Worker-side task: one policy over a regenerated job stream.
 
     The stream is rebuilt from ``seed`` inside the worker (cheap and
     deterministic), so only this small task tuple crosses the pool
-    boundary.
+    boundary (the platform travels as its registry id).
     """
-    capped, policy_name, n_jobs, n_nodes, power_budget_w, seed = task
-    policy = CapPolicy.half_tdp() if capped else CapPolicy.uncapped()
+    capped, policy_name, n_jobs, n_nodes, power_budget_w, seed, platform_id = task
+    policy = (
+        CapPolicy.half_tdp(platform_id) if capped else CapPolicy.uncapped(platform_id)
+    )
     jobs = job_stream(n_jobs=n_jobs, seed=seed)
-    return simulate_fleet(jobs, policy, policy_name, n_nodes, power_budget_w)
+    return simulate_fleet(
+        jobs, policy, policy_name, n_nodes, power_budget_w, platform_id
+    )
 
 
 def compare_fleet_policies(
@@ -495,15 +533,17 @@ def compare_fleet_policies(
     n_nodes: int = 16,
     power_budget_w: float | None = None,
     seed: int = 0,
+    platform: "str | Platform | None" = None,
 ) -> tuple[FleetReport, FleetReport]:
     """(capped, uncapped) fleet reports for the same job stream.
 
     The two policies are independent simulations over the same seeded
     stream, so they execute as one two-task sweep.
     """
+    platform_id = get_platform(platform).id
     tasks = [
-        (True, "50% TDP policy", n_jobs, n_nodes, power_budget_w, seed),
-        (False, "uncapped", n_jobs, n_nodes, power_budget_w, seed),
+        (True, "50% TDP policy", n_jobs, n_nodes, power_budget_w, seed, platform_id),
+        (False, "uncapped", n_jobs, n_nodes, power_budget_w, seed, platform_id),
     ]
     capped, uncapped = SweepExecutor().map(_policy_task, tasks)
     return capped, uncapped

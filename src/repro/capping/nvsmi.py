@@ -63,14 +63,16 @@ class NvidiaSmi:
             changed in that case (validation happens first, as the real
             tool rejects the value up front).
         """
-        # Validate against every GPU before mutating any.
+        # Validate against every GPU before mutating any (a mixed pool
+        # rejects a value any of its platforms cannot honour).
         for node in self.nodes:
             for gpu in node.gpus:
-                env = gpu.envelope
-                if not (env.cap_min_w <= watts <= env.cap_max_w):
+                spec = gpu.spec
+                if not (spec.cap_min_w <= watts <= spec.cap_max_w):
                     raise PowerLimitError(
-                        f"{node.name} GPU: {watts:.0f} W outside "
-                        f"[{env.cap_min_w:.0f}, {env.cap_max_w:.0f}] W"
+                        f"{node.name} {spec.name}: {watts:.0f} W outside "
+                        f"supported range [{spec.cap_min_w:.0f}, "
+                        f"{spec.cap_max_w:.0f}] W"
                     )
         changed = 0
         for node in self.nodes:

@@ -14,9 +14,9 @@ GPU power caps.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
-from repro.units.constants import A100_40GB
+from repro.hardware.platform import Platform, get_platform
 from repro.vasp.incar import Incar
 from repro.vasp.workload import VaspWorkload
 
@@ -43,8 +43,8 @@ def classify_workload(source: Incar | VaspWorkload) -> WorkloadClass:
     return WorkloadClass.BASIC_DFT
 
 
-def _default_caps() -> dict[WorkloadClass, float]:
-    half_tdp = A100_40GB.tdp_w / 2.0
+def _default_caps(platform: "str | Platform | None" = None) -> dict[WorkloadClass, float]:
+    half_tdp = get_platform(platform).gpu.tdp_w / 2.0
     return {
         WorkloadClass.HIGHER_ORDER: half_tdp,  # <10 % loss (Fig 12)
         WorkloadClass.BASIC_DFT: half_tdp,  # no visible loss (Fig 12)
@@ -53,32 +53,40 @@ def _default_caps() -> dict[WorkloadClass, float]:
 
 @dataclass
 class CapPolicy:
-    """Workload class -> GPU power cap, with an uncapped escape hatch."""
+    """Workload class -> GPU power cap, with an uncapped escape hatch.
 
-    caps_w: dict[WorkloadClass, float] = field(default_factory=_default_caps)
+    Caps are validated against (and the 50 %-of-TDP defaults derived
+    from) ``platform``'s GPU spec; None means the registry default.
+    """
+
+    caps_w: dict[WorkloadClass, float] | None = None
     enabled: bool = True
+    platform: "str | Platform | None" = None
 
     def __post_init__(self) -> None:
-        env = A100_40GB
+        spec = get_platform(self.platform).gpu
+        if self.caps_w is None:
+            self.caps_w = _default_caps(self.platform)
         for cls, cap in self.caps_w.items():
-            if not (env.cap_min_w <= cap <= env.cap_max_w):
+            if not (spec.cap_min_w <= cap <= spec.cap_max_w):
                 raise ValueError(
-                    f"cap for {cls.value} ({cap:.0f} W) outside "
-                    f"[{env.cap_min_w:.0f}, {env.cap_max_w:.0f}] W"
+                    f"cap for {cls.value} ({cap:.0f} W) outside {spec.name} "
+                    f"range [{spec.cap_min_w:.0f}, {spec.cap_max_w:.0f}] W"
                 )
 
     def cap_for(self, source: Incar | VaspWorkload) -> float:
         """The GPU power limit this policy applies to a job."""
         if not self.enabled:
-            return A100_40GB.tdp_w
+            return get_platform(self.platform).gpu.tdp_w
+        assert self.caps_w is not None
         return self.caps_w[classify_workload(source)]
 
     @classmethod
-    def uncapped(cls) -> "CapPolicy":
+    def uncapped(cls, platform: "str | Platform | None" = None) -> "CapPolicy":
         """The do-nothing baseline policy."""
-        return cls(enabled=False)
+        return cls(enabled=False, platform=platform)
 
     @classmethod
-    def half_tdp(cls) -> "CapPolicy":
+    def half_tdp(cls, platform: "str | Platform | None" = None) -> "CapPolicy":
         """The paper's recommended 50 %-of-TDP policy."""
-        return cls()
+        return cls(platform=platform)

@@ -21,22 +21,23 @@ import math
 from dataclasses import dataclass, field
 
 from repro import obs
-from repro.hardware.gpu import A100Gpu
+from repro.hardware.gpu import GpuModel
+from repro.hardware.platform import Platform, get_platform
 from repro.hardware.variability import ManufacturingVariation
 from repro.perfmodel.power import demand_power_w, duty_cycle_power_w
 from repro.runner.cache import RunCache, caching_disabled, fingerprint
-from repro.units.constants import A100_40GB, PERLMUTTER_GPU_NODE
 from repro.vasp.parallel import ParallelConfig
 from repro.vasp.workload import VaspWorkload
 from repro.capping.policy import CapPolicy
 
 #: Non-GPU node power while a VASP job runs (CPU + DDR + NICs + board at
-#: typical activity); used by the analytic estimator.
-HOST_POWER_W: float = 265.0
-#: Idle power of an unallocated node (mid-range of the 410-510 W window).
-#: Shared with the fleet simulation's trace-streaming aggregation so the
-#: analytic and trace-backed system power timelines agree on idle nodes.
-IDLE_NODE_W: float = 460.0
+#: typical activity) on the default a100-40g platform.  Kept as a module
+#: constant for callers that want the paper's number; platform-aware code
+#: reads ``NodeSpec.host_power_w`` instead.
+HOST_POWER_W: float = get_platform().node.host_power_w
+#: Idle power of an unallocated a100-40g node (mid-range of the 410-510 W
+#: window).  Platform-aware code reads ``NodeSpec.idle_node_w``.
+IDLE_NODE_W: float = get_platform().node.idle_node_w
 
 
 @dataclass(frozen=True)
@@ -54,16 +55,26 @@ class RunEstimate:
 
 
 def estimate_run(
-    workload: VaspWorkload, n_nodes: int, cap_w: float | None = None
+    workload: VaspWorkload,
+    n_nodes: int,
+    cap_w: float | None = None,
+    platform: "str | Platform | None" = None,
 ) -> RunEstimate:
     """Estimate runtime and node power for a job under a GPU power cap.
 
     Uses a nominal (variation-free) GPU so estimates are deterministic —
-    this is what a scheduler could precompute per workload class.
+    this is what a scheduler could precompute per workload class.  The
+    GPU model, GPU count and host power come from ``platform`` (None
+    means the registry default, a100-40g).
     """
     if n_nodes < 1:
         raise ValueError(f"n_nodes must be >= 1, got {n_nodes}")
-    gpu = A100Gpu(serial="NOMINAL", variation=ManufacturingVariation.nominal())
+    node_spec = get_platform(platform).node
+    gpu = GpuModel(
+        serial="NOMINAL",
+        spec=node_spec.gpu,
+        variation=ManufacturingVariation.nominal(),
+    )
     if cap_w is not None:
         gpu.set_power_limit(cap_w)
     parallel = ParallelConfig(n_nodes=n_nodes, kpar=workload.incar.kpar)
@@ -71,7 +82,7 @@ def estimate_run(
     total_time = 0.0
     total_energy = 0.0
     peak = 0.0
-    gpus_per_node = PERLMUTTER_GPU_NODE.gpus_per_node
+    gpus_per_node = node_spec.gpus_per_node
     for phase in phases:
         profile = phase.gpu_profile
         if profile.duty_cycle <= 0.0:
@@ -86,11 +97,11 @@ def estimate_run(
             duration = phase.duration_s * (
                 profile.duty_cycle * sample.slowdown + (1.0 - profile.duty_cycle)
             )
-        node_w = gpus_per_node * gpu_w + HOST_POWER_W
+        node_w = gpus_per_node * gpu_w + node_spec.host_power_w
         total_time += duration
         total_energy += duration * node_w
         peak = max(peak, node_w)
-    mean_power = total_energy / total_time if total_time > 0 else IDLE_NODE_W
+    mean_power = total_energy / total_time if total_time > 0 else node_spec.idle_node_w
     return RunEstimate(
         runtime_s=total_time, mean_node_power_w=mean_power, peak_node_power_w=peak
     )
@@ -109,19 +120,24 @@ def estimate_cache() -> RunCache:
 
 
 def cached_estimate_run(
-    workload: VaspWorkload, n_nodes: int, cap_w: float | None = None
+    workload: VaspWorkload,
+    n_nodes: int,
+    cap_w: float | None = None,
+    platform: "str | Platform | None" = None,
 ) -> RunEstimate:
     """Content-keyed memoization of :func:`estimate_run`.
 
     The estimator is deterministic (nominal GPU, no sampling), so the
-    result is fully identified by the workload fingerprint, node count
-    and cap.  ``REPRO_CACHE=0`` bypasses the cache.
+    result is fully identified by the workload fingerprint, node count,
+    cap and platform id — estimates for different platforms never
+    collide.  ``REPRO_CACHE=0`` bypasses the cache.
     """
     if caching_disabled():
-        return estimate_run(workload, n_nodes, cap_w)
-    key = fingerprint("estimate_run", workload, n_nodes, cap_w)
+        return estimate_run(workload, n_nodes, cap_w, platform)
+    plat = get_platform(platform)
+    key = fingerprint("estimate_run", workload, n_nodes, cap_w, plat.id)
     return _ESTIMATE_CACHE.get_or_compute(
-        key, lambda: estimate_run(workload, n_nodes, cap_w)
+        key, lambda: estimate_run(workload, n_nodes, cap_w, plat)
     )
 
 
@@ -166,6 +182,8 @@ class SchedulerConfig:
     power_budget_w: float = 16 * 1200.0
     cycle_s: float = 30.0
     policy: CapPolicy = field(default_factory=CapPolicy.half_tdp)
+    #: Hardware platform the pool runs on (None = registry default).
+    platform: "str | Platform | None" = None
 
     def __post_init__(self) -> None:
         if self.n_nodes < 1:
@@ -243,6 +261,8 @@ class PowerAwareScheduler:
 
     def _schedule_inner(self, jobs: list[Job]) -> ScheduleResult:
         cfg = self.config
+        plat = get_platform(cfg.platform)
+        idle_node_w = plat.node.idle_node_w
         queue = sorted(jobs, key=lambda j: (j.submit_s, j.job_id))
         free_nodes = cfg.n_nodes
         running: list[tuple[float, str, int, float]] = []  # (end, id, nodes, power)
@@ -273,12 +293,12 @@ class PowerAwareScheduler:
                         f"job {job.job_id} wants {job.n_nodes} nodes; pool has {cfg.n_nodes}"
                     )
                 cap = cfg.policy.cap_for(job.workload)
-                estimate = cached_estimate_run(job.workload, job.n_nodes, cap)
+                estimate = cached_estimate_run(job.workload, job.n_nodes, cap, plat)
                 idle_after = free_nodes - job.n_nodes
                 projected = (
                     running_power
                     + estimate.mean_node_power_w * job.n_nodes
-                    + max(idle_after, 0) * IDLE_NODE_W
+                    + max(idle_after, 0) * idle_node_w
                 )
                 if job.n_nodes <= free_nodes and projected <= cfg.power_budget_w:
                     end = now + estimate.runtime_s
@@ -301,7 +321,7 @@ class PowerAwareScheduler:
                 else:
                     still_pending.append(job)
             pending = still_pending
-            system_power = running_power + free_nodes * IDLE_NODE_W
+            system_power = running_power + free_nodes * idle_node_w
             power_timeline.append((now, system_power))
             peak_power = max(peak_power, system_power)
             # Advance one scheduling cycle.  The state only changes at the
@@ -327,9 +347,9 @@ class PowerAwareScheduler:
         )
 
 
-def half_tdp_cap_w() -> float:
-    """50 % of the A100 TDP — the paper's recommended cap."""
-    return A100_40GB.tdp_w / 2.0
+def half_tdp_cap_w(platform: "str | Platform | None" = None) -> float:
+    """50 % of the platform GPU's TDP — the paper's recommended cap."""
+    return get_platform(platform).gpu.tdp_w / 2.0
 
 
 def scheduling_cycle_s() -> float:

@@ -3,7 +3,9 @@
 Installed as ``repro`` (also ``python -m repro``)::
 
     repro list                         # benchmarks and reproducible artifacts
+    repro platforms                    # registered hardware platforms
     repro run Si256_hse --nodes 2      # one workload, full power stats
+    repro run PdO4 --platform h100-sxm # same workload on another platform
     repro survey                       # all seven benchmarks
     repro cap-sweep Si128_acfdtr       # power-cap response of one workload
     repro reproduce fig12              # regenerate a paper table/figure
@@ -60,6 +62,7 @@ from repro.capping.fleet import (
 from repro.capping.policy import CapPolicy
 from repro.capping.scheduler import estimate_cache
 from repro.experiments.common import run_cache, run_workload
+from repro.hardware.platform import DEFAULT_PLATFORM_ID, get_platform, platform_ids
 from repro.experiments.report import format_table, sparkline
 from repro.io import result_to_json, save_trace_csv
 from repro.monitor import (
@@ -127,15 +130,77 @@ def _cmd_list(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_platforms(_args: argparse.Namespace) -> int:
+    rows = []
+    for platform_id in platform_ids():
+        plat = get_platform(platform_id)
+        gpu = plat.gpu
+        node = plat.node
+        rows.append(
+            [
+                platform_id,
+                gpu.name,
+                f"{gpu.tdp_w:.0f}",
+                f"{gpu.cap_min_w:.0f}-{gpu.cap_max_w:.0f}",
+                node.gpus_per_node,
+                f"{node.idle_min_w:.0f}-{node.idle_max_w:.0f}",
+            ]
+        )
+    print(
+        format_table(
+            headers=[
+                "Platform",
+                "GPU",
+                "TDP (W)",
+                "Cap range (W)",
+                "GPUs",
+                "Idle band (W)",
+            ],
+            rows=rows,
+            title=f"registered hardware platforms (default: {DEFAULT_PLATFORM_ID})",
+        )
+    )
+    print()
+    for platform_id in platform_ids():
+        print(f"  {platform_id:12s} {get_platform(platform_id).description}")
+    print(
+        "\nselect with --platform on run/cap-sweep/fleet/monitor; register "
+        "custom specs via repro.hardware.platform.register_platform()."
+    )
+    return 0
+
+
+def _split_platforms(value: str | None) -> tuple[str | None, list[str] | None]:
+    """``--platform`` value -> (primary platform, mixed-pool list).
+
+    A comma-separated value builds a mixed pool (nodes cycle through the
+    listed platforms round-robin); the first entry drives the analytic
+    scheduler and monitor defaults.
+    """
+    if not value:
+        return None, None
+    parts = [part.strip() for part in value.split(",") if part.strip()]
+    if not parts:
+        return None, None
+    if len(parts) == 1:
+        return parts[0], None
+    return parts[0], parts
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     workload = benchmark(args.benchmark).build()
     measured = run_workload(
-        workload, n_nodes=args.nodes, gpu_cap_w=args.cap, seed=args.seed
+        workload,
+        n_nodes=args.nodes,
+        gpu_cap_w=args.cap,
+        seed=args.seed,
+        platform=args.platform,
     )
     telem = measured.telemetry[0]
     stats = summarize(telem.node_power)
     cap_note = f" (GPU cap {args.cap:.0f} W)" if args.cap else ""
-    print(f"{workload.name} on {args.nodes} node(s){cap_note}")
+    platform_note = f" [{get_platform(args.platform).id}]" if args.platform else ""
+    print(f"{workload.name} on {args.nodes} node(s){cap_note}{platform_note}")
     print(f"  runtime            : {measured.runtime_s:,.0f} s")
     print(f"  energy to solution : {measured.energy_mj():.2f} MJ")
     print(f"  node power max     : {stats.max_w:.0f} W")
@@ -180,14 +245,35 @@ def _cmd_cap_sweep(args: argparse.Namespace) -> int:
     case = benchmark(args.benchmark)
     workload = case.build()
     n_nodes = args.nodes if args.nodes else case.optimal_nodes
+    plat = get_platform(args.platform)
+    caps = args.caps
+    if caps is None:
+        # Platform-derived default grid: TDP down to the cap floor
+        # ([400, 300, 200, 100] W on the default a100-40g).
+        spec = plat.gpu
+        caps = [
+            spec.tdp_w,
+            0.75 * spec.tdp_w,
+            0.50 * spec.tdp_w,
+            max(0.25 * spec.tdp_w, spec.cap_min_w),
+        ]
     monitor = None
     if args.monitor or monitoring_requested():
-        monitor = FleetMonitor(label=f"{workload.name} cap sweep")
+        monitor = FleetMonitor(
+            MonitorConfig(platform=args.platform),
+            label=f"{workload.name} cap sweep",
+        )
     rows = []
     base = None
     clock = 0.0
-    for cap in args.caps:
-        measured = run_workload(workload, n_nodes=n_nodes, gpu_cap_w=cap, seed=args.seed)
+    for cap in caps:
+        measured = run_workload(
+            workload,
+            n_nodes=n_nodes,
+            gpu_cap_w=cap,
+            seed=args.seed,
+            platform=args.platform,
+        )
         gpu_hpm = high_power_mode_w(measured.telemetry[0].gpu_power(0))
         if base is None:
             base = measured.runtime_s
@@ -204,11 +290,12 @@ def _cmd_cap_sweep(args: argparse.Namespace) -> int:
         rows.append(
             [f"{cap:.0f}", measured.runtime_s, base / measured.runtime_s, gpu_hpm, gpu_hpm / cap]
         )
+    platform_note = f", {plat.id}" if args.platform else ""
     print(
         format_table(
             headers=["Cap (W)", "Runtime (s)", "Perf", "GPU HPM (W)", "HPM/cap"],
             rows=rows,
-            title=f"{workload.name} cap sweep ({n_nodes} node(s))",
+            title=f"{workload.name} cap sweep ({n_nodes} node(s){platform_note})",
         )
     )
     if monitor is not None:
@@ -285,6 +372,7 @@ def _cmd_obs(args: argparse.Namespace) -> int:
 
 def _cmd_fleet(args: argparse.Namespace) -> int:
     budget = args.watts_per_node * args.nodes if args.watts_per_node else None
+    platform, node_platforms = _split_platforms(args.platform)
     engine_config = (
         EngineConfig(base_interval_s=args.resolution) if args.resolution else None
     )
@@ -294,8 +382,10 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
             print("--monitor requires the streaming path; ignoring with --retain-traces")
         else:
             monitors = (
-                FleetMonitor(label="50% TDP policy"),
-                FleetMonitor(label="uncapped"),
+                FleetMonitor(
+                    MonitorConfig(platform=platform), label="50% TDP policy"
+                ),
+                FleetMonitor(MonitorConfig(platform=platform), label="uncapped"),
             )
     with obs.span("cli.fleet", jobs=args.jobs, nodes=args.nodes):
         capped, uncapped = compare_fleet_policies_traced(
@@ -308,6 +398,8 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
             engine_config=engine_config,
             retain_traces=args.retain_traces,
             monitors=monitors,
+            platform=platform,
+            node_platforms=node_platforms,
         )
     rows = [
         [
@@ -324,6 +416,7 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     budget_note = (
         f", budget {budget / 1e3:.0f} kW" if budget is not None else ""
     )
+    platform_note = f", {args.platform}" if args.platform else ""
     print(
         format_table(
             headers=[
@@ -338,7 +431,7 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
             rows=rows,
             title=(
                 f"trace-streamed fleet: {args.jobs} jobs on "
-                f"{args.nodes} node(s){budget_note}"
+                f"{args.nodes} node(s){budget_note}{platform_note}"
             ),
         )
     )
@@ -367,10 +460,12 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
 def _cmd_monitor(args: argparse.Namespace) -> int:
     """One monitored fleet run: health dashboard plus power report."""
     budget = args.watts_per_node * args.nodes if args.watts_per_node else None
+    platform, node_platforms = _split_platforms(args.platform)
     capped = args.policy == "capped"
-    policy = CapPolicy.half_tdp() if capped else CapPolicy.uncapped()
+    policy = CapPolicy.half_tdp(platform) if capped else CapPolicy.uncapped(platform)
     policy_name = "50% TDP policy" if capped else "uncapped"
     config = MonitorConfig(
+        platform=platform,
         window_samples=args.window,
         alert_log=args.alert_log,
     )
@@ -389,6 +484,8 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
             engine_config=engine_config,
             seed=args.seed,
             monitor=monitor,
+            platform=platform,
+            node_platforms=node_platforms,
         )
     report = monitor.finalize()
     print(render_dashboard(report))
@@ -446,6 +543,26 @@ def build_parser() -> argparse.ArgumentParser:
         func=_cmd_list
     )
 
+    sub.add_parser(
+        "platforms", help="list registered hardware platforms"
+    ).set_defaults(func=_cmd_platforms)
+
+    def add_platform_flag(p: argparse.ArgumentParser, mixed: bool = False) -> None:
+        extra = (
+            "; comma-separate several for a mixed pool (round-robin)"
+            if mixed
+            else ""
+        )
+        p.add_argument(
+            "--platform",
+            default=None,
+            metavar="ID",
+            help=(
+                f"hardware platform ({', '.join(platform_ids())}; "
+                f"default {DEFAULT_PLATFORM_ID}){extra}"
+            ),
+        )
+
     p_run = sub.add_parser(
         "run", help="run one benchmark and print power stats", parents=[obs_flags]
     )
@@ -454,6 +571,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--cap", type=float, default=None, help="GPU power cap in W")
     p_run.add_argument("--seed", type=int, default=7)
     p_run.add_argument("--export-trace", default=None, help="write ground truth CSV")
+    add_platform_flag(p_run)
     p_run.set_defaults(func=_cmd_run)
 
     p_survey = sub.add_parser(
@@ -469,7 +587,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("benchmark", choices=benchmark_names())
     p_sweep.add_argument("--nodes", type=int, default=None)
     p_sweep.add_argument(
-        "--caps", type=float, nargs="+", default=[400.0, 300.0, 200.0, 100.0]
+        "--caps",
+        type=float,
+        nargs="+",
+        default=None,
+        help="cap grid in W (default: platform TDP down to its cap floor)",
     )
     p_sweep.add_argument("--seed", type=int, default=7)
     p_sweep.add_argument(
@@ -477,6 +599,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="replay each sweep point through the fleet health monitor",
     )
+    add_platform_flag(p_sweep)
     p_sweep.set_defaults(func=_cmd_cap_sweep)
 
     p_repro = sub.add_parser(
@@ -527,6 +650,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="attach a live health monitor per policy and print its dashboard",
     )
+    add_platform_flag(p_fleet, mixed=True)
     p_fleet.set_defaults(func=_cmd_fleet)
 
     p_monitor = sub.add_parser(
@@ -575,6 +699,7 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         help="write the full monitor report (signals, alerts, energy) as JSON",
     )
+    add_platform_flag(p_monitor, mixed=True)
     p_monitor.set_defaults(func=_cmd_monitor)
 
     p_sched = sub.add_parser("schedule", help="run the power-aware scheduling study")

@@ -14,6 +14,7 @@ from dataclasses import dataclass
 from repro import obs
 from repro.analysis.stats import DistributionSummary, summarize
 from repro.hardware.node import GpuNode
+from repro.hardware.platform import Platform, get_platform
 from repro.runner.cache import RunCache, caching_disabled, disk_dir_from_env, fingerprint
 from repro.runner.engine import EngineConfig, PowerEngine
 from repro.runner.trace import PowerTrace, RunResult, trace_dtype
@@ -38,11 +39,18 @@ def run_cache() -> RunCache:
     return _RUN_CACHE
 
 
-def make_nodes(n: int, first: int = 1000) -> list[GpuNode]:
-    """``n`` deterministic nodes with Perlmutter-style names."""
+def make_nodes(
+    n: int, first: int = 1000, platform: "str | Platform | None" = None
+) -> list[GpuNode]:
+    """``n`` deterministic nodes with Perlmutter-style names.
+
+    ``platform`` picks the registered hardware platform the nodes are
+    built from (None = registry default).
+    """
     if n < 1:
         raise ValueError(f"n must be >= 1, got {n}")
-    return [GpuNode(name=f"nid{first + i:06d}") for i in range(n)]
+    spec = get_platform(platform).node
+    return [GpuNode(name=f"nid{first + i:06d}", spec=spec) for i in range(n)]
 
 
 @dataclass
@@ -78,11 +86,15 @@ def run_workload(
     engine_config: EngineConfig | None = None,
     nodes: list[GpuNode] | None = None,
     use_cache: bool = True,
+    platform: "str | Platform | None" = None,
 ) -> MeasuredRun:
     """Run a workload through the full pipeline.
 
     ``gpu_cap_w`` applies an ``nvidia-smi -pl``-style cap to every GPU
-    before launch (None = default TDP limit).
+    before launch (None = default TDP limit).  ``platform`` selects the
+    hardware the run executes on (None = registry default); it is part
+    of the cache key, so runs on different platforms never share a
+    cache entry.
 
     Results are memoized in :func:`run_cache` keyed by content — the
     pipeline is deterministic, so a repeated grid point is a lookup, not a
@@ -91,6 +103,7 @@ def run_workload(
     Set ``use_cache=False`` (or ``REPRO_CACHE=0``) to force execution.
     """
     if nodes is None:
+        plat = get_platform(platform)
         if use_cache and not caching_disabled():
             key = fingerprint(
                 "run_workload",
@@ -101,12 +114,17 @@ def run_workload(
                 engine_config,
                 TELEMETRY_INTERVAL_S,
                 trace_dtype().name,
+                plat.id,
             )
             return _RUN_CACHE.get_or_compute(
                 key,
-                lambda: _execute_run(workload, n_nodes, gpu_cap_w, seed, engine_config),
+                lambda: _execute_run(
+                    workload, n_nodes, gpu_cap_w, seed, engine_config, platform=plat
+                ),
             )
-        return _execute_run(workload, n_nodes, gpu_cap_w, seed, engine_config)
+        return _execute_run(
+            workload, n_nodes, gpu_cap_w, seed, engine_config, platform=plat
+        )
     if len(nodes) != n_nodes:
         raise ValueError(f"got {len(nodes)} nodes for n_nodes={n_nodes}")
     return _execute_run(workload, n_nodes, gpu_cap_w, seed, engine_config, nodes)
@@ -119,6 +137,7 @@ def _execute_run(
     seed: int,
     engine_config: EngineConfig | None,
     nodes: list[GpuNode] | None = None,
+    platform: "str | Platform | None" = None,
 ) -> MeasuredRun:
     """The uncached pipeline body behind :func:`run_workload`."""
     obs.inc("repro_pipeline_runs_total")
@@ -137,7 +156,7 @@ def _execute_run(
         seed=seed,
     ):
         if nodes is None:
-            nodes = make_nodes(n_nodes)
+            nodes = make_nodes(n_nodes, platform=platform)
         for node in nodes:
             if gpu_cap_w is None:
                 node.reset_gpu_power_limit()

@@ -1,4 +1,4 @@
-"""Behavioural model of an NVIDIA A100 GPU: power, capping and DVFS.
+"""Behavioural model of a data-centre GPU: power, capping and DVFS.
 
 The model answers two questions per kernel phase:
 
@@ -13,12 +13,16 @@ It implements the classic DVFS relationship: sustained board power is
 for clock fraction ``f`` (voltage scales with frequency, so dynamic power
 scales roughly cubically), while compute-bound kernel time scales as
 ``1/f``.  When a cap binds, the board's power controller picks the largest
-``f`` with ``P(f) <= C``.  Near the 100 W floor the controller's regulation
+``f`` with ``P(f) <= C``.  Near the cap floor the controller's regulation
 error grows, reproducing the overshoot the paper reports in Fig 10.
 
-This cubic law is what makes the paper's headline result possible: capping
-an A100 to 50 % of TDP costs far less than 50 % of performance, because the
-last watts buy very few hertz.
+Every device-specific number — cap range, clock floor, control margin,
+regulation ramp, manufacturing spread — comes from the
+:class:`~repro.hardware.platform.GpuSpec` the model is built with; the
+default spec is the paper's A100 40 GB (``a100-40g`` in the platform
+registry), whose cubic law is what makes the headline result possible:
+capping an A100 to 50 % of TDP costs far less than 50 % of performance,
+because the last watts buy very few hertz.
 """
 
 from __future__ import annotations
@@ -27,17 +31,18 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.units.constants import A100_40GB, GPUEnvelope
+from repro.units.constants import GPUEnvelope
+from repro.hardware.platform import GpuSpec, default_gpu_spec
 from repro.hardware.variability import ManufacturingVariation
 
-#: Lowest clock fraction the board will throttle to (A100: ~210 MHz of
-#: 1410 MHz boost).  Below this the cap simply cannot be honoured.
-MIN_CLOCK_FRACTION: float = 0.15
-
-#: The power controller regulates a few percent *below* the limit so that
-#: sustained power stays inside it (observable in Fig 10: bars sit under
-#: the cap line everywhere the controller has authority).
-CONTROL_MARGIN: float = 0.03
+#: Deprecated module-level defaults, kept for backward compatibility.
+#: The authoritative values are per-device spec fields
+#: (:attr:`GpuSpec.min_clock_fraction` / :attr:`GpuSpec.control_margin`);
+#: these constants only describe the default A100 spec.
+MIN_CLOCK_FRACTION: float = default_gpu_spec().min_clock_fraction
+CONTROL_MARGIN: float = default_gpu_spec().control_margin
+_DEFAULT_REG_MAX: float = default_gpu_spec().regulation_error_max
+_DEFAULT_REG_EXP: float = default_gpu_spec().regulation_error_exponent
 
 
 @dataclass(frozen=True)
@@ -54,28 +59,46 @@ class PowerLimitError(ValueError):
 
 
 @dataclass
-class A100Gpu:
-    """One A100 board with a settable power limit.
+class GpuModel:
+    """One GPU board with a settable power limit.
 
     Parameters
     ----------
     serial:
         Serial number; drives deterministic manufacturing variation.
-    envelope:
-        Static envelope (TDP, cap range, idle/static power).
+    spec:
+        Device spec (envelope plus behavioural parameters).  A bare
+        :class:`~repro.units.constants.GPUEnvelope` is promoted via
+        :meth:`GpuSpec.from_envelope`, so custom envelopes get explicit —
+        and overridable — clock-floor and controller behaviour instead of
+        silently inheriting the A100's.
     variation:
-        Per-unit bias; defaults to a deterministic draw from ``serial``.
+        Per-unit bias; defaults to a deterministic draw from ``serial``
+        using the spec's manufacturing-spread parameters.
     """
 
     serial: str = "GPU-000000"
-    envelope: GPUEnvelope = field(default_factory=lambda: A100_40GB)
+    spec: GpuSpec = field(default_factory=default_gpu_spec)
     variation: ManufacturingVariation | None = None
     _power_limit_w: float = field(init=False)
 
     def __post_init__(self) -> None:
+        if not isinstance(self.spec, GpuSpec):
+            if not isinstance(self.spec, GPUEnvelope):
+                raise TypeError(f"spec must be a GpuSpec, got {type(self.spec).__name__}")
+            self.spec = GpuSpec.from_envelope(self.spec)
         if self.variation is None:
-            self.variation = ManufacturingVariation.sample(self.serial)
-        self._power_limit_w = self.envelope.tdp_w
+            self.variation = ManufacturingVariation.sample(
+                self.serial,
+                rel_sigma=self.spec.power_rel_sigma,
+                idle_sigma_w=self.spec.idle_sigma_w,
+            )
+        self._power_limit_w = self.spec.tdp_w
+
+    @property
+    def envelope(self) -> GpuSpec:
+        """The device spec (a :class:`GPUEnvelope` subtype); legacy name."""
+        return self.spec
 
     # ------------------------------------------------------------------
     # nvidia-smi -pl semantics
@@ -93,16 +116,16 @@ class A100Gpu:
         PowerLimitError
             If ``watts`` is outside the board's supported cap range.
         """
-        if not (self.envelope.cap_min_w <= watts <= self.envelope.cap_max_w):
+        if not (self.spec.cap_min_w <= watts <= self.spec.cap_max_w):
             raise PowerLimitError(
-                f"power limit {watts:.0f} W outside supported range "
-                f"[{self.envelope.cap_min_w:.0f}, {self.envelope.cap_max_w:.0f}] W"
+                f"{self.spec.name}: power limit {watts:.0f} W outside supported "
+                f"range [{self.spec.cap_min_w:.0f}, {self.spec.cap_max_w:.0f}] W"
             )
         self._power_limit_w = float(watts)
 
     def reset_power_limit(self) -> None:
         """Restore the default power limit (the TDP)."""
-        self._power_limit_w = self.envelope.tdp_w
+        self._power_limit_w = self.spec.tdp_w
 
     # ------------------------------------------------------------------
     # DVFS power/performance model
@@ -111,7 +134,7 @@ class A100Gpu:
     def idle_power_w(self) -> float:
         """Idle power including this unit's manufacturing offset."""
         assert self.variation is not None
-        return self.envelope.idle_w + self.variation.idle_offset_w
+        return self.spec.idle_w + self.variation.idle_offset_w
 
     def clock_fraction(self, demand_w: float, cap_w: float | None = None) -> float:
         """Largest clock fraction whose sustained power fits under the cap.
@@ -119,14 +142,15 @@ class A100Gpu:
         ``demand_w`` is the power the kernel mix would draw at full clocks.
         When the cap does not bind the answer is 1.  When it binds, invert
         ``P(f) = static + (demand - static) * f**3`` and clamp at the
-        hardware's minimum clock.
+        hardware's minimum clock (``spec.min_clock_fraction``).
         """
         cap = self._power_limit_w if cap_w is None else cap_w
-        static = self.envelope.static_w
+        spec = self.spec
+        static = spec.static_w
         # The controller clocks against an effective target: a margin
         # below the limit in its authority range, relaxed (slightly above
-        # the limit) by the regulation error near the 100 W floor.
-        target = cap * (1.0 - CONTROL_MARGIN + self.regulation_error(cap))
+        # the limit) by the regulation error near the cap floor.
+        target = cap * (1.0 - spec.control_margin + self.regulation_error(cap))
         if demand_w <= target:
             return 1.0
         if demand_w <= static:
@@ -134,23 +158,24 @@ class A100Gpu:
             return 1.0
         headroom = target - static
         if headroom <= 0.0:
-            return MIN_CLOCK_FRACTION
+            return spec.min_clock_fraction
         frac = float((headroom / (demand_w - static)) ** (1.0 / 3.0))
-        return max(MIN_CLOCK_FRACTION, min(1.0, frac))
+        return max(spec.min_clock_fraction, min(1.0, frac))
 
     def regulation_error(self, cap_w: float | None = None) -> float:
         """Relative overshoot of the power controller at a given cap.
 
-        The controller holds the cap tightly except near the 100 W floor,
-        where the paper observes sustained power slightly above the cap
-        (Fig 10).  Steep (sixth-power) ramp: negligible at 300/200 W,
-        ~8 % at the floor.
+        The controller holds the cap tightly except near the floor of the
+        cap range, where the paper observes sustained power slightly
+        above the cap (Fig 10).  Steep ramp (``spec``'s exponent):
+        negligible in the upper cap range, ``spec.regulation_error_max``
+        at the floor.
         """
         cap = self._power_limit_w if cap_w is None else cap_w
-        env = self.envelope
-        span = env.cap_max_w - env.cap_min_w
-        depth = float(np.clip((env.cap_max_w - cap) / span, 0.0, 1.0))
-        return 0.08 * depth**6
+        spec = self.spec
+        span = spec.cap_max_w - spec.cap_min_w
+        depth = float(np.clip((spec.cap_max_w - cap) / span, 0.0, 1.0))
+        return spec.regulation_error_max * depth**spec.regulation_error_exponent
 
     def resolve_phase(
         self,
@@ -179,25 +204,26 @@ class A100Gpu:
         if not 0.0 <= compute_fraction <= 1.0:
             raise ValueError(f"compute_fraction must be in [0, 1], got {compute_fraction}")
         cap = self._power_limit_w if cap_w is None else cap_w
-        static = self.envelope.static_w
+        spec = self.spec
+        static = spec.static_w
         frac = self.clock_fraction(demand_w, cap)
         if frac >= 1.0:
             # The controller enforces its effective target, not the raw
-            # limit: near the 100 W floor the regulation error puts the
+            # limit: near the cap floor the regulation error puts the
             # target *above* the cap, and demand inside that window runs
             # unthrottled (keeps sustained power monotone in the cap —
             # a binding lower cap already lands on its own target).
-            target = cap * (1.0 - CONTROL_MARGIN + self.regulation_error(cap))
+            target = cap * (1.0 - spec.control_margin + self.regulation_error(cap))
             power = min(demand_w, max(cap, target))
             slowdown = 1.0
         else:
             # Sustained power lands on the controller's effective target:
             # slightly under the cap in its authority range, slightly over
-            # near the 100 W floor (the regulation error baked into frac).
+            # near the floor (the regulation error baked into frac).
             power = min(static + (demand_w - static) * frac**3, demand_w)
             slowdown = compute_fraction / frac + (1.0 - compute_fraction)
         assert self.variation is not None
-        biased = self.variation.apply(max(power, self.envelope.idle_w), self.envelope.idle_w)
+        biased = self.variation.apply(max(power, spec.idle_w), spec.idle_w)
         return GpuPowerSample(power_w=biased, clock_fraction=frac, slowdown=slowdown)
 
     def idle_sample(self) -> GpuPowerSample:
@@ -205,17 +231,32 @@ class A100Gpu:
         return GpuPowerSample(power_w=self.idle_power_w, clock_fraction=1.0, slowdown=1.0)
 
 
+@dataclass
+class A100Gpu(GpuModel):
+    """Deprecated alias of :class:`GpuModel` (default spec: A100 40 GB).
+
+    Kept so existing callers and pickles keep working; new code should
+    construct ``GpuModel(spec=get_platform(...).gpu)``.
+    """
+
+
 # ----------------------------------------------------------------------
 # Array-capable entry points (the engine's vectorized hot path)
 # ----------------------------------------------------------------------
 def regulation_error_batch(
-    cap_w: np.ndarray, cap_min_w: float | np.ndarray, cap_max_w: float | np.ndarray
+    cap_w: np.ndarray,
+    cap_min_w: float | np.ndarray,
+    cap_max_w: float | np.ndarray,
+    regulation_error_max: float | np.ndarray = _DEFAULT_REG_MAX,
+    regulation_error_exponent: float | np.ndarray = _DEFAULT_REG_EXP,
 ) -> np.ndarray:
-    """Array version of :meth:`A100Gpu.regulation_error`."""
+    """Array version of :meth:`GpuModel.regulation_error`."""
     cap = np.asarray(cap_w, dtype=float)
     span = np.asarray(cap_max_w, dtype=float) - np.asarray(cap_min_w, dtype=float)
     depth = np.clip((np.asarray(cap_max_w, dtype=float) - cap) / span, 0.0, 1.0)
-    return 0.08 * np.power(depth, 6)
+    return np.asarray(regulation_error_max, dtype=float) * np.power(
+        depth, np.asarray(regulation_error_exponent, dtype=float)
+    )
 
 
 def resolve_phase_batch(
@@ -229,15 +270,22 @@ def resolve_phase_batch(
     cap_max_w: float | np.ndarray,
     power_factor: np.ndarray,
     idle_offset_w: np.ndarray,
+    min_clock_fraction: float | np.ndarray = MIN_CLOCK_FRACTION,
+    control_margin: float | np.ndarray = CONTROL_MARGIN,
+    regulation_error_max: float | np.ndarray = _DEFAULT_REG_MAX,
+    regulation_error_exponent: float | np.ndarray = _DEFAULT_REG_EXP,
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Resolve many kernel phases on many GPUs in one shot.
 
     Broadcasts ``demand_w`` / ``compute_fraction`` (typically one entry per
-    phase, shaped ``[P, 1, 1]``) against per-GPU cap and variation arrays
-    (shaped ``[nodes, gpus]``) and returns ``(power_w, clock_fraction,
-    slowdown)`` arrays — the same quantities :meth:`A100Gpu.resolve_phase`
-    produces one scalar at a time, with the manufacturing bias already
-    applied to the power.
+    phase, shaped ``[P, 1, 1]``) against per-GPU cap, spec and variation
+    arrays (shaped ``[nodes, gpus]``) and returns ``(power_w,
+    clock_fraction, slowdown)`` arrays — the same quantities
+    :meth:`GpuModel.resolve_phase` produces one scalar at a time, with the
+    manufacturing bias already applied to the power.  The spec keywords
+    default to the A100 values so scalar-spec callers stay unchanged;
+    the engine passes per-GPU arrays, which is what lets one pool mix
+    platforms (every GPU carries its own clock floor and controller).
 
     The branch structure mirrors the scalar path exactly: the controller's
     effective target, the full-clock short-circuits (demand under target or
@@ -248,16 +296,20 @@ def resolve_phase_batch(
     cap = np.asarray(cap_w, dtype=float)
     static = np.asarray(static_w, dtype=float)
     idle_env = np.asarray(idle_env_w, dtype=float)
+    min_clock = np.asarray(min_clock_fraction, dtype=float)
+    margin = np.asarray(control_margin, dtype=float)
 
-    err = regulation_error_batch(cap, cap_min_w, cap_max_w)
-    target = cap * (1.0 - CONTROL_MARGIN + err)
+    err = regulation_error_batch(
+        cap, cap_min_w, cap_max_w, regulation_error_max, regulation_error_exponent
+    )
+    target = cap * (1.0 - margin + err)
 
     headroom = target - static
     denom = demand - static
     with np.errstate(divide="ignore", invalid="ignore"):
         frac = np.power(np.clip(headroom / denom, 0.0, 1.0), 1.0 / 3.0)
-    frac = np.clip(frac, MIN_CLOCK_FRACTION, 1.0)
-    frac = np.where(headroom <= 0.0, MIN_CLOCK_FRACTION, frac)
+    frac = np.clip(frac, min_clock, 1.0)
+    frac = np.where(headroom <= 0.0, min_clock, frac)
     frac = np.where(demand <= static, 1.0, frac)
     frac = np.where(demand <= target, 1.0, frac)
 

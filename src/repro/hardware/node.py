@@ -1,5 +1,7 @@
-"""A Perlmutter GPU node: one Milan CPU, four A100s, DDR4, four NICs.
+"""A GPU-accelerated node composed from a platform's :class:`NodeSpec`.
 
+The default spec is a Perlmutter GPU node (one Milan CPU, four A100s,
+DDR4, four NICs); other platforms swap in their own component envelopes.
 The node exposes the same component breakdown as the Cray Power Monitoring
 interface: CPU power, per-GPU power, memory power, and total node power
 (which additionally includes NICs and the baseboard — the "gap" between the
@@ -12,11 +14,12 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.units.constants import PERLMUTTER_GPU_NODE, NodeEnvelope
+from repro.units.constants import NodeEnvelope
 from repro.hardware.cpu import MilanCpu
-from repro.hardware.gpu import A100Gpu
+from repro.hardware.gpu import GpuModel
 from repro.hardware.memory import DdrMemory
 from repro.hardware.nic import SlingshotNic
+from repro.hardware.platform import NodeSpec, default_node_spec
 from repro.hardware.variability import ManufacturingVariation
 
 
@@ -52,26 +55,47 @@ class NodePowerSample:
 
 @dataclass
 class GpuNode:
-    """One GPU-accelerated node with deterministic per-node variability."""
+    """One GPU-accelerated node with deterministic per-node variability.
+
+    Components (CPU model, GPU specs, memory, NIC count) are composed
+    from ``spec``; the default is the registry's default platform (a
+    Perlmutter A100 node).  Mixed-platform pools are just lists of nodes
+    built from different specs.
+    """
 
     name: str = "nid001000"
-    envelope: NodeEnvelope = field(default_factory=lambda: PERLMUTTER_GPU_NODE)
+    spec: NodeSpec = field(default_factory=default_node_spec)
     cpu: MilanCpu = field(init=False)
-    gpus: list[A100Gpu] = field(init=False)
+    gpus: list[GpuModel] = field(init=False)
     memory: DdrMemory = field(init=False)
     nics: list[SlingshotNic] = field(init=False)
     baseboard_variation: ManufacturingVariation = field(init=False)
 
     def __post_init__(self) -> None:
-        self.cpu = MilanCpu(serial=f"{self.name}-cpu0")
+        if not isinstance(self.spec, NodeSpec):
+            raise TypeError(
+                f"spec must be a NodeSpec (see repro.hardware.platform), "
+                f"got {type(self.spec).__name__}"
+            )
+        spec = self.spec
+        self.cpu = MilanCpu(serial=f"{self.name}-cpu0", envelope=spec.cpu)
         self.gpus = [
-            A100Gpu(serial=f"{self.name}-gpu{i}") for i in range(self.envelope.gpus_per_node)
+            GpuModel(serial=f"{self.name}-gpu{i}", spec=spec.gpu)
+            for i in range(spec.gpus_per_node)
         ]
-        self.memory = DdrMemory(serial=f"{self.name}-mem0")
-        self.nics = [SlingshotNic(serial=f"{self.name}-nic{i}") for i in range(4)]
+        self.memory = DdrMemory(serial=f"{self.name}-mem0", envelope=spec.memory)
+        self.nics = [
+            SlingshotNic(serial=f"{self.name}-nic{i}", envelope=spec.nic)
+            for i in range(spec.n_nics)
+        ]
         self.baseboard_variation = ManufacturingVariation.sample(
-            f"{self.name}-board", idle_sigma_w=10.0
+            f"{self.name}-board", idle_sigma_w=spec.board_idle_sigma_w
         )
+
+    @property
+    def envelope(self) -> NodeEnvelope:
+        """The node spec (a :class:`NodeEnvelope` subtype); legacy name."""
+        return self.spec
 
     # ------------------------------------------------------------------
     # Power limits (applied to all GPUs, as in the paper's experiments)
@@ -100,7 +124,7 @@ class GpuNode:
     @property
     def baseboard_power_w(self) -> float:
         """Baseboard (fans, VRM, BMC) power with per-node offset."""
-        return self.envelope.baseboard_w + self.baseboard_variation.idle_offset_w
+        return self.spec.baseboard_w + self.baseboard_variation.idle_offset_w
 
     def idle_sample(self) -> NodePowerSample:
         """Component power of the node at idle."""
@@ -157,19 +181,29 @@ class GpuNode:
         """Per-GPU model state as flat arrays (vectorized engine input).
 
         Keys: ``cap_w``, ``static_w``, ``idle_env_w``, ``cap_min_w``,
-        ``cap_max_w``, ``tdp_w``, ``idle_w`` (biased idle), ``power_factor``
-        and ``idle_offset_w``, each of length ``len(self.gpus)``.
+        ``cap_max_w``, ``tdp_w``, ``idle_w`` (biased idle), ``power_factor``,
+        ``idle_offset_w``, plus the per-GPU behavioural spec fields
+        (``min_clock_fraction``, ``control_margin``,
+        ``regulation_error_max``, ``regulation_error_exponent``), each of
+        length ``len(self.gpus)`` — carrying the spec per GPU is what lets
+        the vectorized engine resolve mixed-platform pools in one pass.
         """
         gpus = self.gpus
         assert all(g.variation is not None for g in gpus)
         return {
             "cap_w": np.array([g.power_limit_w for g in gpus]),
-            "static_w": np.array([g.envelope.static_w for g in gpus]),
-            "idle_env_w": np.array([g.envelope.idle_w for g in gpus]),
-            "cap_min_w": np.array([g.envelope.cap_min_w for g in gpus]),
-            "cap_max_w": np.array([g.envelope.cap_max_w for g in gpus]),
-            "tdp_w": np.array([g.envelope.tdp_w for g in gpus]),
+            "static_w": np.array([g.spec.static_w for g in gpus]),
+            "idle_env_w": np.array([g.spec.idle_w for g in gpus]),
+            "cap_min_w": np.array([g.spec.cap_min_w for g in gpus]),
+            "cap_max_w": np.array([g.spec.cap_max_w for g in gpus]),
+            "tdp_w": np.array([g.spec.tdp_w for g in gpus]),
             "idle_w": np.array([g.idle_power_w for g in gpus]),
             "power_factor": np.array([g.variation.power_factor for g in gpus]),  # type: ignore[union-attr]
             "idle_offset_w": np.array([g.variation.idle_offset_w for g in gpus]),  # type: ignore[union-attr]
+            "min_clock_fraction": np.array([g.spec.min_clock_fraction for g in gpus]),
+            "control_margin": np.array([g.spec.control_margin for g in gpus]),
+            "regulation_error_max": np.array([g.spec.regulation_error_max for g in gpus]),
+            "regulation_error_exponent": np.array(
+                [g.spec.regulation_error_exponent for g in gpus]
+            ),
         }

@@ -13,12 +13,14 @@ from __future__ import annotations
 
 import math
 
+from collections.abc import Sequence
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.units.constants import PERLMUTTER_SYSTEM_TDP_W
 from repro.hardware.node import GpuNode
+from repro.hardware.platform import NodeSpec, Platform, get_platform
 
 
 class RunningMoments:
@@ -149,12 +151,14 @@ class SystemPowerAccumulator:
     """
 
     def __init__(
-        self, n_nodes: int, bin_s: float = 1.0, idle_node_w: float = 460.0
+        self, n_nodes: int, bin_s: float = 1.0, idle_node_w: float | None = None
     ) -> None:
         if n_nodes < 1:
             raise ValueError(f"n_nodes must be >= 1, got {n_nodes}")
         if bin_s <= 0:
             raise ValueError(f"bin_s must be positive, got {bin_s}")
+        if idle_node_w is None:
+            idle_node_w = get_platform().node.idle_node_w
         self.n_nodes = n_nodes
         self.bin_s = bin_s
         self.idle_node_w = idle_node_w
@@ -260,10 +264,20 @@ class PerlmutterSystem:
     power_budget_w:
         Facility budget available to this pool.  Defaults to the GPU
         partition's share of the 6.9 MW system TDP, scaled by pool size.
+    platform:
+        Platform id / :class:`~repro.hardware.platform.Platform` every
+        node is built from (None = the registry default, a100-40g).
+    node_platforms:
+        Per-node override for heterogeneous pools: a sequence of
+        platform ids / Platforms / :class:`NodeSpec` instances, cycled
+        over the pool (e.g. ``["a100-40g", "h100-sxm"]`` alternates the
+        two).  Overrides ``platform``.
     """
 
     n_nodes: int = 16
     power_budget_w: float | None = None
+    platform: "str | Platform | None" = None
+    node_platforms: "Sequence[str | Platform | NodeSpec] | None" = None
     nodes: dict[str, GpuNode] = field(init=False)
     _free: set[str] = field(init=False)
     _allocations: dict[str, list[str]] = field(init=False)
@@ -271,19 +285,34 @@ class PerlmutterSystem:
     def __post_init__(self) -> None:
         if self.n_nodes <= 0:
             raise ValueError(f"n_nodes must be positive, got {self.n_nodes}")
+        if self.node_platforms is not None and len(self.node_platforms) == 0:
+            raise ValueError("node_platforms must be non-empty when given")
+        specs = self._node_specs()
         self.nodes = {}
         for i in range(self.n_nodes):
             name = f"nid{1000 + i:06d}"
-            self.nodes[name] = GpuNode(name=name)
+            self.nodes[name] = GpuNode(name=name, spec=specs[i])
         self._free = set(self.nodes)
         self._allocations = {}
         if self.power_budget_w is None:
             # Scale the 1,536-node GPU partition's nominal share of the
-            # facility TDP down to this pool.
-            full_partition_w = 1536 * 2350.0
+            # facility TDP down to this pool (node TDP from the spec).
+            mean_node_tdp = sum(spec.tdp_w for spec in specs) / len(specs)
+            full_partition_w = 1536 * mean_node_tdp
             self.power_budget_w = min(PERLMUTTER_SYSTEM_TDP_W, full_partition_w) * (
                 self.n_nodes / 1536
             )
+
+    def _node_specs(self) -> "list[NodeSpec]":
+        """The resolved per-node spec list (length ``n_nodes``)."""
+        if self.node_platforms is None:
+            spec = get_platform(self.platform).node
+            return [spec] * self.n_nodes
+        resolved = [
+            entry if isinstance(entry, NodeSpec) else get_platform(entry).node
+            for entry in self.node_platforms
+        ]
+        return [resolved[i % len(resolved)] for i in range(self.n_nodes)]
 
     # ------------------------------------------------------------------
     @property

@@ -27,6 +27,7 @@ import numpy as np
 
 from repro import obs
 from repro.hardware.node import GpuNode
+from repro.hardware.platform import Platform, get_platform
 from repro.hardware.system import RunningMoments
 from repro.monitor.alerts import AlertManager, AlertRule
 from repro.monitor.buffers import RingBuffer
@@ -74,17 +75,23 @@ def monitoring_requested() -> bool:
 
 @dataclass(frozen=True)
 class MonitorConfig:
-    """Collector tunables; defaults are the paper's observed envelopes."""
+    """Collector tunables; defaults derive from the hardware platform."""
 
+    #: Hardware platform whose spec supplies the idle band and cap
+    #: tolerances; None means the registry default (a100-40g).
+    platform: "str | Platform | None" = None
     #: Per-node ring-buffer capacity (samples); None reads the env var.
     window_samples: int | None = None
     #: Sample-gap bound (§II-B: LDMS gaps never exceeded 5 s).
     max_gap_s: float = 5.0
-    #: Idle band overrides; None uses the node envelope's 410-510 W.
+    #: Idle band overrides; None uses the platform node spec's band
+    #: (410-510 W on the paper's a100-40g).
     idle_min_w: float | None = None
     idle_max_w: float | None = None
-    #: Relative excess over the GPU cap that counts as a violation.
-    violation_tolerance: float = 0.02
+    #: Relative excess over the GPU cap that counts as a violation; None
+    #: derives it per cap from the platform GPU's regulation-error model
+    #: (floored at 2 %).
+    violation_tolerance: float | None = None
     #: Relative distance below the cap still counted as throttled.
     throttle_band: float = 0.05
     #: Job-level throttle residency that warrants a signal at close.
@@ -134,12 +141,19 @@ class FleetMonitor:
         window = self.config.resolved_window()
         self._window = window
         self._buffers: dict[str, RingBuffer] = {}
+        platform = get_platform(self.config.platform)
         self._idle = IdleOutlierDetector(
-            idle_min_w=self.config.idle_min_w, idle_max_w=self.config.idle_max_w
+            idle_min_w=self.config.idle_min_w,
+            idle_max_w=self.config.idle_max_w,
+            node_spec=platform.node,
         )
+        #: Per-node idle bands learned from the attached pool (mixed
+        #: pools); empty when the config pins an explicit band.
+        self._node_bands: dict[str, tuple[float, float]] = {}
         self._caps = CapMonitor(
             violation_tolerance=self.config.violation_tolerance,
             throttle_band=self.config.throttle_band,
+            gpu_spec=platform.gpu,
         )
         self._staleness = StalenessDetector(max_gap_s=self.config.max_gap_s)
         self._drift = DriftDetector(
@@ -184,7 +198,18 @@ class FleetMonitor:
     # Subscriptions
     # ------------------------------------------------------------------
     def attach_pool(self, nodes: list[GpuNode], time_s: float = 0.0) -> None:
-        """Run the idle-band survey over a node pool (§III-B as a check)."""
+        """Run the idle-band survey over a node pool (§III-B as a check).
+
+        Also learns each node's own idle band from its platform spec, so
+        later streaming idle checks in a mixed-platform pool judge every
+        node against the right envelope (an explicit config band wins).
+        """
+        if self.config.idle_min_w is None and self.config.idle_max_w is None:
+            for node in nodes:
+                self._node_bands[node.name] = (
+                    node.spec.idle_min_w,
+                    node.spec.idle_max_w,
+                )
         with obs.span("monitor.attach_pool", nodes=len(nodes)):
             self._emit(self._idle.scan_pool(nodes, time_s=time_s))
 
@@ -254,7 +279,16 @@ class FleetMonitor:
         self._buffer(node_name).push_batch(absolute, values)
         self._drift.update(node_name, values)
         self._emit(self._staleness.observe(node_name, absolute))
-        self._emit(self._idle.check_samples(node_name, absolute, values))
+        band = self._node_bands.get(node_name)
+        self._emit(
+            self._idle.check_samples(
+                node_name,
+                absolute,
+                values,
+                idle_min_w=band[0] if band is not None else None,
+                idle_max_w=band[1] if band is not None else None,
+            )
+        )
 
     def on_job_end(self, job_id: str) -> None:
         """Close a job: settle its ledger and judge throttle residency."""
@@ -358,7 +392,16 @@ class FleetMonitor:
             self._horizon_s = horizon
         self._buffer(series.node_name).push_batch(times, values)
         self._drift.update(series.node_name, values)
-        self._emit(self._idle.check_samples(series.node_name, times, values))
+        band = self._node_bands.get(series.node_name)
+        self._emit(
+            self._idle.check_samples(
+                series.node_name,
+                times,
+                values,
+                idle_min_w=band[0] if band is not None else None,
+                idle_max_w=band[1] if band is not None else None,
+            )
+        )
 
     # ------------------------------------------------------------------
     # Finalization

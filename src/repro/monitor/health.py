@@ -29,8 +29,13 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.hardware.node import GpuNode
+from repro.hardware.platform import (
+    GpuSpec,
+    NodeSpec,
+    default_gpu_spec,
+    default_node_spec,
+)
 from repro.hardware.system import RunningMoments
-from repro.units.constants import PERLMUTTER_GPU_NODE
 
 #: The four signal kinds every collector derives (plus throttle
 #: residency, reported per job at close).
@@ -69,16 +74,25 @@ class HealthSignal:
 
 
 class IdleOutlierDetector:
-    """Flags nodes whose idle power falls outside the §III-B band."""
+    """Flags nodes whose idle power falls outside the §III-B band.
+
+    The default band comes from ``node_spec`` (or, when omitted, the
+    registry's default platform — the paper's 410-510 W window).  An
+    explicitly passed band always wins; otherwise :meth:`scan_pool`
+    judges each node against *its own* spec, so a mixed-platform pool
+    raises no spurious outliers.
+    """
 
     def __init__(
         self,
         idle_min_w: float | None = None,
         idle_max_w: float | None = None,
+        node_spec: NodeSpec | None = None,
     ) -> None:
-        env = PERLMUTTER_GPU_NODE
-        self.idle_min_w = idle_min_w if idle_min_w is not None else env.idle_min_w
-        self.idle_max_w = idle_max_w if idle_max_w is not None else env.idle_max_w
+        spec = node_spec if node_spec is not None else default_node_spec()
+        self._explicit = idle_min_w is not None or idle_max_w is not None
+        self.idle_min_w = idle_min_w if idle_min_w is not None else spec.idle_min_w
+        self.idle_max_w = idle_max_w if idle_max_w is not None else spec.idle_max_w
         if self.idle_max_w <= self.idle_min_w:
             raise ValueError(
                 f"idle band empty: [{self.idle_min_w}, {self.idle_max_w}] W"
@@ -88,15 +102,19 @@ class IdleOutlierDetector:
         """Check every node's deterministic idle draw against the band.
 
         This is the §III-B survey as a health check: instead of reporting
-        the spread, flag the nodes outside the expected envelope.
+        the spread, flag the nodes outside the expected envelope.  Unless
+        the detector was built with an explicit band, each node is judged
+        against its own platform spec's band.
         """
         signals = []
         for node in nodes:
+            if self._explicit:
+                lo, hi = self.idle_min_w, self.idle_max_w
+            else:
+                lo, hi = node.spec.idle_min_w, node.spec.idle_max_w
             idle_w = node.idle_sample().node_w
-            if not (self.idle_min_w <= idle_w <= self.idle_max_w):
-                bound = (
-                    self.idle_min_w if idle_w < self.idle_min_w else self.idle_max_w
-                )
+            if not (lo <= idle_w <= hi):
+                bound = lo if idle_w < lo else hi
                 signals.append(
                     HealthSignal(
                         kind="idle_outlier",
@@ -106,14 +124,19 @@ class IdleOutlierDetector:
                         threshold=bound,
                         detail=(
                             f"idle {idle_w:.0f} W outside "
-                            f"[{self.idle_min_w:.0f}, {self.idle_max_w:.0f}] W"
+                            f"[{lo:.0f}, {hi:.0f}] W"
                         ),
                     )
                 )
         return signals
 
     def check_samples(
-        self, node_name: str, times: np.ndarray, values: np.ndarray
+        self,
+        node_name: str,
+        times: np.ndarray,
+        values: np.ndarray,
+        idle_min_w: float | None = None,
+        idle_max_w: float | None = None,
     ) -> list[HealthSignal]:
         """Flag idle-like samples that sit outside the band.
 
@@ -121,16 +144,20 @@ class IdleOutlierDetector:
         margin (a busy node legitimately draws far more); idle-like
         samples below the band floor indicate a dead component or sensor
         under-read.  At most one signal per batch (the worst offender) —
-        the alert engine handles persistence.
+        the alert engine handles persistence.  ``idle_min_w`` /
+        ``idle_max_w`` override the detector band per call (the collector
+        passes the node's own band in mixed-platform pools).
         """
         if values.size == 0:
             return []
+        lo = idle_min_w if idle_min_w is not None else self.idle_min_w
+        hi = idle_max_w if idle_max_w is not None else self.idle_max_w
         # Batch min at or above the band floor: no sample can qualify
-        # (low requires < idle_min_w) — the busy-node common case.
-        if float(values.min()) >= self.idle_min_w:
+        # (low requires < the floor) — the busy-node common case.
+        if float(values.min()) >= lo:
             return []
-        idle_like = values <= self.idle_max_w
-        low = idle_like & (values < self.idle_min_w)
+        idle_like = values <= hi
+        low = idle_like & (values < lo)
         if not np.any(low):
             return []
         worst = int(np.argmin(np.where(low, values, np.inf)))
@@ -140,10 +167,10 @@ class IdleOutlierDetector:
                 node_name=node_name,
                 time_s=float(times[worst]),
                 value=float(values[worst]),
-                threshold=self.idle_min_w,
+                threshold=lo,
                 detail=(
                     f"{int(low.sum())} idle-like sample(s) below "
-                    f"{self.idle_min_w:.0f} W"
+                    f"{lo:.0f} W"
                 ),
             )
         ]
@@ -168,22 +195,42 @@ class CapMonitor:
     """Tracks GPU draw against the applied ``nvidia-smi`` cap.
 
     ``violation_tolerance`` is the relative excess over the cap that
-    counts as a violation (the model allows small transient overshoot at
-    the 100 W floor, Fig 10); ``throttle_band`` the relative distance
-    below the cap still counted as "pinned at the cap".
+    counts as a violation; ``throttle_band`` the relative distance below
+    the cap still counted as "pinned at the cap".  When
+    ``violation_tolerance`` is None the tolerance is derived per cap from
+    the GPU spec's regulation-error model (floored at 2 %) — deep caps
+    legitimately overshoot more (Fig 10: ~8 % at the A100's 100 W
+    floor), and the floor varies by platform.
     """
 
     def __init__(
         self,
-        violation_tolerance: float = 0.02,
+        violation_tolerance: float | None = None,
         throttle_band: float = 0.05,
+        gpu_spec: GpuSpec | None = None,
     ) -> None:
-        if violation_tolerance < 0:
+        if violation_tolerance is not None and violation_tolerance < 0:
             raise ValueError("violation_tolerance must be >= 0")
         if not 0.0 <= throttle_band < 1.0:
             raise ValueError("throttle_band must be in [0, 1)")
         self.violation_tolerance = violation_tolerance
         self.throttle_band = throttle_band
+        self.gpu_spec = gpu_spec if gpu_spec is not None else default_gpu_spec()
+
+    def tolerance_for(self, cap_w: float) -> float:
+        """Effective violation tolerance at a cap.
+
+        A fixed ``violation_tolerance`` wins; otherwise the spec's
+        regulation error at this cap depth, floored at 2 %.
+        """
+        if self.violation_tolerance is not None:
+            return self.violation_tolerance
+        spec = self.gpu_spec
+        span = spec.cap_max_w - spec.cap_min_w
+        depth = (spec.cap_max_w - cap_w) / span if span > 0 else 0.0
+        depth = min(max(depth, 0.0), 1.0)
+        regulation = spec.regulation_error_max * depth**spec.regulation_error_exponent
+        return max(0.02, regulation)
 
     def check_chunk(
         self,
@@ -212,7 +259,8 @@ class CapMonitor:
             return []
         pinned = values >= cap_w * (1.0 - self.throttle_band)
         usage.cap_limited_s += float(pinned.sum()) * interval_s
-        limit = cap_w * (1.0 + self.violation_tolerance)
+        tolerance = self.tolerance_for(cap_w)
+        limit = cap_w * (1.0 + tolerance)
         if vmax <= limit:
             return []
         over = values > limit
@@ -228,7 +276,7 @@ class CapMonitor:
                 threshold=limit,
                 detail=(
                     f"{n_over} sample(s) above cap {cap_w:.0f} W "
-                    f"(+{self.violation_tolerance:.0%} tolerance)"
+                    f"(+{tolerance:.0%} tolerance)"
                 ),
             )
         ]

@@ -22,14 +22,18 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.hardware.platform import default_gpu_spec
+
 #: Default Hill half-saturation work, in plane-wave-coefficient units
 #: (NPLWV x batched bands).  Calibrated so a 2048-atom silicon supercell
 #: (NPLWV ~ 1.6e6, RMM batch 4) sits near the Fig 6 plateau.
 OCCUPANCY_W_HALF: float = 2.0e6
 #: Default Hill exponent.
 OCCUPANCY_HILL: float = 1.2
-#: Lowest clock fraction reachable by throttling (A100: ~210/1410 MHz).
-MIN_CLOCK_FRACTION: float = 0.15
+#: Lowest clock fraction reachable by throttling on the default platform
+#: (A100: ~210/1410 MHz).  Platform-aware callers pass their GPU spec's
+#: ``min_clock_fraction`` to :func:`capped_clock_fraction` instead.
+MIN_CLOCK_FRACTION: float = default_gpu_spec().min_clock_fraction
 
 
 def occupancy(
@@ -51,12 +55,14 @@ def capped_clock_fraction(
     cap_w: float | np.ndarray,
     static_w: float,
     exponent: float = 3.0,
+    min_clock_fraction: float = MIN_CLOCK_FRACTION,
 ) -> float | np.ndarray:
     """Largest clock fraction whose sustained power fits under the cap.
 
     Vectorized over ``demand_w`` and ``cap_w``.  ``exponent`` selects the
     DVFS law (3 = cubic, the calibrated default; 1 = linear, used by the
     ablation bench to show why a linear law cannot reproduce Fig 12).
+    ``min_clock_fraction`` is the platform's throttle floor.
     """
     demand = np.asarray(demand_w, dtype=float)
     cap = np.asarray(cap_w, dtype=float)
@@ -65,7 +71,7 @@ def capped_clock_fraction(
     frac = np.power(np.clip(headroom / span, 0.0, 1.0), 1.0 / exponent)
     frac = np.where(demand <= cap, 1.0, frac)
     frac = np.where(demand <= static_w, 1.0, frac)
-    out = np.clip(frac, MIN_CLOCK_FRACTION, 1.0)
+    out = np.clip(frac, min_clock_fraction, 1.0)
     return float(out) if out.ndim == 0 else out
 
 

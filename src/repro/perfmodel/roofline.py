@@ -12,20 +12,41 @@ both effects the paper observes for small workloads.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.units.constants import A100_40GB, GPUEnvelope
+from repro.hardware.platform import Platform, get_platform
+from repro.units.constants import GPUEnvelope
 from repro.perfmodel.kernels import GpuKernelProfile
+
+
+def _default_envelope() -> GPUEnvelope:
+    return get_platform().gpu
 
 
 @dataclass(frozen=True)
 class RooflineModel:
-    """Time estimator for one GPU model."""
+    """Time estimator for one GPU model.
 
-    envelope: GPUEnvelope = A100_40GB
+    The default ceilings come from the registry's default platform (the
+    paper's A100 40 GB); pass any other platform's GPU spec — or use
+    :meth:`for_platform` — to move the roofs.
+    """
+
+    envelope: GPUEnvelope = field(default_factory=_default_envelope)
     use_tensor_cores: bool = True
+
+    @classmethod
+    def for_platform(
+        cls,
+        platform: "str | Platform | None" = None,
+        use_tensor_cores: bool = True,
+    ) -> "RooflineModel":
+        """Roofline with ceilings from a registered platform's GPU."""
+        return cls(
+            envelope=get_platform(platform).gpu, use_tensor_cores=use_tensor_cores
+        )
 
     @property
     def peak_flops(self) -> float:

@@ -236,6 +236,10 @@ class PowerEngine:
             cap_max_w=state["cap_max_w"][None],
             power_factor=state["power_factor"][None],
             idle_offset_w=state["idle_offset_w"][None],
+            min_clock_fraction=state["min_clock_fraction"][None],
+            control_margin=state["control_margin"][None],
+            regulation_error_max=state["regulation_error_max"][None],
+            regulation_error_exponent=state["regulation_error_exponent"][None],
         )
 
         # Load imbalance: rank i holds (1 + skew_i) of the nominal work;

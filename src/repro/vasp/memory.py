@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.units.constants import A100_40GB
+from repro.hardware.platform import default_gpu_spec
 from repro.vasp.methods import Functional
 from repro.vasp.parallel import ParallelConfig
 from repro.vasp.scf import WorkloadSpec
@@ -42,8 +42,14 @@ class MemoryEstimate:
             + self.runtime_overhead_gib
         )
 
-    def fits(self, hbm_gib: float = A100_40GB.hbm_gib, headroom: float = 0.9) -> bool:
-        """Whether the job fits in HBM with an allocator-headroom margin."""
+    def fits(self, hbm_gib: float | None = None, headroom: float = 0.9) -> bool:
+        """Whether the job fits in HBM with an allocator-headroom margin.
+
+        ``hbm_gib`` defaults to the registry default platform's capacity
+        (the paper's A100 40 GB).
+        """
+        if hbm_gib is None:
+            hbm_gib = default_gpu_spec().hbm_gib
         if not 0.0 < headroom <= 1.0:
             raise ValueError(f"headroom must be in (0, 1], got {headroom}")
         return self.total_gib <= hbm_gib * headroom

@@ -85,3 +85,39 @@ class TestRunWorkloadPlumbing:
     def test_make_nodes_validation(self):
         with pytest.raises(ValueError):
             make_nodes(0)
+
+
+class TestPlatformCacheIsolation:
+    """run_workload keys its cache on the platform (satellite of the
+    platform-registry refactor): identical arguments on two platforms
+    must never collide."""
+
+    @pytest.fixture(scope="class")
+    def coarse(self):
+        from repro.runner.engine import EngineConfig
+
+        return EngineConfig(base_interval_s=1.0)
+
+    def test_platforms_do_not_share_entries(self, coarse):
+        wl = benchmark("PdO2").build()
+        a100 = run_workload(wl, seed=11, engine_config=coarse)
+        h100 = run_workload(wl, seed=11, engine_config=coarse, platform="h100-sxm")
+        assert a100.result.total_energy_j() != h100.result.total_energy_j()
+        # A repeat lookup returns the matching platform's run, not the
+        # other platform's cached result.
+        again = run_workload(wl, seed=11, engine_config=coarse, platform="h100-sxm")
+        assert again.result.total_energy_j() == h100.result.total_energy_j()
+
+    def test_explicit_default_platform_is_same_entry(self, coarse):
+        wl = benchmark("PdO2").build()
+        implicit = run_workload(wl, seed=11, engine_config=coarse)
+        explicit = run_workload(wl, seed=11, engine_config=coarse, platform="a100-40g")
+        assert implicit.result.total_energy_j() == explicit.result.total_energy_j()
+
+    def test_platform_nodes_flow_through_run(self, coarse):
+        wl = benchmark("PdO2").build()
+        measured = run_workload(
+            wl, seed=11, engine_config=coarse, platform="v100-sxm2", use_cache=False
+        )
+        # V100 nodes peak far below an A100 node's ~2.3 kW ceiling.
+        assert measured.node_summary().mean_w < 1700.0

@@ -68,3 +68,34 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "cap sweep" in out
         assert "HPM/cap" in out
+
+
+class TestPlatformCli:
+    def test_platforms_command_lists_registry(self, capsys):
+        assert main(["platforms"]) == 0
+        out = capsys.readouterr().out
+        assert "a100-40g" in out
+        assert "h100-sxm" in out
+        assert "v100-sxm2" in out
+        assert "default" in out
+
+    def test_parser_accepts_platform_flag(self):
+        args = build_parser().parse_args(["run", "PdO2", "--platform", "h100-sxm"])
+        assert args.platform == "h100-sxm"
+
+    def test_run_on_h100(self, capsys):
+        assert main(["run", "PdO2", "--platform", "h100-sxm"]) == 0
+        out = capsys.readouterr().out
+        assert "h100-sxm" in out
+
+    def test_run_rejects_unknown_platform(self):
+        with pytest.raises(KeyError, match="registered"):
+            main(["run", "PdO2", "--platform", "dgx-spark"])
+
+    def test_cap_sweep_defaults_scale_with_platform(self, capsys):
+        assert main(
+            ["cap-sweep", "PdO2", "--platform", "h100-sxm", "--nodes", "1"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "700" in out  # H100 TDP leads the default grid
+        assert "h100-sxm" in out
