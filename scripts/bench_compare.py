@@ -48,6 +48,10 @@ MEMORY_GROWTH_THRESHOLD = 0.50
 #: The interleaved min-of-rounds ratio cancels uniform host slowdown,
 #: so this band absorbs only scheduling jitter, not load.
 MONITOR_OVERHEAD_THRESHOLD = 0.10
+#: Hard floor on the 100k-node sharded/eager nodes-per-second ratio.
+#: The ratio is load-invariant (eager pays O(pool) construction the
+#: sharded lazy path skips entirely), so it gates on any host.
+SHARD_SPEEDUP_FLOOR = 2.0
 
 
 def collect_efficiency() -> dict[str, float | int]:
@@ -148,6 +152,42 @@ def collect_monitor() -> dict[str, float | int]:
     }
 
 
+def collect_shard() -> dict[str, float | int]:
+    """Fleet scaling fields: nodes/sec at 1k vs 100k, sharded vs eager.
+
+    Reuses the benchmark suite's measurement so the baseline records the
+    same numbers the scaling-gated bench asserts on.  The speedup ratio
+    compares the sharded lazy-pool path against the pre-sharding eager
+    reference at the 100k-node point; bit-identity across all paths is
+    re-checked here and diverging statistics abort the script.
+    """
+    import sys as _sys
+
+    _sys.path.insert(0, str(REPO_ROOT / "src"))
+    _sys.path.insert(0, str(REPO_ROOT))
+    from benchmarks.test_shard_bench import (
+        LARGE_NODES,
+        SHARD_JOBS,
+        SHARD_WORKERS,
+        SMALL_NODES,
+        measure_shard_scaling,
+    )
+
+    scaling = measure_shard_scaling()
+    if not scaling["bit_identical"]:
+        raise SystemExit("sharded fleet statistics diverged from serial run")
+    return {
+        "small_nodes": SMALL_NODES,
+        "large_nodes": LARGE_NODES,
+        "fleet_jobs": SHARD_JOBS,
+        "workers": SHARD_WORKERS,
+        "small_nodes_per_s": round(scaling["small_nodes_per_s"], 1),
+        "sharded_nodes_per_s": round(scaling["sharded_nodes_per_s"], 1),
+        "eager_nodes_per_s": round(scaling["eager_nodes_per_s"], 1),
+        "speedup_vs_eager": round(scaling["speedup_vs_eager"], 2),
+    }
+
+
 def run_benchmarks(json_path: Path) -> None:
     """Run the benchmark suite, writing pytest-benchmark JSON output."""
     cmd = [
@@ -189,6 +229,7 @@ def write_baseline(times: dict[str, float], machine_note: str = "") -> None:
         "efficiency": collect_efficiency(),
         "memory": collect_memory(),
         "monitor": collect_monitor(),
+        "shard": collect_shard(),
         "benchmarks": {name: {"min_s": value} for name, value in sorted(times.items())},
     }
     BASELINE_PATH.write_text(json.dumps(payload, indent=2) + "\n")
@@ -312,6 +353,22 @@ def compare(times: dict[str, float], threshold: float) -> int:
             )
         if now_mon["samples_observed"] == 0:
             failures.append("monitor: collector observed no samples")
+    # Shard gate: the 100k-node sharded path must keep beating the eager
+    # reference in nodes/sec by the floor ratio (load-invariant).
+    base_shard = baseline.get("shard")
+    if base_shard is not None:
+        now_shard = collect_shard()
+        print("\nshard (nodes/sec scaling; baseline -> now):")
+        for key in sorted(set(base_shard) | set(now_shard)):
+            base_v = base_shard.get(key, "-")
+            now_v = now_shard.get(key, "-")
+            changed = "" if base_v == now_v else "  (changed)"
+            print(f"  {key:22s} {base_v!s:>12} -> {now_v!s:>12}{changed}")
+        if now_shard["speedup_vs_eager"] < SHARD_SPEEDUP_FLOOR:
+            failures.append(
+                f"shard: 100k-node speedup {now_shard['speedup_vs_eager']:.2f}x "
+                f"below the {SHARD_SPEEDUP_FLOOR:.0f}x floor"
+            )
     if failures:
         print("\nguarded benches regressed:")
         for line in failures:

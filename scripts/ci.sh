@@ -35,6 +35,32 @@ echo "== cross-platform smoke (registry + h100 cap sweep) =="
 python -m repro platforms
 python -m repro cap-sweep PdO2 --platform h100-sxm --nodes 1
 
+echo "== sharded fleet smoke (bit-identity vs serial) =="
+SMOKE_DIR="$(mktemp -d)"
+trap 'rm -rf "$SMOKE_DIR"' EXIT
+FLEET_ARGS=(fleet --jobs 4 --nodes 6 --seed 3 --resolution 1.0)
+# Cache/sweep summary lines vary with worker count (each worker process
+# has its own cache); every simulation statistic above them must not.
+filter_summaries() { grep -v '^\[' "$1" > "$2"; }
+python -m repro "${FLEET_ARGS[@]}" > "$SMOKE_DIR/serial.out"
+python -m repro "${FLEET_ARGS[@]}" --workers 2 > "$SMOKE_DIR/sharded.out"
+filter_summaries "$SMOKE_DIR/serial.out" "$SMOKE_DIR/serial.txt"
+filter_summaries "$SMOKE_DIR/sharded.out" "$SMOKE_DIR/sharded.txt"
+diff "$SMOKE_DIR/serial.txt" "$SMOKE_DIR/sharded.txt" \
+    || { echo "sharded fleet output diverged from serial"; exit 1; }
+
+echo "== checkpoint/resume smoke (bit-identity vs uninterrupted) =="
+python -m repro "${FLEET_ARGS[@]}" --checkpoint "$SMOKE_DIR/fleet.ckpt" \
+    > "$SMOKE_DIR/ckpt.out"
+python -m repro "${FLEET_ARGS[@]}" --checkpoint "$SMOKE_DIR/fleet.ckpt" \
+    --resume > "$SMOKE_DIR/resume.out"
+filter_summaries "$SMOKE_DIR/ckpt.out" "$SMOKE_DIR/ckpt.txt"
+filter_summaries "$SMOKE_DIR/resume.out" "$SMOKE_DIR/resume.txt"
+diff "$SMOKE_DIR/serial.txt" "$SMOKE_DIR/ckpt.txt" \
+    || { echo "checkpointed fleet output diverged from serial"; exit 1; }
+diff "$SMOKE_DIR/ckpt.txt" "$SMOKE_DIR/resume.txt" \
+    || { echo "resumed fleet output diverged from checkpointed run"; exit 1; }
+
 if [[ "$SKIP_BENCH" == "1" ]]; then
     echo "== benches skipped (--skip-bench) =="
     exit 0

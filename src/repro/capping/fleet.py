@@ -21,15 +21,16 @@ import heapq
 import logging
 import zlib
 from dataclasses import dataclass
+from pathlib import Path
 from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro import obs
+from repro.capping import shard
 from repro.capping.policy import CapPolicy
 from repro.capping.scheduler import (
     Job,
-    JobRecord,
     PowerAwareScheduler,
     ScheduleResult,
     SchedulerConfig,
@@ -37,6 +38,7 @@ from repro.capping.scheduler import (
 )
 from repro.hardware.platform import NodeSpec, Platform, get_platform
 from repro.hardware.system import (
+    JobPowerPartial,
     PerlmutterSystem,
     RunningMoments,
     SystemPowerAccumulator,
@@ -259,6 +261,11 @@ def simulate_fleet_traced(
     monitor: "FleetMonitor | None" = None,
     platform: "str | Platform | None" = None,
     node_platforms: "list[str | Platform | NodeSpec] | None" = None,
+    workers: int | None = None,
+    eager_pool: bool = False,
+    checkpoint: "str | Path | None" = None,
+    checkpoint_every: int = 64,
+    resume: bool = False,
 ) -> FleetTraceReport:
     """Schedule a stream, render every job's traces, aggregate streaming.
 
@@ -266,24 +273,39 @@ def simulate_fleet_traced(
     pass as :func:`simulate_fleet`; the report's power statistics come
     from replaying that schedule against a real node pool
     (:class:`PerlmutterSystem` allocations, per-node variability, cap
-    state) and streaming each job's chunk-rendered node traces through a
-    :class:`SystemPowerAccumulator` plus :class:`RunningMoments` — peak
-    memory is O(chunk) + O(makespan / bin_s) regardless of fleet size.
+    state).  Every execution mode reduces each job to a compact
+    :class:`repro.capping.shard.JobPartial` and folds the partials in
+    chronological job order through one shared fold (accumulator bins,
+    node moments, busy intervals, monitor state) — which is why the modes
+    below are bit-identical to each other.
+
+    ``workers`` > 1 (or ``REPRO_SWEEP_WORKERS``) shards the schedule
+    across worker processes (:func:`repro.capping.shard.run_sharded`):
+    jobs are balanced by platform-aware render cost, workers rebuild
+    their nodes from (name, spec) and ship partials back — raw trace
+    chunks never cross IPC.  Peak memory at the coordinator stays
+    O(chunk) + O(makespan / bin_s) regardless of fleet size.
+
+    ``checkpoint`` (or ``REPRO_FLEET_CHECKPOINT``) atomically snapshots
+    the fold every ``checkpoint_every`` jobs and after the last one;
+    ``resume=True`` restores the snapshot — after validating a content
+    fingerprint of the simulation inputs — and continues from the next
+    chronological job, producing the same bits as an uninterrupted run.
+    Incompatible with ``retain_traces`` and ``monitor`` (dense traces
+    and monitor state are not checkpointed).
 
     ``retain_traces=True`` is the dense reference path: it renders and
-    retains every job's full trace before aggregating through the same
-    accumulator in the same chunk order, producing bit-identical
-    statistics at O(sum-of-traces) memory.  The memory-gated fleet bench
-    compares the two.
+    retains every job's full trace before re-chunking it through the
+    same per-job fold, producing bit-identical statistics at
+    O(sum-of-traces) memory.  The memory-gated fleet bench compares the
+    two.  Always in-process (``workers`` must stay unset or 1).
 
-    ``monitor`` attaches a :class:`repro.monitor.FleetMonitor` as an
-    engine-stream tap: it observes every chunk (all components) plus the
-    job lifecycle, deriving health signals and per-job energy accounts,
-    and never writes back — the report is bit-identical with or without
-    it.  The caller finalizes the monitor (so one monitor can watch
-    several fleets, or sweep staleness at a horizon of its choosing).
-    Incompatible with ``retain_traces`` (the monitor rides the streaming
-    path).
+    ``monitor`` attaches a :class:`repro.monitor.FleetMonitor`: on the
+    serial path as a live engine-stream tap, on the sharded path by
+    replaying worker-recorded :class:`repro.monitor.JobMonitorPartial`
+    summaries in chronological order — both yield the same report.  It
+    never writes back; the fleet report is bit-identical with or without
+    it.  The caller finalizes the monitor.
 
     ``platform`` selects the hardware platform for the whole pool;
     ``node_platforms`` instead builds a *mixed* pool, cycling the given
@@ -291,19 +313,79 @@ def simulate_fleet_traced(
     node's cap is clamped to its own GPU's supported range before being
     applied (a clamped-up cap can surface as a ``cap_violation`` health
     signal — the node genuinely cannot honour the policy's cap).
+
+    The node pool is lazy: only nodes that jobs actually touch are
+    constructed (a 100k-node pool with a handful of jobs builds a
+    handful of nodes).  ``eager_pool=True`` forces up-front construction
+    of every node — the pre-sharding reference behaviour the scaling
+    bench compares against.  Monitored runs always materialize the pool
+    (the monitor surveys every node's idle band).
     """
     if monitor is not None and retain_traces:
         raise ValueError(
             "monitor= requires the streaming path; retain_traces=True "
             "renders dense traces (monitor them with observe_run instead)"
         )
+    explicit_workers = workers is not None
+    resolved_workers = shard.resolve_fleet_workers(len(jobs), workers)
+    if retain_traces and resolved_workers > 1:
+        if explicit_workers:
+            raise ValueError(
+                "retain_traces=True is the dense in-process reference "
+                "path; workers > 1 is unsupported"
+            )
+        # An ambient REPRO_SWEEP_WORKERS should not break the dense path.
+        resolved_workers = 1
+    checkpoint_path = (
+        Path(checkpoint) if checkpoint is not None else shard.checkpoint_path_from_env()
+    )
+    if checkpoint_path is not None and retain_traces:
+        raise ValueError(
+            "checkpointing requires the streaming path (retain_traces=False)"
+        )
+    if checkpoint_path is not None and monitor is not None:
+        raise ValueError(
+            "monitor state is not checkpointable; run monitored fleets "
+            "without checkpoint="
+        )
+    if checkpoint_every < 1:
+        raise ValueError(f"checkpoint_every must be >= 1, got {checkpoint_every}")
+    if resume and checkpoint_path is None:
+        raise ValueError(
+            "resume=True requires checkpoint= (or REPRO_FLEET_CHECKPOINT)"
+        )
+    if resolved_workers > 1 and obs.is_active():
+        # Same rationale as SweepExecutor: spans and metrics recorded in
+        # pool workers would die with the worker process.  Results are
+        # identical by the serial == sharded contract.
+        logger.debug(
+            "observability active: rendering fleet in-process "
+            "(would have used %d workers)",
+            resolved_workers,
+        )
+        resolved_workers = 1
+    run_fp = None
+    if checkpoint_path is not None:
+        run_fp = shard.run_fingerprint(
+            jobs,
+            policy,
+            policy_name,
+            n_nodes,
+            power_budget_w,
+            bin_s,
+            chunk_samples,
+            engine_config,
+            seed,
+            get_platform(platform).id,
+            node_platforms,
+        )
     pool = PerlmutterSystem(
         n_nodes=n_nodes, platform=platform, node_platforms=node_platforms
     )
-    pool_nodes = list(pool.nodes.values())
+    pool_specs = pool.node_specs()
     if power_budget_w is None:
         # Node TDP: effectively unbounded.
-        power_budget_w = sum(node.spec.tdp_w for node in pool_nodes)
+        power_budget_w = sum(spec.tdp_w for spec in pool_specs)
     config = SchedulerConfig(
         n_nodes=n_nodes,
         power_budget_w=power_budget_w,
@@ -313,16 +395,21 @@ def simulate_fleet_traced(
     with obs.span("fleet.schedule_traced", policy=policy_name, jobs=len(jobs)):
         schedule = PowerAwareScheduler(config).schedule(list(jobs))
     workloads = {job.job_id: job.workload for job in jobs}
-    if monitor is not None:
-        monitor.attach_pool(pool_nodes)
-    idle_node_w = sum(node.spec.idle_node_w for node in pool_nodes) / len(pool_nodes)
+    if monitor is not None or eager_pool:
+        # The monitor surveys every node's idle band up front; eager_pool
+        # is the pre-sharding reference behaviour the scaling bench times.
+        built = pool.materialize()
+        if monitor is not None:
+            monitor.attach_pool(built)
+    idle_node_w = sum(spec.idle_node_w for spec in pool_specs) / len(pool_specs)
     accumulator = SystemPowerAccumulator(
         n_nodes=n_nodes, bin_s=bin_s, idle_node_w=idle_node_w
     )
     node_moments = RunningMoments()
     chunks_streamed = 0
     bytes_streamed = 0
-    retained: list[tuple[JobRecord, RunResult]] = []
+    jobs_done = 0
+    retained: list[tuple[shard.ShardJobTask, RunResult]] = []
     #: (analytic end time, job id) release queue for pool bookkeeping.
     release_queue: list[tuple[float, str]] = []
     #: Jobs of the same benchmark at the same width share a phase list;
@@ -334,118 +421,260 @@ def simulate_fleet_traced(
     #: job start that alone would cost the monitor its overhead budget.
     nominal_cache: dict[str, float] = {}
 
-    def ingest(record: JobRecord, times, values, dt: float) -> None:
-        nonlocal chunks_streamed, bytes_streamed
-        accumulator.add_samples(record.start_s, times, values, dt)
-        node_moments.update(values)
-        chunks_streamed += 1
-        bytes_streamed += int(values.nbytes)
-        obs.inc("repro_fleet_chunks_total")
+    # ---- plan: replay allocations, binding each job to node *names* ----
+    # No nodes are built here; workers (or the serial renderer) construct
+    # exactly the nodes their jobs touch from the deduplicated spec table.
+    spec_table: list[NodeSpec] = []
+    spec_ids: dict[int, int] = {}
+    tasks: list[shard.ShardJobTask] = []
+    for index, record in enumerate(schedule.records_chronological()):
+        while release_queue and release_queue[0][0] <= record.start_s + 1e-9:
+            _, done = heapq.heappop(release_queue)
+            pool.release(done)
+        names = pool.allocate_names(record.job_id, record.n_nodes)
+        heapq.heappush(release_queue, (record.end_s, record.job_id))
+        indices = []
+        for name in names:
+            spec = pool.node_spec(name)
+            at = spec_ids.get(id(spec))
+            if at is None:
+                at = spec_ids[id(spec)] = len(spec_table)
+                spec_table.append(spec)
+            indices.append(at)
+        workload = workloads[record.job_id]
+        nominal_s = None
+        if monitor is not None:
+            phase_key = fingerprint("fleet_phases", workload, record.n_nodes)
+            nominal_s = nominal_cache.get(phase_key)
+            if nominal_s is None:
+                nominal_s = nominal_cache[phase_key] = cached_estimate_run(
+                    workload, record.n_nodes, None, platform
+                ).runtime_s
+        tasks.append(
+            shard.ShardJobTask(
+                index=index,
+                job_id=record.job_id,
+                start_s=record.start_s,
+                end_s=record.end_s,
+                cap_w=record.cap_w,
+                n_nodes=record.n_nodes,
+                node_names=tuple(names),
+                spec_indices=tuple(indices),
+                workload=workload,
+                seed=_job_seed(record.job_id, seed),
+                nominal_runtime_s=nominal_s,
+            )
+        )
+    for _, job_id in release_queue:
+        pool.release(job_id)
+    total_jobs = len(tasks)
+
+    # ---- resume: restore the fold, skip the covered chronological prefix
+    if resume:
+        state = shard.load_checkpoint(checkpoint_path)
+        if state is not None:
+            if state.fingerprint != run_fp:
+                raise ValueError(
+                    f"{checkpoint_path} was written by a different "
+                    "simulation (input fingerprint mismatch); refusing "
+                    "to resume"
+                )
+            skipped = min(state.jobs_done, total_jobs)
+            accumulator.restore(state.accumulator_state)
+            node_moments = RunningMoments.from_state(state.moments_state)
+            chunks_streamed = state.chunks_streamed
+            bytes_streamed = state.bytes_streamed
+            jobs_done = skipped
+            tasks = tasks[skipped:]
+            obs.inc("repro_fleet_jobs_resumed_total", skipped)
+            logger.debug(
+                "resuming fleet (%s) from %s: %d/%d jobs already folded",
+                policy_name,
+                checkpoint_path,
+                skipped,
+                total_jobs,
+            )
+
+    def fold(partial: shard.JobPartial) -> None:
+        """Chan-merge one job's partial into the run aggregates.
+
+        Called in chronological job order by every execution mode — this
+        single fold is the bit-identity anchor.
+        """
+        nonlocal chunks_streamed, bytes_streamed, jobs_done
+        accumulator.merge_partial(partial.power)
+        for row in partial.moment_rows:
+            node_moments.merge(RunningMoments.from_state(row))
+        accumulator.add_busy_interval(
+            partial.start_s, partial.start_s + partial.runtime_s, partial.n_nodes
+        )
+        chunks_streamed += partial.chunks
+        bytes_streamed += partial.nbytes
+        if partial.chunks:
+            obs.inc("repro_fleet_chunks_total", partial.chunks)
+        if monitor is not None and partial.monitor is not None:
+            monitor.absorb_job_partial(partial.monitor)
+        jobs_done += 1
+        obs.inc("repro_fleet_jobs_rendered_total")
+        obs.inc("repro_fleet_partials_merged_total")
+        obs.gauge_set(
+            "repro_fleet_resident_bytes",
+            accumulator.resident_bytes
+            + sum(r.resident_bytes() for _, r in retained),
+        )
+        if checkpoint_path is not None and (
+            jobs_done % checkpoint_every == 0 or jobs_done == total_jobs
+        ):
+            shard.save_checkpoint(
+                checkpoint_path,
+                shard.FleetCheckpoint(
+                    version=shard.CHECKPOINT_VERSION,
+                    fingerprint=run_fp,
+                    jobs_done=jobs_done,
+                    accumulator_state=accumulator.state(),
+                    moments_state=node_moments.state(),
+                    chunks_streamed=chunks_streamed,
+                    bytes_streamed=bytes_streamed,
+                ),
+            )
+
+    def phases_for(workload, width: int):
+        phase_key = fingerprint("fleet_phases", workload, width)
+        phases = phase_cache.get(phase_key)
+        if phases is None:
+            parallel = ParallelConfig(n_nodes=width, kpar=workload.incar.kpar)
+            phases = phase_cache[phase_key] = workload.phases(parallel)
+        return phases
+
+    def run_serial(serial_tasks: "list[shard.ShardJobTask]") -> None:
+        for task in serial_tasks:
+            nodes = [pool.nodes[name] for name in task.node_names]
+            for node in nodes:
+                # A mixed pool may contain GPUs whose supported cap range
+                # does not include the policy's cap; clamp per node.
+                node.set_gpu_power_limit(shard.clamped_cap_w(task.cap_w, node.spec))
+            phases = phases_for(task.workload, task.n_nodes)
+            tap_factories: tuple = ()
+            if monitor is not None:
+                monitor.on_job_start(
+                    task.job_id,
+                    n_nodes=task.n_nodes,
+                    cap_w=task.cap_w,
+                    start_s=task.start_s,
+                    end_s=task.end_s,
+                    nominal_runtime_s=task.nominal_runtime_s,
+                )
+                tap_factories = (
+                    lambda dt, job_id=task.job_id: monitor.tap(job_id, dt),
+                )
+            fold(
+                shard.render_job_partial(
+                    nodes,
+                    phases,
+                    index=task.index,
+                    job_id=task.job_id,
+                    start_s=task.start_s,
+                    n_nodes=task.n_nodes,
+                    bin_s=bin_s,
+                    seed=task.seed,
+                    chunk_samples=chunk_samples,
+                    engine_config=engine_config,
+                    tap_factories=tap_factories,
+                )
+            )
+            if monitor is not None:
+                monitor.on_job_end(task.job_id)
 
     with obs.span(
         "fleet.stream_traces",
         policy=policy_name,
-        jobs=len(schedule.records),
+        jobs=total_jobs,
         dense=retain_traces,
+        workers=resolved_workers,
     ):
-        for record in schedule.records_chronological():
-            while release_queue and release_queue[0][0] <= record.start_s + 1e-9:
-                _, done = heapq.heappop(release_queue)
-                pool.release(done)
-            nodes = pool.allocate(record.job_id, record.n_nodes)
-            heapq.heappush(release_queue, (record.end_s, record.job_id))
-            for node in nodes:
-                # A mixed pool may contain GPUs whose supported cap range
-                # does not include the policy's cap; clamp per node.
-                gpu_spec = node.spec.gpu
-                cap_w = min(
-                    max(record.cap_w, gpu_spec.cap_min_w), gpu_spec.cap_max_w
-                )
-                node.set_gpu_power_limit(cap_w)
-            workload = workloads[record.job_id]
-            phase_key = fingerprint("fleet_phases", workload, record.n_nodes)
-            phases = phase_cache.get(phase_key)
-            if phases is None:
-                parallel = ParallelConfig(
-                    n_nodes=record.n_nodes, kpar=workload.incar.kpar
-                )
-                phases = phase_cache[phase_key] = workload.phases(parallel)
-            engine = PowerEngine(nodes, engine_config)
-            job_seed = _job_seed(record.job_id, seed)
-            if retain_traces:
-                result = engine.run(phases, label=record.job_id, seed=job_seed)
-                retained.append((record, result))
-            else:
-                on_chunk = None
-                if monitor is not None:
-                    nominal_s = nominal_cache.get(phase_key)
-                    if nominal_s is None:
-                        nominal_s = nominal_cache[phase_key] = cached_estimate_run(
-                            workload, record.n_nodes, None, platform
-                        ).runtime_s
-                    monitor.on_job_start(
-                        record.job_id,
-                        n_nodes=record.n_nodes,
-                        cap_w=record.cap_w,
-                        start_s=record.start_s,
-                        end_s=record.end_s,
-                        nominal_runtime_s=nominal_s,
+        if retain_traces:
+            step = chunk_samples or render_chunk_samples() or DEFAULT_STREAM_CHUNK
+            for task in tasks:
+                nodes = [pool.nodes[name] for name in task.node_names]
+                for node in nodes:
+                    node.set_gpu_power_limit(
+                        shard.clamped_cap_w(task.cap_w, node.spec)
                     )
-                    on_chunk = monitor.tap(
-                        record.job_id, engine.config.base_interval_s
+                engine = PowerEngine(nodes, engine_config)
+                result = engine.run(
+                    phases_for(task.workload, task.n_nodes),
+                    label=task.job_id,
+                    seed=task.seed,
+                )
+                retained.append((task, result))
+                obs.gauge_set(
+                    "repro_fleet_resident_bytes",
+                    accumulator.resident_bytes
+                    + sum(r.resident_bytes() for _, r in retained),
+                )
+            # Dense reference: re-chunk the retained traces through the
+            # same per-job partial fold the streaming path uses —
+            # identical chunk boundaries, identical fold, bit-identical
+            # statistics; the paths differ only in peak resident memory.
+            for task, result in retained:
+                power = JobPowerPartial(start_s=task.start_s, bin_s=bin_s)
+                moment_rows: list[tuple] = []
+                chunks = 0
+                nbytes = 0
+                for trace in result.traces:
+                    dt = trace.sample_interval_s
+                    powers = trace.node_power
+                    times = trace.times
+                    for start in range(0, len(times), step):
+                        stop = min(start + step, len(times))
+                        power.add_samples(
+                            task.start_s, times[start:stop], powers[start:stop], dt
+                        )
+                        moment_rows.append(
+                            RunningMoments.from_batch(powers[start:stop]).state()
+                        )
+                        chunks += 1
+                        nbytes += int(powers[start:stop].nbytes)
+                power.trim()
+                fold(
+                    shard.JobPartial(
+                        index=task.index,
+                        job_id=task.job_id,
+                        start_s=task.start_s,
+                        n_nodes=task.n_nodes,
+                        runtime_s=result.runtime_s,
+                        power=power,
+                        moment_rows=moment_rows,
+                        chunks=chunks,
+                        nbytes=nbytes,
                     )
-                streamed = engine.stream(
-                    phases,
-                    label=record.job_id,
-                    seed=job_seed,
-                    chunk_samples=chunk_samples,
-                    on_chunk=on_chunk,
                 )
-                dt = streamed.base_interval_s
-                for chunk in streamed.chunks:
-                    if chunk.component != "node":
-                        continue
-                    ingest(record, chunk.times, chunk.values, dt)
-                accumulator.add_busy_interval(
-                    record.start_s,
-                    record.start_s + streamed.runtime_s,
-                    record.n_nodes,
-                )
-                if monitor is not None:
-                    monitor.on_job_end(record.job_id)
-            obs.inc("repro_fleet_jobs_rendered_total")
-            obs.gauge_set(
-                "repro_fleet_resident_bytes",
-                accumulator.resident_bytes
-                + sum(r.resident_bytes() for _, r in retained),
+        elif resolved_workers > 1 and tasks:
+            pooled = shard.run_sharded(
+                tasks,
+                spec_table,
+                workers=resolved_workers,
+                engine_config=engine_config,
+                bin_s=bin_s,
+                chunk_samples=chunk_samples,
+                monitor_config=monitor.config if monitor is not None else None,
+                fold=fold,
             )
-    if retain_traces:
-        # Dense reference: aggregate the retained traces through the same
-        # accumulator in the same chunk order the streaming path used, so
-        # the two paths produce bit-identical statistics and differ only
-        # in peak resident memory.
-        step = chunk_samples or render_chunk_samples() or DEFAULT_STREAM_CHUNK
-        for record, result in retained:
-            for trace in result.traces:
-                dt = trace.sample_interval_s
-                powers = trace.node_power
-                times = trace.times
-                for start in range(0, len(times), step):
-                    stop = min(start + step, len(times))
-                    ingest(record, times[start:stop], powers[start:stop], dt)
-            accumulator.add_busy_interval(
-                record.start_s, record.start_s + result.runtime_s, record.n_nodes
-            )
-    for _, job_id in release_queue:
-        pool.release(job_id)
+            if not pooled:
+                run_serial(tasks)
+        else:
+            run_serial(tasks)
     system = accumulator.finalize()
     logger.debug(
-        "traced fleet (%s): %d jobs, %d chunks, %.1f MB streamed, peak %.0f W",
+        "traced fleet (%s): %d jobs, %d chunks, %.1f MB streamed, peak %.0f W, "
+        "%d/%d nodes built",
         policy_name,
         len(schedule.records),
         chunks_streamed,
         bytes_streamed / 1e6,
         system.peak_power_w,
+        pool.nodes.built_count,
+        n_nodes,
     )
     return FleetTraceReport(
         policy_name=policy_name,
@@ -474,16 +703,28 @@ def compare_fleet_policies_traced(
     monitors: "tuple[FleetMonitor | None, FleetMonitor | None] | None" = None,
     platform: "str | Platform | None" = None,
     node_platforms: "list[str | Platform | NodeSpec] | None" = None,
+    workers: int | None = None,
+    checkpoint: "str | Path | None" = None,
+    checkpoint_every: int = 64,
+    resume: bool = False,
 ) -> tuple[FleetTraceReport, FleetTraceReport]:
     """(capped, uncapped) trace-streamed fleet reports, same job stream.
 
     ``monitors`` optionally attaches one :class:`repro.monitor.FleetMonitor`
     per policy, ``(capped, uncapped)`` — each policy replays the same job
     ids, so the two runs cannot share a single ledger.  Callers finalize.
+
+    ``workers``/``checkpoint``/``resume`` pass through to
+    :func:`simulate_fleet_traced`.  The two policies are distinct
+    simulations, so the checkpoint base path (argument or
+    ``REPRO_FLEET_CHECKPOINT``) gets a per-policy suffix
+    (``.capped`` / ``.uncapped``) — resolved here so both policies don't
+    fight over the env-provided path.
     """
+    base = Path(checkpoint) if checkpoint is not None else shard.checkpoint_path_from_env()
     reports = []
-    for index, (capped, policy_name) in enumerate(
-        ((True, "50% TDP policy"), (False, "uncapped"))
+    for index, (capped, policy_name, suffix) in enumerate(
+        ((True, "50% TDP policy", ".capped"), (False, "uncapped", ".uncapped"))
     ):
         policy = (
             CapPolicy.half_tdp(platform) if capped else CapPolicy.uncapped(platform)
@@ -504,6 +745,12 @@ def compare_fleet_policies_traced(
                 monitor=monitors[index] if monitors is not None else None,
                 platform=platform,
                 node_platforms=node_platforms,
+                workers=workers,
+                checkpoint=(
+                    base.with_name(base.name + suffix) if base is not None else None
+                ),
+                checkpoint_every=checkpoint_every,
+                resume=resume,
             )
         )
     return reports[0], reports[1]

@@ -60,6 +60,7 @@ from repro.capping.fleet import (
     simulate_fleet_traced,
 )
 from repro.capping.policy import CapPolicy
+from repro.capping.shard import CHECKPOINT_ENV
 from repro.capping.scheduler import estimate_cache
 from repro.experiments.common import run_cache, run_workload
 from repro.hardware.platform import DEFAULT_PLATFORM_ID, get_platform, platform_ids
@@ -354,6 +355,7 @@ def _cmd_obs(args: argparse.Namespace) -> int:
         CACHE_ENABLE_ENV,
         CACHE_DIR_ENV,
         WORKERS_ENV,
+        CHECKPOINT_ENV,
         RENDER_CHUNK_ENV,
         TRACE_DTYPE_ENV,
     ):
@@ -400,6 +402,10 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
             monitors=monitors,
             platform=platform,
             node_platforms=node_platforms,
+            workers=args.workers,
+            checkpoint=args.checkpoint,
+            checkpoint_every=args.checkpoint_every,
+            resume=args.resume,
         )
     rows = [
         [
@@ -649,6 +655,37 @@ def build_parser() -> argparse.ArgumentParser:
         "--monitor",
         action="store_true",
         help="attach a live health monitor per policy and print its dashboard",
+    )
+    p_fleet.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "shard job rendering across N worker processes "
+            "(bit-identical to serial; default: REPRO_SWEEP_WORKERS or 1)"
+        ),
+    )
+    p_fleet.add_argument(
+        "--checkpoint",
+        default=None,
+        metavar="PATH",
+        help=(
+            "periodically snapshot the aggregation state to PATH(.capped/"
+            ".uncapped); default: REPRO_FLEET_CHECKPOINT"
+        ),
+    )
+    p_fleet.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=64,
+        metavar="JOBS",
+        help="jobs between checkpoint snapshots (default: 64)",
+    )
+    p_fleet.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume from the checkpoint if present (bit-identical restart)",
     )
     add_platform_flag(p_fleet, mixed=True)
     p_fleet.set_defaults(func=_cmd_fleet)

@@ -11,9 +11,10 @@ retaining any job's full trace.
 
 from __future__ import annotations
 
+import heapq
 import math
 
-from collections.abc import Sequence
+from collections.abc import Mapping, Sequence
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -95,6 +96,47 @@ class RunningMoments:
         self.minimum = min(self.minimum, other.minimum)
         self.maximum = max(self.maximum, other.maximum)
 
+    @classmethod
+    def from_batch(cls, values: np.ndarray) -> "RunningMoments":
+        """Moments of a single batch of samples.
+
+        ``acc.merge(RunningMoments.from_batch(values))`` performs the
+        same float operations as ``acc.update(values)`` — the Chan merge
+        against a one-batch moment set reduces to the batched Welford
+        update.  Shard workers rely on this to ship one compact moment
+        row per chunk instead of the samples themselves.
+        """
+        moments = cls()
+        moments.update(values)
+        return moments
+
+    def state(self) -> tuple[int, float, float, float, float, float]:
+        """Compact picklable snapshot (count, mean, m2, total, min, max)."""
+        return (
+            self.count,
+            self.mean,
+            self._m2,
+            self.total,
+            self.minimum,
+            self.maximum,
+        )
+
+    @classmethod
+    def from_state(
+        cls, state: "tuple[int, float, float, float, float, float]"
+    ) -> "RunningMoments":
+        """Rebuild a moment set from a :meth:`state` snapshot."""
+        moments = cls()
+        (
+            moments.count,
+            moments.mean,
+            moments._m2,
+            moments.total,
+            moments.minimum,
+            moments.maximum,
+        ) = state
+        return moments
+
     def zscore(self, value: float) -> float:
         """Standard score of ``value`` against these moments.
 
@@ -135,6 +177,69 @@ class SystemPowerStats:
     horizon_s: float
     energy_j: float
     n_bins: int
+
+
+class JobPowerPartial:
+    """One job's energy-bin deposits, offset to the job's first bin.
+
+    Shard workers deposit a job's streamed chunks here using bin math
+    identical to :meth:`SystemPowerAccumulator.add_samples`, then ship
+    the compact array back to the coordinator, which folds partials in
+    chronological job order via
+    :meth:`SystemPowerAccumulator.merge_partial`.  The serial fleet path
+    performs the *same* partial-then-merge fold, so serial, sharded and
+    resumed runs finalize to identical bits.  Memory is
+    O(job duration / bin_s), independent of the fleet horizon.
+    """
+
+    __slots__ = ("bin_s", "origin_bin", "energy_j", "used_bins", "horizon_s", "samples")
+
+    def __init__(self, start_s: float, bin_s: float) -> None:
+        if bin_s <= 0:
+            raise ValueError(f"bin_s must be positive, got {bin_s}")
+        self.bin_s = bin_s
+        self.origin_bin = max(int(math.floor(start_s / bin_s)), 0)
+        self.energy_j = np.zeros(256)
+        self.used_bins = 0
+        self.horizon_s = 0.0
+        self.samples = 0
+
+    def _ensure(self, n: int) -> None:
+        if n <= len(self.energy_j):
+            return
+        size = max(n, 2 * len(self.energy_j))
+        self.energy_j = np.concatenate(
+            [self.energy_j, np.zeros(size - len(self.energy_j))]
+        )
+
+    def add_samples(
+        self,
+        start_s: float,
+        times: np.ndarray,
+        powers: np.ndarray,
+        interval_s: float,
+    ) -> None:
+        """Deposit one chunk of node-power samples (job-relative times)."""
+        if len(times) == 0:
+            return
+        absolute = start_s + np.asarray(times, dtype=float)
+        index = np.floor(absolute / self.bin_s).astype(np.intp)
+        index = np.maximum(index, 0)
+        local = index - self.origin_bin
+        # Chunk times are increasing, so the last sample holds the top bin.
+        top = int(local[-1]) + 1
+        self._ensure(top)
+        energy = np.asarray(powers, dtype=float) * interval_s
+        np.add.at(self.energy_j, local, energy)
+        self.used_bins = max(self.used_bins, top)
+        self.horizon_s = max(self.horizon_s, float(absolute[-1]) + interval_s / 2.0)
+        self.samples += len(times)
+
+    def trim(self) -> "JobPowerPartial":
+        """Shrink the bin array to its used extent (before crossing IPC)."""
+        if len(self.energy_j) > self.used_bins:
+            self.energy_j = self.energy_j[: self.used_bins].copy()
+        return self
 
 
 class SystemPowerAccumulator:
@@ -209,6 +314,53 @@ class SystemPowerAccumulator:
         )
         self.samples_added += len(times)
 
+    def merge_partial(self, partial: JobPowerPartial) -> None:
+        """Fold one job's :class:`JobPowerPartial` into the global bins.
+
+        Merging partials in chronological job order is the canonical
+        fold: because the global bins start at zero and every partial
+        already holds its job's full within-job sums, the result matches
+        the serial partial-then-merge path bit for bit regardless of
+        which process rendered the job.
+        """
+        if partial.bin_s != self.bin_s:
+            raise ValueError(
+                f"bin width mismatch: accumulator {self.bin_s} s, "
+                f"partial {partial.bin_s} s"
+            )
+        used = partial.used_bins
+        if used:
+            top = partial.origin_bin + used
+            self._ensure_bins(top)
+            self._energy_j[partial.origin_bin : top] += partial.energy_j[:used]
+        self._horizon_s = max(self._horizon_s, partial.horizon_s)
+        self.samples_added += partial.samples
+
+    def state(self) -> dict:
+        """Checkpointable snapshot of the bin state (see :meth:`restore`)."""
+        return {
+            "n_nodes": self.n_nodes,
+            "bin_s": self.bin_s,
+            "idle_node_w": self.idle_node_w,
+            "energy_j": self._energy_j.copy(),
+            "busy_node_s": self._busy_node_s.copy(),
+            "horizon_s": self._horizon_s,
+            "samples_added": self.samples_added,
+        }
+
+    def restore(self, state: dict) -> None:
+        """Adopt a snapshot taken by :meth:`state` (checkpoint resume)."""
+        for name in ("n_nodes", "bin_s", "idle_node_w"):
+            if state[name] != getattr(self, name):
+                raise ValueError(
+                    f"checkpoint mismatch: {name} was {state[name]!r}, "
+                    f"accumulator has {getattr(self, name)!r}"
+                )
+        self._energy_j = np.array(state["energy_j"], dtype=float)
+        self._busy_node_s = np.array(state["busy_node_s"], dtype=float)
+        self._horizon_s = float(state["horizon_s"])
+        self.samples_added = int(state["samples_added"])
+
     def add_busy_interval(self, start_s: float, end_s: float, n_nodes: int) -> None:
         """Mark nodes busy over a wall-clock interval (for idle power)."""
         if end_s <= start_s or n_nodes <= 0:
@@ -252,6 +404,45 @@ class AllocationError(RuntimeError):
     """Raised when a node allocation request cannot be satisfied."""
 
 
+class _LazyNodeMap(Mapping):
+    """Name → :class:`GpuNode` mapping that builds nodes on first access.
+
+    A 100k-node pool would spend seconds sampling manufacturing
+    variability for nodes no job ever touches; node construction is
+    deterministic in (name, spec), so building on demand returns the
+    same object state as building eagerly.  Iteration order is the
+    insertion (name) order of the pool.
+    """
+
+    __slots__ = ("_specs_by_name", "_built")
+
+    def __init__(self, names: Sequence[str], specs: "Sequence[NodeSpec]") -> None:
+        self._specs_by_name = dict(zip(names, specs))
+        self._built: dict[str, GpuNode] = {}
+
+    def __getitem__(self, name: str) -> GpuNode:
+        node = self._built.get(name)
+        if node is None:
+            spec = self._specs_by_name[name]
+            node = self._built[name] = GpuNode(name=name, spec=spec)
+        return node
+
+    def __iter__(self):
+        return iter(self._specs_by_name)
+
+    def __len__(self) -> int:
+        return len(self._specs_by_name)
+
+    def get_built(self, name: str) -> GpuNode | None:
+        """The node if it has been materialized, else None (no build)."""
+        return self._built.get(name)
+
+    @property
+    def built_count(self) -> int:
+        """How many nodes have been materialized so far."""
+        return len(self._built)
+
+
 @dataclass
 class PerlmutterSystem:
     """A pool of GPU nodes plus a facility power budget.
@@ -278,9 +469,10 @@ class PerlmutterSystem:
     power_budget_w: float | None = None
     platform: "str | Platform | None" = None
     node_platforms: "Sequence[str | Platform | NodeSpec] | None" = None
-    nodes: dict[str, GpuNode] = field(init=False)
-    _free: set[str] = field(init=False)
-    _allocations: dict[str, list[str]] = field(init=False)
+    nodes: "Mapping[str, GpuNode]" = field(init=False, repr=False, compare=False)
+    _free: set[str] = field(init=False, repr=False, compare=False)
+    _allocations: dict[str, list[str]] = field(init=False, repr=False, compare=False)
+    _specs: "list[NodeSpec]" = field(init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if self.n_nodes <= 0:
@@ -288,11 +480,10 @@ class PerlmutterSystem:
         if self.node_platforms is not None and len(self.node_platforms) == 0:
             raise ValueError("node_platforms must be non-empty when given")
         specs = self._node_specs()
-        self.nodes = {}
-        for i in range(self.n_nodes):
-            name = f"nid{1000 + i:06d}"
-            self.nodes[name] = GpuNode(name=name, spec=specs[i])
-        self._free = set(self.nodes)
+        self._specs = specs
+        names = [f"nid{1000 + i:06d}" for i in range(self.n_nodes)]
+        self.nodes = _LazyNodeMap(names, specs)
+        self._free = set(names)
         self._allocations = {}
         if self.power_budget_w is None:
             # Scale the 1,536-node GPU partition's nominal share of the
@@ -315,15 +506,33 @@ class PerlmutterSystem:
         return [resolved[i % len(resolved)] for i in range(self.n_nodes)]
 
     # ------------------------------------------------------------------
+    def node_specs(self) -> "list[NodeSpec]":
+        """Per-node spec list in pool (name) order, without building nodes."""
+        return list(self._specs)
+
+    def node_spec(self, name: str) -> "NodeSpec":
+        """The spec one named node is built from (no node construction)."""
+        return self.nodes._specs_by_name[name]
+
+    def materialize(self) -> list[GpuNode]:
+        """Build (if needed) and return every node, in name order.
+
+        Monitored fleet runs survey the whole pool; everything else
+        should prefer the lazy ``nodes`` mapping, which only constructs
+        the nodes jobs actually touch.
+        """
+        return [self.nodes[name] for name in self.nodes]
+
     @property
     def free_node_count(self) -> int:
         """Number of currently unallocated nodes."""
         return len(self._free)
 
-    def allocate(self, job_id: str, n_nodes: int) -> list[GpuNode]:
-        """Allocate ``n_nodes`` nodes to a job.
+    def allocate_names(self, job_id: str, n_nodes: int) -> list[str]:
+        """Allocate ``n_nodes`` node *names* to a job (no node construction).
 
-        Nodes are handed out in name order for determinism.
+        Nodes are handed out in name order for determinism.  The shard
+        coordinator plans with names only; workers build the nodes.
 
         Raises
         ------
@@ -339,10 +548,15 @@ class PerlmutterSystem:
             raise AllocationError(
                 f"job {job_id!r} wants {n_nodes} nodes, only {len(self._free)} free"
             )
-        chosen = sorted(self._free)[:n_nodes]
+        # n smallest names == sorted(free)[:n], without the full sort.
+        chosen = heapq.nsmallest(n_nodes, self._free)
         self._free.difference_update(chosen)
         self._allocations[job_id] = chosen
-        return [self.nodes[name] for name in chosen]
+        return chosen
+
+    def allocate(self, job_id: str, n_nodes: int) -> list[GpuNode]:
+        """Allocate ``n_nodes`` nodes to a job (see :meth:`allocate_names`)."""
+        return [self.nodes[name] for name in self.allocate_names(job_id, n_nodes)]
 
     def release(self, job_id: str) -> None:
         """Release a job's nodes back to the pool and reset their caps."""
@@ -351,7 +565,10 @@ class PerlmutterSystem:
         except KeyError:
             raise AllocationError(f"job {job_id!r} holds no allocation") from None
         for name in names:
-            self.nodes[name].reset_gpu_power_limit()
+            # Only materialized nodes can carry a cap to reset.
+            node = self.nodes.get_built(name)
+            if node is not None:
+                node.reset_gpu_power_limit()
             self._free.add(name)
 
     def allocated_nodes(self, job_id: str) -> list[GpuNode]:

@@ -132,6 +132,165 @@ class _JobState:
     usage: CapUsage = field(default_factory=CapUsage)
 
 
+@dataclass
+class JobMonitorPartial:
+    """One job's monitor observations, compact enough to cross IPC.
+
+    Produced by :class:`JobProbe` inside a shard worker; replayed — in
+    chronological job order — through
+    :meth:`FleetMonitor.absorb_job_partial` at the coordinator.  Events
+    preserve the exact signal sequence the live tap path would have
+    emitted, so debounce/hysteresis state in the alert engine evolves
+    identically; moments and gap decisions that need cross-job state
+    (drift, staleness ``_last_seen``) ship as per-chunk summaries the
+    coordinator's detectors fold with their own state.
+    """
+
+    job_id: str
+    n_nodes: int
+    cap_w: float
+    start_s: float
+    end_s: float
+    nominal_runtime_s: float | None
+    #: Ordered stream of ("sig", HealthSignal) and
+    #: ("node", name, first_s, last_s, intra_gap_s, intra_gap_time_s,
+    #: moment_row) entries, in observation order.
+    events: list[tuple] = field(default_factory=list)
+    usage: CapUsage = field(default_factory=CapUsage)
+    energy_j: float = 0.0
+    energy_samples: int = 0
+    peak_node_w: float = 0.0
+    chunks_observed: int = 0
+    samples_observed: int = 0
+    horizon_s: float = 0.0
+
+
+class JobProbe:
+    """Worker-side monitor observer for a single job.
+
+    Mirrors :meth:`FleetMonitor.observe_chunk` float-for-float, but
+    instead of mutating shared monitor state it records a
+    :class:`JobMonitorPartial` for the coordinator to replay.  Detectors
+    that are stateless within a job (cap, idle) run here; detectors
+    whose state spans jobs (staleness, drift, alerts) are summarized per
+    chunk and resolved at the coordinator.
+    """
+
+    def __init__(
+        self,
+        config: MonitorConfig,
+        job_id: str,
+        n_nodes: int,
+        cap_w: float,
+        start_s: float,
+        end_s: float,
+        nominal_runtime_s: float | None,
+        node_specs: "dict[str, object]",
+    ) -> None:
+        platform = get_platform(config.platform)
+        self._idle = IdleOutlierDetector(
+            idle_min_w=config.idle_min_w,
+            idle_max_w=config.idle_max_w,
+            node_spec=platform.node,
+        )
+        self._caps = CapMonitor(
+            violation_tolerance=config.violation_tolerance,
+            throttle_band=config.throttle_band,
+            gpu_spec=platform.gpu,
+        )
+        # Same rule as attach_pool: per-node bands only when the config
+        # pins no explicit band.
+        self._node_bands: dict[str, tuple[float, float]] = {}
+        if config.idle_min_w is None and config.idle_max_w is None:
+            for name, spec in node_specs.items():
+                self._node_bands[name] = (spec.idle_min_w, spec.idle_max_w)
+        self.partial = JobMonitorPartial(
+            job_id=job_id,
+            n_nodes=n_nodes,
+            cap_w=cap_w,
+            start_s=start_s,
+            end_s=end_s,
+            nominal_runtime_s=nominal_runtime_s,
+        )
+
+    def observe_chunk(
+        self,
+        node_name: str,
+        component: str,
+        times: np.ndarray,
+        values: np.ndarray,
+        interval_s: float,
+    ) -> None:
+        """Fold one streamed chunk into the job partial."""
+        is_gpu = component in _GPU_COMPONENTS
+        if component != "node" and not is_gpu:
+            return
+        if values.size == 0:
+            return
+        partial = self.partial
+        absolute = partial.start_s + np.asarray(times, dtype=float)
+        partial.chunks_observed += 1
+        partial.samples_observed += int(values.size)
+        horizon = float(absolute[-1]) + interval_s / 2.0
+        if horizon > partial.horizon_s:
+            partial.horizon_s = horizon
+        if is_gpu:
+            for signal in self._caps.check_chunk(
+                node_name,
+                partial.cap_w,
+                absolute,
+                np.asarray(values, dtype=float),
+                interval_s,
+                partial.usage,
+            ):
+                partial.events.append(("sig", signal))
+            return
+        values = np.asarray(values, dtype=float)
+        partial.energy_j += float(np.sum(values, dtype=np.float64)) * interval_s
+        partial.energy_samples += int(values.size)
+        partial.peak_node_w = max(partial.peak_node_w, float(values.max()))
+        if absolute.size > 1:
+            gaps = np.diff(absolute)
+            idx = int(np.argmax(gaps))
+            intra_gap_s, intra_gap_time_s = float(gaps[idx]), float(absolute[idx + 1])
+        else:
+            intra_gap_s, intra_gap_time_s = -np.inf, float(absolute[0])
+        partial.events.append(
+            (
+                "node",
+                node_name,
+                float(absolute[0]),
+                float(absolute[-1]),
+                intra_gap_s,
+                intra_gap_time_s,
+                RunningMoments.from_batch(values).state(),
+            )
+        )
+        band = self._node_bands.get(node_name)
+        for signal in self._idle.check_samples(
+            node_name,
+            absolute,
+            values,
+            idle_min_w=band[0] if band is not None else None,
+            idle_max_w=band[1] if band is not None else None,
+        ):
+            partial.events.append(("sig", signal))
+
+    def tap(self, interval_s: float):
+        """A :meth:`PowerEngine.stream` ``on_chunk`` callback."""
+
+        def _on_chunk(chunk) -> None:
+            self.observe_chunk(
+                chunk.node_name,
+                chunk.component,
+                chunk.times,
+                chunk.values,
+                interval_s,
+            )
+
+        return _on_chunk
+
+
 class FleetMonitor:
     """Streaming health monitor over a fleet's power telemetry."""
 
@@ -165,6 +324,10 @@ class FleetMonitor:
         )
         self.ledger = EnergyLedger()
         self._jobs: dict[str, _JobState] = {}
+        #: Node -> time of its most recent sample; maintained by both the
+        #: live tap path and partial replay (ring buffers exist only on
+        #: the live path, so reports read this instead).
+        self._last_times: dict[str, float] = {}
         self.signals: list[HealthSignal] = []
         self.signal_counts: dict[str, int] = {}
         self.chunks_observed = 0
@@ -277,6 +440,7 @@ class FleetMonitor:
         values = np.asarray(values, dtype=float)
         self.ledger.add_node_samples(job_id, values, interval_s)
         self._buffer(node_name).push_batch(absolute, values)
+        self._last_times[node_name] = float(absolute[-1])
         self._drift.update(node_name, values)
         self._emit(self._staleness.observe(node_name, absolute))
         band = self._node_bands.get(node_name)
@@ -315,6 +479,52 @@ class FleetMonitor:
                     )
                 ]
             )
+
+    def absorb_job_partial(self, partial: JobMonitorPartial) -> None:
+        """Replay one worker-produced job partial into this monitor.
+
+        Must be called in chronological job order — the same order the
+        live tap path observes jobs — so detectors whose state spans
+        jobs (staleness ``_last_seen``, alert debounce/hysteresis, the
+        drift moments) evolve through the identical sequence.  A sharded
+        monitored run finalizes to the same report as a serial one.
+        """
+        self.on_job_start(
+            partial.job_id,
+            n_nodes=partial.n_nodes,
+            cap_w=partial.cap_w,
+            start_s=partial.start_s,
+            end_s=partial.end_s,
+            nominal_runtime_s=partial.nominal_runtime_s,
+        )
+        state = self._jobs[partial.job_id]
+        self.chunks_observed += partial.chunks_observed
+        self.samples_observed += partial.samples_observed
+        if partial.chunks_observed:
+            obs.inc("repro_monitor_chunks_total", partial.chunks_observed)
+        if partial.horizon_s > self._horizon_s:
+            self._horizon_s = partial.horizon_s
+        # Job-level ledger scalars accumulate from zero inside the
+        # worker with the same operations the live path uses, so adding
+        # the totals once is fold-exact.
+        account = self.ledger.account(partial.job_id)
+        account.energy_j += partial.energy_j
+        account.samples += partial.energy_samples
+        account.peak_node_w = max(account.peak_node_w, partial.peak_node_w)
+        for event in partial.events:
+            if event[0] == "sig":
+                self._emit([event[1]])
+            else:
+                _, name, first_s, last_s, intra_gap_s, intra_gap_time_s, row = event
+                self._drift.absorb(name, RunningMoments.from_state(row))
+                self._emit(
+                    self._staleness.observe_summary(
+                        name, first_s, last_s, intra_gap_s, intra_gap_time_s
+                    )
+                )
+                self._last_times[name] = last_s
+        state.usage = partial.usage
+        self.on_job_end(partial.job_id)
 
     def tap(self, job_id: str, interval_s: float):
         """A :meth:`PowerEngine.stream` ``on_chunk`` callback for a job."""
@@ -391,6 +601,7 @@ class FleetMonitor:
         if horizon > self._horizon_s:
             self._horizon_s = horizon
         self._buffer(series.node_name).push_batch(times, values)
+        self._last_times[series.node_name] = float(times[-1])
         self._drift.update(series.node_name, values)
         band = self._node_bands.get(series.node_name)
         self._emit(
@@ -426,7 +637,7 @@ class FleetMonitor:
             if log_path is not None:
                 self.alerts.write_log(log_path)
             obs.gauge_set(
-                "repro_monitor_nodes_watched", float(len(self._buffers))
+                "repro_monitor_nodes_watched", float(len(self._last_times))
             )
             self._finalized = self._build_report(now)
         _unregister_collector(self)
@@ -436,22 +647,19 @@ class FleetMonitor:
         nodes = []
         for name in sorted(self._drift.per_node):
             moments = self._drift.per_node[name]
-            buffer = self._buffers.get(name)
             nodes.append(
                 NodeSummary(
                     node_name=name,
                     samples=moments.count,
                     mean_w=moments.mean,
                     peak_w=moments.peak,
-                    last_seen_s=(
-                        buffer.latest_time if buffer is not None else -float("inf")
-                    ),
+                    last_seen_s=self._last_times.get(name, -float("inf")),
                 )
             )
         return MonitorReport(
             label=self.label,
             horizon_s=now_s,
-            nodes_watched=len(self._buffers),
+            nodes_watched=len(self._last_times),
             chunks_observed=self.chunks_observed,
             samples_observed=self.samples_observed,
             signal_counts=dict(sorted(self.signal_counts.items())),

@@ -309,20 +309,51 @@ class StalenessDetector:
         """
         if times.size == 0:
             return []
-        name = node_name if node_name is not None else key
-        last = self._last_seen.get(key)
-        worst_gap = 0.0
-        worst_time = float(times[0])
-        if last is not None:
-            boundary = float(times[0]) - last
-            if boundary > worst_gap:
-                worst_gap, worst_time = boundary, float(times[0])
         if times.size > 1:
             gaps = np.diff(times)
             idx = int(np.argmax(gaps))
-            if float(gaps[idx]) > worst_gap:
-                worst_gap, worst_time = float(gaps[idx]), float(times[idx + 1])
-        self._last_seen[key] = float(times[-1])
+            intra_gap_s = float(gaps[idx])
+            intra_gap_time_s = float(times[idx + 1])
+        else:
+            intra_gap_s = -np.inf
+            intra_gap_time_s = float(times[0])
+        return self.observe_summary(
+            key,
+            float(times[0]),
+            float(times[-1]),
+            intra_gap_s,
+            intra_gap_time_s,
+            node_name=node_name,
+        )
+
+    def observe_summary(
+        self,
+        key: str,
+        first_s: float,
+        last_s: float,
+        intra_gap_s: float = -np.inf,
+        intra_gap_time_s: float = 0.0,
+        node_name: str | None = None,
+    ) -> list[HealthSignal]:
+        """:meth:`observe` from a batch summary instead of raw times.
+
+        Shard workers cannot see the coordinator's ``_last_seen`` state
+        (the boundary gap spans jobs), so they ship each batch's first /
+        last time and worst intra-batch gap, and the coordinator replays
+        the exact gap decision here.  ``observe`` itself delegates to
+        this method — the two paths share every float operation.
+        """
+        name = node_name if node_name is not None else key
+        last = self._last_seen.get(key)
+        worst_gap = 0.0
+        worst_time = first_s
+        if last is not None:
+            boundary = first_s - last
+            if boundary > worst_gap:
+                worst_gap, worst_time = boundary, first_s
+        if intra_gap_s > worst_gap:
+            worst_gap, worst_time = intra_gap_s, intra_gap_time_s
+        self._last_seen[key] = last_s
         # Relative tolerance: timestamps are accumulated floats, so a
         # nominal exactly-at-bound gap can land epsilon above it.
         if worst_gap <= self.max_gap_s * (1.0 + 1e-9):
@@ -381,6 +412,18 @@ class DriftDetector:
         if moments is None:
             moments = self.per_node[node_name] = RunningMoments()
         moments.update(values)
+
+    def absorb(self, node_name: str, moments: RunningMoments) -> None:
+        """Chan-merge a worker-computed moment set into a node's moments.
+
+        With one moment row per chunk, merging rows in chunk order
+        reproduces :meth:`update` on the raw samples bit for bit (see
+        :meth:`RunningMoments.from_batch`).
+        """
+        existing = self.per_node.get(node_name)
+        if existing is None:
+            existing = self.per_node[node_name] = RunningMoments()
+        existing.merge(moments)
 
     def finalize(self, now_s: float) -> list[HealthSignal]:
         """Judge every qualifying node's mean against the fleet spread."""

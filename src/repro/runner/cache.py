@@ -124,6 +124,31 @@ def fingerprint(*parts: Any) -> str:
     return digest.hexdigest()
 
 
+def atomic_write_bytes(path: str | Path, data: bytes) -> None:
+    """Write a file atomically: temp sibling + ``os.replace``.
+
+    Readers never observe a torn file — they see either the previous
+    content or the full new content.  The temp name carries the writer's
+    pid, so concurrent shard workers targeting the same path cannot
+    clobber each other's in-flight writes.  On any failure the temp file
+    is removed; the destination is left untouched.
+    """
+    path = Path(path)
+    tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}")
+    try:
+        with tmp.open("wb") as fh:
+            fh.write(data)
+        os.replace(tmp, path)
+    except BaseException:
+        tmp.unlink(missing_ok=True)
+        raise
+
+
+def atomic_write_pickle(path: str | Path, value: Any) -> None:
+    """Atomically pickle a value to a path (see :func:`atomic_write_bytes`)."""
+    atomic_write_bytes(path, pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL))
+
+
 def caching_disabled() -> bool:
     """True when the ``REPRO_CACHE`` environment variable turns caching off."""
     return os.environ.get(CACHE_ENABLE_ENV, "").strip().lower() in ("0", "off", "false", "no")
@@ -225,10 +250,7 @@ class RunCache:
         self._remember(key, value)
         if self.disk_dir is not None:
             self.disk_dir.mkdir(parents=True, exist_ok=True)
-            tmp = self._disk_path(key).with_suffix(f".tmp.{os.getpid()}")
-            with tmp.open("wb") as fh:
-                pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
-            os.replace(tmp, self._disk_path(key))
+            atomic_write_pickle(self._disk_path(key), value)
 
     def _remember(self, key: str, value: Any) -> None:
         self._memory[key] = value

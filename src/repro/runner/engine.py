@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import logging
 import os
-from collections.abc import Callable, Iterator
+from collections.abc import Callable, Iterator, Sequence
 from dataclasses import dataclass
 
 import numpy as np
@@ -580,7 +580,10 @@ class PowerEngine:
         label: str = "run",
         seed: int = 0,
         chunk_samples: int | None = None,
-        on_chunk: "Callable[[TraceChunk], None] | None" = None,
+        on_chunk: (
+            "Callable[[TraceChunk], None]"
+            " | Sequence[Callable[[TraceChunk], None]] | None"
+        ) = None,
     ) -> "StreamedRun":
         """Resolve a schedule and stream its render in fixed-size chunks.
 
@@ -592,14 +595,22 @@ class PowerEngine:
         chunks, which is what lets fleet-scale consumers aggregate
         thousands of node traces in bounded memory.
 
-        ``on_chunk`` is an observer tap: it sees every chunk (all
-        components, not just the ones the consumer keeps) before the
-        consumer does.  Taps must not mutate chunk arrays — the render is
-        oblivious to them, which is what keeps monitored runs
+        ``on_chunk`` is an observer tap — one callable or a sequence of
+        callables (shard workers stack a monitor probe on top of their
+        partial builder): each sees every chunk (all components, not
+        just the ones the consumer keeps) before the consumer does, in
+        the given order.  Taps must not mutate chunk arrays — the render
+        is oblivious to them, which is what keeps monitored runs
         bit-identical to unmonitored ones.
         """
         if not phases:
             raise ValueError("cannot run an empty phase list")
+        if on_chunk is None:
+            taps: tuple = ()
+        elif callable(on_chunk):
+            taps = (on_chunk,)
+        else:
+            taps = tuple(on_chunk)
         if chunk_samples is None:
             chunk_samples = render_chunk_samples() or DEFAULT_STREAM_CHUNK
         obs.inc("repro_engine_streams_total")
@@ -625,8 +636,8 @@ class PowerEngine:
                     times=(np.arange(start, stop) + 0.5) * dt,
                     values=values.astype(dtype),
                 )
-                if on_chunk is not None:
-                    on_chunk(chunk)
+                for tap in taps:
+                    tap(chunk)
                 yield chunk
 
         return StreamedRun(

@@ -163,22 +163,40 @@ def execute_spec(spec: Any) -> Any:
     return spec.execute()
 
 
+def available_cpus() -> int:
+    """CPUs this process may actually run on (affinity-aware).
+
+    ``os.cpu_count()`` reports the host's cores even when a cgroup or
+    ``taskset`` pins the process to fewer — sizing a pool that way
+    oversubscribes containerized CI.  ``sched_getaffinity`` reflects the
+    real allowance where the platform supports it.
+    """
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except (AttributeError, OSError):
+        return os.cpu_count() or 1
+
+
+def workers_from_env(env_var: str = WORKERS_ENV) -> int | None:
+    """Parse a worker-count override from the environment (None = unset)."""
+    raw = os.environ.get(env_var, "").strip()
+    if not raw:
+        return None
+    try:
+        return int(raw)
+    except ValueError as exc:
+        raise ValueError(f"{env_var} must be an integer, got {raw!r}") from exc
+
+
 def resolve_workers(n_tasks: int, workers: int | None = None) -> int:
     """Worker count for a grid: explicit arg > env override > host size."""
     if workers is None:
-        raw = os.environ.get(WORKERS_ENV, "").strip()
-        if raw:
-            try:
-                workers = int(raw)
-            except ValueError as exc:
-                raise ValueError(
-                    f"{WORKERS_ENV} must be an integer, got {raw!r}"
-                ) from exc
+        workers = workers_from_env()
     if workers is not None:
         return max(min(workers, n_tasks), 1)
     if n_tasks < MIN_PARALLEL_GRID:
         return 1
-    return max(min(os.cpu_count() or 1, n_tasks), 1)
+    return max(min(available_cpus(), n_tasks), 1)
 
 
 class SweepExecutor:

@@ -1,0 +1,249 @@
+"""Property-based tests for the shard-merge algebra.
+
+The sharded fleet path rests on two reductions: Chan-merging
+:class:`RunningMoments` and folding :class:`JobPowerPartial` energy bins
+into a :class:`SystemPowerAccumulator`.  These properties pin down what
+is *exact* (the merge lemma: chunked ``merge(from_batch(...))`` equals
+chunked ``update(...)`` bit for bit; single-job partial folds; disjoint
+partials commuting) and what is only associative-up-to-rounding
+(regrouping samples across chunk boundaries).
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hardware.system import (
+    JobPowerPartial,
+    RunningMoments,
+    SystemPowerAccumulator,
+)
+
+#: Positive, well-scaled powers — the engine never emits negatives, and
+#: extreme magnitudes would only probe float overflow, not the algebra.
+_POWERS = st.floats(min_value=1e-3, max_value=1e6, allow_nan=False)
+
+
+@st.composite
+def _chunked_values(draw, max_size=120):
+    """A sample array plus an arbitrary partition of it into chunks."""
+    values = draw(st.lists(_POWERS, min_size=1, max_size=max_size))
+    n_cuts = draw(st.integers(min_value=0, max_value=min(len(values) - 1, 8)))
+    cuts = sorted(
+        draw(
+            st.lists(
+                st.integers(min_value=1, max_value=len(values)),
+                min_size=n_cuts,
+                max_size=n_cuts,
+            )
+        )
+    )
+    bounds = [0, *cuts, len(values)]
+    chunks = [
+        np.asarray(values[a:b], dtype=float)
+        for a, b in zip(bounds, bounds[1:])
+        if b > a
+    ]
+    return np.asarray(values, dtype=float), chunks
+
+
+class TestRunningMomentsMerge:
+    @given(_chunked_values())
+    @settings(max_examples=50, deadline=None)
+    def test_merge_from_batch_equals_update_exactly(self, case):
+        """The merge lemma, under every partition: bit-for-bit equality."""
+        _, chunks = case
+        updated = RunningMoments()
+        merged = RunningMoments()
+        for chunk in chunks:
+            updated.update(chunk)
+            merged.merge(RunningMoments.from_batch(chunk))
+        assert merged.state() == updated.state()
+
+    @given(_chunked_values())
+    @settings(max_examples=50, deadline=None)
+    def test_chunked_fold_equals_dense_single_pass(self, case):
+        """Regrouping shifts rounding only; counts and extremes are exact."""
+        values, chunks = case
+        dense = RunningMoments()
+        dense.update(values)
+        folded = RunningMoments()
+        for chunk in chunks:
+            folded.merge(RunningMoments.from_batch(chunk))
+        assert folded.count == dense.count
+        assert folded.minimum == dense.minimum
+        assert folded.maximum == dense.maximum
+        assert np.isclose(folded.mean, dense.mean, rtol=1e-9)
+        assert np.isclose(folded.total, dense.total, rtol=1e-9)
+        assert np.isclose(folded.std, dense.std, rtol=1e-6, atol=1e-9)
+
+    @given(
+        st.lists(_POWERS, min_size=1, max_size=60),
+        st.lists(_POWERS, min_size=1, max_size=60),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_merge_commutes(self, a_values, b_values):
+        a_first = RunningMoments.from_batch(np.asarray(a_values))
+        a_first.merge(RunningMoments.from_batch(np.asarray(b_values)))
+        b_first = RunningMoments.from_batch(np.asarray(b_values))
+        b_first.merge(RunningMoments.from_batch(np.asarray(a_values)))
+        assert a_first.count == b_first.count
+        assert a_first.minimum == b_first.minimum
+        assert a_first.maximum == b_first.maximum
+        assert np.isclose(a_first.mean, b_first.mean, rtol=1e-9)
+        assert np.isclose(a_first.std, b_first.std, rtol=1e-6, atol=1e-9)
+
+    @given(
+        st.lists(_POWERS, min_size=1, max_size=40),
+        st.lists(_POWERS, min_size=1, max_size=40),
+        st.lists(_POWERS, min_size=1, max_size=40),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_merge_associates(self, a_values, b_values, c_values):
+        def batch(values):
+            return RunningMoments.from_batch(np.asarray(values))
+
+        left = batch(a_values)
+        left.merge(batch(b_values))
+        left.merge(batch(c_values))
+        bc = batch(b_values)
+        bc.merge(batch(c_values))
+        right = batch(a_values)
+        right.merge(bc)
+        assert left.count == right.count
+        assert left.minimum == right.minimum
+        assert left.maximum == right.maximum
+        assert np.isclose(left.mean, right.mean, rtol=1e-9)
+        assert np.isclose(left.std, right.std, rtol=1e-6, atol=1e-9)
+
+    @given(st.lists(_POWERS, min_size=1, max_size=60))
+    @settings(max_examples=50, deadline=None)
+    def test_empty_is_an_exact_identity(self, values):
+        batch = RunningMoments.from_batch(np.asarray(values))
+        left = RunningMoments()
+        left.merge(batch)
+        assert left.state() == batch.state()
+        right = RunningMoments.from_batch(np.asarray(values))
+        right.merge(RunningMoments())
+        assert right.state() == batch.state()
+
+    @given(_chunked_values())
+    @settings(max_examples=25, deadline=None)
+    def test_state_roundtrip_exact(self, case):
+        values, _ = case
+        moments = RunningMoments.from_batch(values)
+        assert RunningMoments.from_state(moments.state()).state() == moments.state()
+
+
+def _job_samples(draw, start_s):
+    """(times, powers) for one job starting at ``start_s``."""
+    powers = draw(st.lists(_POWERS, min_size=1, max_size=80))
+    interval_s = draw(st.sampled_from([0.1, 0.5, 1.0]))
+    times = (np.arange(len(powers)) + 0.5) * interval_s
+    return times, np.asarray(powers, dtype=float), interval_s
+
+
+@st.composite
+def _jobs_case(draw, max_jobs=3):
+    """A handful of jobs with staggered starts and chunked samples."""
+    n_jobs = draw(st.integers(min_value=1, max_value=max_jobs))
+    jobs = []
+    start_s = 0.0
+    for _ in range(n_jobs):
+        start_s += draw(st.floats(min_value=0.0, max_value=50.0))
+        times, powers, interval_s = _job_samples(draw, start_s)
+        n_cuts = draw(st.integers(min_value=0, max_value=4))
+        cuts = sorted(
+            draw(
+                st.lists(
+                    st.integers(min_value=1, max_value=len(powers)),
+                    min_size=n_cuts,
+                    max_size=n_cuts,
+                )
+            )
+        )
+        bounds = [0, *cuts, len(powers)]
+        chunks = [(times[a:b], powers[a:b]) for a, b in zip(bounds, bounds[1:]) if b > a]
+        jobs.append((start_s, chunks, interval_s))
+    return jobs
+
+
+class TestAccumulatorPartialMerge:
+    BIN_S = 2.0
+
+    def _direct(self, jobs):
+        acc = SystemPowerAccumulator(n_nodes=4, bin_s=self.BIN_S)
+        for start_s, chunks, interval_s in jobs:
+            for times, powers in chunks:
+                acc.add_samples(start_s, times, powers, interval_s)
+        return acc
+
+    def _folded(self, jobs):
+        acc = SystemPowerAccumulator(n_nodes=4, bin_s=self.BIN_S)
+        for start_s, chunks, interval_s in jobs:
+            partial = JobPowerPartial(start_s=start_s, bin_s=self.BIN_S)
+            for times, powers in chunks:
+                partial.add_samples(start_s, times, powers, interval_s)
+            partial.trim()
+            acc.merge_partial(partial)
+        return acc
+
+    @given(_jobs_case(max_jobs=1))
+    @settings(max_examples=50, deadline=None)
+    def test_single_job_partial_is_exact(self, jobs):
+        """One job's partial folds into empty bins: 0 + x == x, bit for bit."""
+        direct = self._direct(jobs).state()
+        folded = self._folded(jobs).state()
+        assert np.array_equal(folded["energy_j"], direct["energy_j"])
+        assert folded["horizon_s"] == direct["horizon_s"]
+        assert folded["samples_added"] == direct["samples_added"]
+
+    @given(_jobs_case())
+    @settings(max_examples=50, deadline=None)
+    def test_multi_job_fold_matches_direct(self, jobs):
+        """Job-boundary regrouping shifts rounding only; ints are exact."""
+        direct = self._direct(jobs)
+        folded = self._folded(jobs)
+        assert folded.samples_added == direct.samples_added
+        assert np.allclose(
+            folded.state()["energy_j"], direct.state()["energy_j"], rtol=1e-9
+        )
+        a, b = folded.finalize(), direct.finalize()
+        assert np.isclose(a.mean_power_w, b.mean_power_w, rtol=1e-9)
+        assert np.isclose(a.peak_power_w, b.peak_power_w, rtol=1e-9)
+
+    @given(_jobs_case(max_jobs=2))
+    @settings(max_examples=50, deadline=None)
+    def test_bin_disjoint_partials_commute_exactly(self, jobs):
+        """Partials that touch different bins merge in any order, exactly."""
+        partials = []
+        offset = 0.0
+        for start_s, chunks, interval_s in jobs:
+            # Push each job far enough out that its bins cannot overlap
+            # the previous job's (max 80 samples * 1.0 s < 1000 s).
+            shifted = start_s + offset
+            partial = JobPowerPartial(start_s=shifted, bin_s=self.BIN_S)
+            for times, powers in chunks:
+                partial.add_samples(shifted, times, powers, interval_s)
+            partial.trim()
+            partials.append(partial)
+            offset += 1000.0
+        forward = SystemPowerAccumulator(n_nodes=4, bin_s=self.BIN_S)
+        for partial in partials:
+            forward.merge_partial(partial)
+        backward = SystemPowerAccumulator(n_nodes=4, bin_s=self.BIN_S)
+        for partial in reversed(partials):
+            backward.merge_partial(partial)
+        assert np.array_equal(
+            forward.state()["energy_j"], backward.state()["energy_j"]
+        )
+        assert forward.state()["horizon_s"] == backward.state()["horizon_s"]
+
+    @given(_jobs_case(max_jobs=1))
+    @settings(max_examples=25, deadline=None)
+    def test_state_restore_roundtrip_exact(self, jobs):
+        acc = self._direct(jobs)
+        fresh = SystemPowerAccumulator(n_nodes=4, bin_s=self.BIN_S)
+        fresh.restore(acc.state())
+        assert np.array_equal(fresh.state()["energy_j"], acc.state()["energy_j"])
+        assert fresh.finalize() == acc.finalize()

@@ -6,6 +6,8 @@ import pytest
 from repro.runner.cache import (
     CACHE_ENABLE_ENV,
     RunCache,
+    atomic_write_bytes,
+    atomic_write_pickle,
     caching_disabled,
     fingerprint,
 )
@@ -115,6 +117,58 @@ class TestRunCache:
         cache.clear(disk=True)
         assert cache.get("key") is None
         assert list(tmp_path.glob("*.pkl")) == []
+
+
+class TestAtomicWrites:
+    def test_atomic_write_replaces_whole_file(self, tmp_path):
+        import pickle
+
+        path = tmp_path / "value.pkl"
+        atomic_write_pickle(path, {"x": 1})
+        atomic_write_pickle(path, {"x": 2})
+        assert pickle.loads(path.read_bytes()) == {"x": 2}
+        assert list(tmp_path.glob("*.tmp.*")) == []
+
+    def test_crash_during_replace_leaves_old_value_intact(
+        self, tmp_path, monkeypatch
+    ):
+        """A crash injected at the rename: no torn file, no temp litter."""
+        disk = tmp_path / "cache"
+        cache = RunCache(disk_dir=disk)
+        cache.put("key", "old")
+
+        def crash(src, dst):
+            raise OSError("simulated crash at rename")
+
+        monkeypatch.setattr("repro.runner.cache.os.replace", crash)
+        with pytest.raises(OSError, match="simulated crash"):
+            RunCache(disk_dir=disk).put("key", "new")
+        monkeypatch.undo()
+        assert list(disk.glob("*.tmp.*")) == []
+        assert RunCache(disk_dir=disk).get("key") == "old"
+
+    def test_crash_during_write_leaves_no_temp_file(self, tmp_path, monkeypatch):
+        path = tmp_path / "value.pkl"
+
+        def crash(self, *args, **kwargs):
+            raise OSError("disk full")
+
+        monkeypatch.setattr("pathlib.Path.open", crash)
+        with pytest.raises(OSError, match="disk full"):
+            atomic_write_bytes(path, b"payload")
+        monkeypatch.undo()
+        assert not path.exists()
+        assert list(tmp_path.iterdir()) == []
+
+    def test_torn_disk_entry_is_a_miss(self, tmp_path):
+        """Even if a write *did* tear (pre-atomic files), reads degrade."""
+        disk = tmp_path / "cache"
+        disk.mkdir()
+        cache = RunCache(disk_dir=disk)
+        cache.put("key", "value")
+        path = next(disk.glob("*.pkl"))
+        path.write_bytes(path.read_bytes()[:10])
+        assert RunCache(disk_dir=disk).get("key") is None
 
 
 class TestCacheStats:

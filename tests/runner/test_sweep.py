@@ -10,6 +10,7 @@ from repro.runner.sweep import (
     EstimateSpec,
     RunSpec,
     SweepExecutor,
+    available_cpus,
     reset_sweep_stats,
     resolve_workers,
     run_sweep,
@@ -74,6 +75,44 @@ class TestResolveWorkers:
     def test_never_below_one(self, monkeypatch):
         monkeypatch.setenv(WORKERS_ENV, "0")
         assert resolve_workers(10) == 1
+
+
+class TestAvailableCpus:
+    def test_prefers_scheduler_affinity(self, monkeypatch):
+        monkeypatch.setattr(
+            "repro.runner.sweep.os.sched_getaffinity",
+            lambda pid: {0, 1, 2},
+            raising=False,
+        )
+        assert available_cpus() == 3
+
+    def test_falls_back_to_cpu_count(self, monkeypatch):
+        def unsupported(pid):
+            raise OSError("no affinity on this platform")
+
+        monkeypatch.setattr(
+            "repro.runner.sweep.os.sched_getaffinity", unsupported, raising=False
+        )
+        monkeypatch.setattr("repro.runner.sweep.os.cpu_count", lambda: 6)
+        assert available_cpus() == 6
+
+    def test_never_below_one(self, monkeypatch):
+        monkeypatch.setattr(
+            "repro.runner.sweep.os.sched_getaffinity",
+            lambda pid: set(),
+            raising=False,
+        )
+        assert available_cpus() == 1
+
+    def test_sizes_default_worker_pool(self, monkeypatch):
+        """An affinity mask narrower than the host bounds the pool."""
+        monkeypatch.delenv(WORKERS_ENV, raising=False)
+        monkeypatch.setattr(
+            "repro.runner.sweep.os.sched_getaffinity",
+            lambda pid: {0, 1},
+            raising=False,
+        )
+        assert resolve_workers(16) == 2
 
 
 class TestSweepExecutor:
