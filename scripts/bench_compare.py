@@ -48,6 +48,9 @@ MEMORY_GROWTH_THRESHOLD = 0.50
 #: The interleaved min-of-rounds ratio cancels uniform host slowdown,
 #: so this band absorbs only scheduling jitter, not load.
 MONITOR_OVERHEAD_THRESHOLD = 0.10
+#: Wall-time overhead of a sharded run with trace+metric capture on.
+#: Same interleaved min-of-rounds construction as the monitor gate.
+OBS_OVERHEAD_THRESHOLD = 0.10
 #: Hard floor on the 100k-node sharded/eager nodes-per-second ratio.
 #: The ratio is load-invariant (eager pays O(pool) construction the
 #: sharded lazy path skips entirely), so it gates on any host.
@@ -152,6 +155,39 @@ def collect_monitor() -> dict[str, float | int]:
     }
 
 
+def collect_obs() -> dict[str, float | int]:
+    """Sharded observability overhead and merge effectiveness fields.
+
+    Reuses the benchmark suite's interleaved measurement.  The overhead
+    ratio is host-jitter-bound (gated wide at 10 %); the span count is
+    seeded-deterministic and records how much worker telemetry actually
+    made it back through the merge — a silently dropped capture shows
+    up as a changed count even when timings are clean.
+    """
+    import sys as _sys
+
+    _sys.path.insert(0, str(REPO_ROOT / "src"))
+    _sys.path.insert(0, str(REPO_ROOT))
+    from benchmarks.test_obs_bench import (
+        OBS_JOBS,
+        OBS_NODES,
+        OBS_WORKERS,
+        measure_obs_overhead,
+    )
+    from benchmarks.test_monitor_bench import paired_overhead
+
+    plain, traced, span_count, plain_times, obs_times = measure_obs_overhead()
+    if traced.system != plain.system:
+        raise SystemExit("obs-on sharded fleet statistics diverged from plain run")
+    return {
+        "fleet_nodes": OBS_NODES,
+        "fleet_jobs": OBS_JOBS,
+        "workers": OBS_WORKERS,
+        "overhead": round(paired_overhead(plain_times, obs_times), 4),
+        "merged_spans": span_count,
+    }
+
+
 def collect_shard() -> dict[str, float | int]:
     """Fleet scaling fields: nodes/sec at 1k vs 100k, sharded vs eager.
 
@@ -229,6 +265,7 @@ def write_baseline(times: dict[str, float], machine_note: str = "") -> None:
         "efficiency": collect_efficiency(),
         "memory": collect_memory(),
         "monitor": collect_monitor(),
+        "obs": collect_obs(),
         "shard": collect_shard(),
         "benchmarks": {name: {"min_s": value} for name, value in sorted(times.items())},
     }
@@ -353,6 +390,24 @@ def compare(times: dict[str, float], threshold: float) -> int:
             )
         if now_mon["samples_observed"] == 0:
             failures.append("monitor: collector observed no samples")
+    # Obs gate: cross-process trace/metric capture must stay a near-free
+    # rider on the sharded fleet path (and keep merging worker spans).
+    base_obs = baseline.get("obs")
+    if base_obs is not None:
+        now_obs = collect_obs()
+        print("\nobs (sharded capture overhead + merged span count):")
+        for key in sorted(set(base_obs) | set(now_obs)):
+            base_v = base_obs.get(key, "-")
+            now_v = now_obs.get(key, "-")
+            changed = "" if base_v == now_v else "  (changed)"
+            print(f"  {key:22s} {base_v!s:>12} -> {now_v!s:>12}{changed}")
+        if now_obs["overhead"] > OBS_OVERHEAD_THRESHOLD:
+            failures.append(
+                f"obs: sharded capture overhead {now_obs['overhead']:+.1%} "
+                f"above the {OBS_OVERHEAD_THRESHOLD:.0%} gate"
+            )
+        if now_obs["merged_spans"] == 0:
+            failures.append("obs: no worker spans survived the merge")
     # Shard gate: the 100k-node sharded path must keep beating the eager
     # reference in nodes/sec by the floor ratio (load-invariant).
     base_shard = baseline.get("shard")

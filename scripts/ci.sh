@@ -15,6 +15,11 @@ cd "$(dirname "$0")/.."
 
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
+SMOKE_DIR="$(mktemp -d)"
+trap 'rm -rf "$SMOKE_DIR"' EXIT
+# Keep the smoke runs' ledger out of the developer's real run history.
+export REPRO_RUNS_DIR="$SMOKE_DIR/runs"
+
 SKIP_BENCH=0
 ARGS=()
 for arg in "$@"; do
@@ -36,8 +41,6 @@ python -m repro platforms
 python -m repro cap-sweep PdO2 --platform h100-sxm --nodes 1
 
 echo "== sharded fleet smoke (bit-identity vs serial) =="
-SMOKE_DIR="$(mktemp -d)"
-trap 'rm -rf "$SMOKE_DIR"' EXIT
 FLEET_ARGS=(fleet --jobs 4 --nodes 6 --seed 3 --resolution 1.0)
 # Cache/sweep summary lines vary with worker count (each worker process
 # has its own cache); every simulation statistic above them must not.
@@ -60,6 +63,43 @@ diff "$SMOKE_DIR/serial.txt" "$SMOKE_DIR/ckpt.txt" \
     || { echo "checkpointed fleet output diverged from serial"; exit 1; }
 diff "$SMOKE_DIR/ckpt.txt" "$SMOKE_DIR/resume.txt" \
     || { echo "resumed fleet output diverged from checkpointed run"; exit 1; }
+
+echo "== observability smoke (merged trace + run ledger round-trip) =="
+python -m repro "${FLEET_ARGS[@]}" --workers 2 \
+    --trace "$SMOKE_DIR/fleet-trace.json" --metrics "$SMOKE_DIR/fleet-metrics.prom" \
+    > "$SMOKE_DIR/obs.out"
+python - "$SMOKE_DIR/fleet-trace.json" <<'PY'
+import json, sys
+
+trace = json.load(open(sys.argv[1]))
+events = trace["traceEvents"]
+worker_pids = {e["pid"] for e in events if e["name"] == "shard.render_batch"}
+labels = {
+    e["pid"]
+    for e in events
+    if e.get("ph") == "M" and e["name"] == "process_name"
+}
+assert len(worker_pids) >= 2, f"expected spans from >=2 workers, got {worker_pids}"
+assert worker_pids <= labels, "worker pids missing process_name metadata rows"
+print(f"merged trace ok: {len(events)} events from {len(worker_pids)} workers")
+PY
+filter_summaries "$SMOKE_DIR/obs.out" "$SMOKE_DIR/obs.txt"
+grep -v ' written to ' "$SMOKE_DIR/obs.txt" > "$SMOKE_DIR/obs-body.txt"
+diff "$SMOKE_DIR/serial.txt" "$SMOKE_DIR/obs-body.txt" \
+    || { echo "obs-instrumented fleet output diverged from serial"; exit 1; }
+python -m repro runs list
+python -m repro runs show last > "$SMOKE_DIR/last-run.json"
+python - "$SMOKE_DIR/last-run.json" <<'PY'
+import json, sys
+
+record = json.load(open(sys.argv[1]))
+assert record["kind"] == "fleet", record
+assert record["status"] == "ok", record
+assert record["wall_s"] > 0, record
+assert record["workers"] == 2, record
+print(f"ledger ok: run {record['run_id']} recorded {record['kind']}")
+PY
+python -m repro runs check
 
 if [[ "$SKIP_BENCH" == "1" ]]; then
     echo "== benches skipped (--skip-bench) =="

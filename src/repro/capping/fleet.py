@@ -22,12 +22,18 @@ import logging
 import zlib
 from dataclasses import dataclass
 from pathlib import Path
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Callable
 
 import numpy as np
 
 from repro import obs
 from repro.capping import shard
+from repro.obs import ledger as run_ledger
+from repro.obs.heartbeat import (
+    HeartbeatSnapshot,
+    RunHeartbeat,
+    heartbeat_path_from_env,
+)
 from repro.capping.policy import CapPolicy
 from repro.capping.scheduler import (
     Job,
@@ -266,6 +272,9 @@ def simulate_fleet_traced(
     checkpoint: "str | Path | None" = None,
     checkpoint_every: int = 64,
     resume: bool = False,
+    heartbeat: "str | Path | None" = None,
+    heartbeat_interval_s: float = 1.0,
+    progress: "Callable[[HeartbeatSnapshot], None] | None" = None,
 ) -> FleetTraceReport:
     """Schedule a stream, render every job's traces, aggregate streaming.
 
@@ -293,6 +302,20 @@ def simulate_fleet_traced(
     chronological job, producing the same bits as an uninterrupted run.
     Incompatible with ``retain_traces`` and ``monitor`` (dense traces
     and monitor state are not checkpointed).
+
+    ``heartbeat`` (or ``REPRO_FLEET_HEARTBEAT``) publishes a live,
+    atomically-replaced JSON progress snapshot — jobs folded,
+    node-weighted progress, nodes/sec, ETA, checkpoint age — after each
+    folded job (throttled to ``heartbeat_interval_s``); ``progress``
+    receives the same :class:`repro.obs.heartbeat.HeartbeatSnapshot`
+    objects in-process.  Observation-only, like the monitor.
+
+    Observability composes with every mode: sharded workers capture
+    their spans and metric updates into a fresh per-process state and
+    ship an :class:`repro.obs.merge.ObsPartial` back with their job
+    partials, which the coordinator folds into the live tracer and
+    registry — the merged Chrome trace carries one row per worker pid,
+    and merged counter totals equal a serial run's exactly.
 
     ``retain_traces=True`` is the dense reference path: it renders and
     retains every job's full trace before re-chunking it through the
@@ -354,16 +377,6 @@ def simulate_fleet_traced(
         raise ValueError(
             "resume=True requires checkpoint= (or REPRO_FLEET_CHECKPOINT)"
         )
-    if resolved_workers > 1 and obs.is_active():
-        # Same rationale as SweepExecutor: spans and metrics recorded in
-        # pool workers would die with the worker process.  Results are
-        # identical by the serial == sharded contract.
-        logger.debug(
-            "observability active: rendering fleet in-process "
-            "(would have used %d workers)",
-            resolved_workers,
-        )
-        resolved_workers = 1
     run_fp = None
     if checkpoint_path is not None:
         run_fp = shard.run_fingerprint(
@@ -468,6 +481,22 @@ def simulate_fleet_traced(
     for _, job_id in release_queue:
         pool.release(job_id)
     total_jobs = len(tasks)
+    total_task_nodes = sum(task.n_nodes for task in tasks)
+    nodes_folded = 0
+
+    heartbeat_path = (
+        Path(heartbeat) if heartbeat is not None else heartbeat_path_from_env()
+    )
+    beat: RunHeartbeat | None = None
+    if heartbeat_path is not None or progress is not None:
+        beat = RunHeartbeat(
+            heartbeat_path,
+            progress,
+            label=f"fleet:{policy_name}",
+            jobs_total=total_jobs,
+            nodes_total=total_task_nodes,
+            min_interval_s=heartbeat_interval_s,
+        )
 
     # ---- resume: restore the fold, skip the covered chronological prefix
     if resume:
@@ -485,7 +514,12 @@ def simulate_fleet_traced(
             chunks_streamed = state.chunks_streamed
             bytes_streamed = state.bytes_streamed
             jobs_done = skipped
+            nodes_folded = sum(task.n_nodes for task in tasks[:skipped])
             tasks = tasks[skipped:]
+            if beat is not None:
+                # Resumed jobs cost nothing this run; keep them out of
+                # the nodes/sec (and therefore ETA) estimate.
+                beat.resume_baseline(skipped, nodes_folded)
             obs.inc("repro_fleet_jobs_resumed_total", skipped)
             logger.debug(
                 "resuming fleet (%s) from %s: %d/%d jobs already folded",
@@ -501,7 +535,7 @@ def simulate_fleet_traced(
         Called in chronological job order by every execution mode — this
         single fold is the bit-identity anchor.
         """
-        nonlocal chunks_streamed, bytes_streamed, jobs_done
+        nonlocal chunks_streamed, bytes_streamed, jobs_done, nodes_folded
         accumulator.merge_partial(partial.power)
         for row in partial.moment_rows:
             node_moments.merge(RunningMoments.from_state(row))
@@ -515,6 +549,7 @@ def simulate_fleet_traced(
         if monitor is not None and partial.monitor is not None:
             monitor.absorb_job_partial(partial.monitor)
         jobs_done += 1
+        nodes_folded += partial.n_nodes
         obs.inc("repro_fleet_jobs_rendered_total")
         obs.inc("repro_fleet_partials_merged_total")
         obs.gauge_set(
@@ -537,6 +572,10 @@ def simulate_fleet_traced(
                     bytes_streamed=bytes_streamed,
                 ),
             )
+            if beat is not None:
+                beat.note_checkpoint()
+        if beat is not None:
+            beat.update(jobs_done, nodes_folded)
 
     def phases_for(workload, width: int):
         phase_key = fingerprint("fleet_phases", workload, width)
@@ -664,6 +703,8 @@ def simulate_fleet_traced(
                 run_serial(tasks)
         else:
             run_serial(tasks)
+    if beat is not None:
+        beat.finish(jobs_done, nodes_folded)
     system = accumulator.finalize()
     logger.debug(
         "traced fleet (%s): %d jobs, %d chunks, %.1f MB streamed, peak %.0f W, "
@@ -675,6 +716,24 @@ def simulate_fleet_traced(
         system.peak_power_w,
         pool.nodes.built_count,
         n_nodes,
+    )
+    run_ledger.annotate_run(
+        workers=resolved_workers,
+        nodes=n_nodes,
+        fleet={
+            policy_name: {
+                "jobs": len(schedule.records),
+                "pool_nodes": n_nodes,
+                "workers": resolved_workers,
+                "mean_power_w": round(system.mean_power_w, 3),
+                "peak_power_w": round(system.peak_power_w, 3),
+                "energy_j": system.energy_j,
+                "makespan_s": round(schedule.makespan_s, 3),
+                "chunks_streamed": chunks_streamed,
+                "checkpoint": str(checkpoint_path) if checkpoint_path else None,
+                "resumed_jobs": (total_jobs - len(tasks)) if resume else 0,
+            }
+        },
     )
     return FleetTraceReport(
         policy_name=policy_name,
@@ -707,6 +766,9 @@ def compare_fleet_policies_traced(
     checkpoint: "str | Path | None" = None,
     checkpoint_every: int = 64,
     resume: bool = False,
+    heartbeat: "str | Path | None" = None,
+    heartbeat_interval_s: float = 1.0,
+    progress: "Callable[[HeartbeatSnapshot], None] | None" = None,
 ) -> tuple[FleetTraceReport, FleetTraceReport]:
     """(capped, uncapped) trace-streamed fleet reports, same job stream.
 
@@ -714,14 +776,15 @@ def compare_fleet_policies_traced(
     per policy, ``(capped, uncapped)`` — each policy replays the same job
     ids, so the two runs cannot share a single ledger.  Callers finalize.
 
-    ``workers``/``checkpoint``/``resume`` pass through to
+    ``workers``/``checkpoint``/``resume``/``heartbeat`` pass through to
     :func:`simulate_fleet_traced`.  The two policies are distinct
-    simulations, so the checkpoint base path (argument or
-    ``REPRO_FLEET_CHECKPOINT``) gets a per-policy suffix
-    (``.capped`` / ``.uncapped``) — resolved here so both policies don't
-    fight over the env-provided path.
+    simulations, so the checkpoint and heartbeat base paths (argument or
+    ``REPRO_FLEET_CHECKPOINT`` / ``REPRO_FLEET_HEARTBEAT``) get a
+    per-policy suffix (``.capped`` / ``.uncapped``) — resolved here so
+    both policies don't fight over the env-provided path.
     """
     base = Path(checkpoint) if checkpoint is not None else shard.checkpoint_path_from_env()
+    beat_base = Path(heartbeat) if heartbeat is not None else heartbeat_path_from_env()
     reports = []
     for index, (capped, policy_name, suffix) in enumerate(
         ((True, "50% TDP policy", ".capped"), (False, "uncapped", ".uncapped"))
@@ -751,6 +814,13 @@ def compare_fleet_policies_traced(
                 ),
                 checkpoint_every=checkpoint_every,
                 resume=resume,
+                heartbeat=(
+                    beat_base.with_name(beat_base.name + suffix)
+                    if beat_base is not None
+                    else None
+                ),
+                heartbeat_interval_s=heartbeat_interval_s,
+                progress=progress,
             )
         )
     return reports[0], reports[1]

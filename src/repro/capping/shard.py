@@ -31,6 +31,7 @@ machinery of :mod:`repro.runner.sweep` to the fleet path:
 from __future__ import annotations
 
 import logging
+import math
 import os
 import pickle
 from concurrent.futures import ProcessPoolExecutor, as_completed
@@ -39,6 +40,7 @@ from pathlib import Path
 from typing import TYPE_CHECKING, Callable, Sequence
 
 from repro import obs
+from repro.obs import merge as obs_merge
 from repro.hardware.node import GpuNode
 from repro.hardware.platform import NodeSpec
 from repro.hardware.system import JobPowerPartial, RunningMoments
@@ -106,7 +108,7 @@ class ShardJobTask:
 
 @dataclass(frozen=True)
 class ShardTask:
-    """One worker's slice of the schedule plus shared render parameters."""
+    """One worker's batch of the schedule plus shared render parameters."""
 
     shard_index: int
     specs: tuple[NodeSpec, ...]
@@ -115,6 +117,10 @@ class ShardTask:
     chunk_samples: int | None
     monitor_config: "MonitorConfig | None"
     jobs: tuple[ShardJobTask, ...]
+    #: (trace, metrics) layers the coordinator is collecting — the worker
+    #: captures matching :class:`repro.obs.merge.ObsPartial` snapshots.
+    #: None (obs off at the coordinator) skips capture entirely.
+    obs_capture: tuple[bool, bool] | None = None
 
 
 @dataclass
@@ -133,6 +139,16 @@ class JobPartial:
     chunks: int
     nbytes: int
     monitor: "JobMonitorPartial | None" = None
+
+
+@dataclass
+class ShardResult:
+    """One batch's render results plus the worker's observability capture."""
+
+    jobs: list[JobPartial]
+    #: Spans/metrics the worker recorded while rendering this batch;
+    #: None when the coordinator is not collecting.
+    obs: "obs_merge.ObsPartial | None" = None
 
 
 # ----------------------------------------------------------------------
@@ -203,16 +219,44 @@ def clamped_cap_w(cap_w: float, spec: NodeSpec) -> float:
     return min(max(cap_w, gpu.cap_min_w), gpu.cap_max_w)
 
 
-def _render_shard(task: ShardTask) -> list[JobPartial]:
-    """Worker entry point: render every job in one shard slice.
+#: Worker-process-global phase memo: batched submission sends several
+#: small batches to the same worker process, and jobs of one (workload,
+#: width) must not re-run ~25 ms of SCF modelling per batch.  Keyed by
+#: content fingerprint, so it is safe across batches of different runs.
+_WORKER_PHASE_CACHE: dict[str, list] = {}
+
+
+def _render_shard(task: ShardTask) -> ShardResult:
+    """Worker entry point: render every job in one batch.
 
     Nodes are rebuilt from (name, spec) — node construction is
     deterministic, so worker-built nodes match coordinator-built ones
-    bit for bit.  Phase lists are memoized per (workload, width) within
-    the worker, mirroring the serial path's cache.
+    bit for bit.  When ``task.obs_capture`` is set, the batch renders
+    under a fresh in-memory tracer/registry whose contents ship back in
+    the :class:`ShardResult` (see :mod:`repro.obs.merge`); capture is
+    observation-only, so the job partials are byte-identical either way.
     """
-    phase_cache: dict[str, list] = {}
-    return [_render_task_job(job, task, phase_cache) for job in task.jobs]
+    token = None
+    if task.obs_capture is not None:
+        trace_on, metrics_on = task.obs_capture
+        token = obs_merge.begin_worker_capture(
+            trace=trace_on,
+            metrics=metrics_on,
+            process_label=f"repro fleet worker {os.getpid()}",
+        )
+    try:
+        with obs.span(
+            "shard.render_batch", shard=task.shard_index, jobs=len(task.jobs)
+        ):
+            partials = [
+                _render_task_job(job, task, _WORKER_PHASE_CACHE)
+                for job in task.jobs
+            ]
+    finally:
+        captured = (
+            obs_merge.finish_worker_capture(token) if token is not None else None
+        )
+    return ShardResult(jobs=partials, obs=captured)
 
 
 def _render_task_job(
@@ -302,6 +346,21 @@ def plan_shards(
     return [slice_ for slice_ in members if slice_]
 
 
+def default_batch_jobs(
+    n_tasks: int, n_shards: int, target_batches: int = 4
+) -> int:
+    """Jobs per submitted batch (aim ``target_batches`` per shard).
+
+    Batching trades a little IPC overhead for steady coordinator-side
+    progress: with whole-shard futures the chronological fold — and with
+    it checkpoints and the heartbeat — only advances when an entire
+    shard completes.  A handful of batches per shard keeps partials
+    arriving throughout the run without flooding the pool with
+    single-job tasks.
+    """
+    return max(1, math.ceil(n_tasks / max(n_shards * target_batches, 1)))
+
+
 def run_sharded(
     tasks: Sequence[ShardJobTask],
     specs: Sequence[NodeSpec],
@@ -312,57 +371,95 @@ def run_sharded(
     chunk_samples: int | None,
     monitor_config: "MonitorConfig | None",
     fold: Callable[[JobPartial], None],
+    batch_jobs: int | None = None,
 ) -> bool:
     """Render job tasks across worker processes, folding chronologically.
 
     ``fold`` is invoked in chronological (schedule) order as soon as the
     prefix is complete — a checkpoint written mid-run therefore always
-    covers an exact chronological prefix.  Returns False when no process
-    pool could be started before any work was folded (the caller falls
-    back to the serial path, which produces identical results).
+    covers an exact chronological prefix.  Each shard's slice is
+    submitted as several chronological batches (``batch_jobs`` jobs
+    each), interleaved round-robin across shards, so early-schedule
+    partials arrive early and the fold advances steadily.
+
+    While the coordinator's observability is active, every batch comes
+    back with an :class:`repro.obs.merge.ObsPartial` that is absorbed
+    into the live tracer/registry — worker spans land in the merged
+    Chrome trace under their own pid row, and merged counter totals
+    equal a serial run's exactly.
+
+    Returns False when no process pool could be started before any work
+    was folded (the caller falls back to the serial path, which produces
+    identical results).
     """
     if not tasks:
         return True
     shards = plan_shards(tasks, specs, workers)
-    shard_tasks = [
-        ShardTask(
-            shard_index=i,
-            specs=tuple(specs),
-            engine_config=engine_config,
-            bin_s=bin_s,
-            chunk_samples=chunk_samples,
-            monitor_config=monitor_config,
-            jobs=tuple(slice_),
+    capture = obs_merge.capture_flags()
+    if batch_jobs is None:
+        batch_jobs = default_batch_jobs(len(tasks), len(shards))
+    per_shard_batches: list[list[ShardTask]] = []
+    for i, slice_ in enumerate(shards):
+        per_shard_batches.append(
+            [
+                ShardTask(
+                    shard_index=i,
+                    specs=tuple(specs),
+                    engine_config=engine_config,
+                    bin_s=bin_s,
+                    chunk_samples=chunk_samples,
+                    monitor_config=monitor_config,
+                    jobs=tuple(slice_[at : at + batch_jobs]),
+                    obs_capture=capture,
+                )
+                for at in range(0, len(slice_), batch_jobs)
+            ]
         )
-        for i, slice_ in enumerate(shards)
+    # Round-robin across shards: every shard's chronologically-earliest
+    # batch is in flight first, so the fold's prefix completes early.
+    rounds = max(len(batches) for batches in per_shard_batches)
+    ordered = [
+        batches[round_index]
+        for round_index in range(rounds)
+        for batches in per_shard_batches
+        if round_index < len(batches)
     ]
-    obs.gauge_set("repro_fleet_shard_workers", len(shard_tasks))
+    obs.gauge_set("repro_fleet_shard_workers", len(shards))
     expected = sorted(task.index for task in tasks)
     pending: dict[int, JobPartial] = {}
     folded = 0
     try:
-        with ProcessPoolExecutor(max_workers=len(shard_tasks)) as pool:
-            futures = [pool.submit(_render_shard, st) for st in shard_tasks]
-            for future in as_completed(futures):
-                for partial in future.result():
-                    pending[partial.index] = partial
-                while folded < len(expected) and expected[folded] in pending:
-                    fold(pending.pop(expected[folded]))
-                    folded += 1
-    except (OSError, PermissionError, ImportError) as exc:
-        # Pools need fork/spawn and pipes; restricted hosts fall back to
-        # the serial path — unless results were already folded, in which
-        # case a retry would double-count and the error must surface.
-        if folded:
-            raise
-        logger.warning(
-            "fleet process pool unavailable (%s: %s); falling back to "
-            "serial rendering of %d jobs",
-            type(exc).__name__,
-            exc,
-            len(tasks),
-        )
-        return False
+        try:
+            with ProcessPoolExecutor(max_workers=len(shards)) as pool:
+                futures = [pool.submit(_render_shard, st) for st in ordered]
+                for future in as_completed(futures):
+                    result = future.result()
+                    obs_merge.absorb_partial(result.obs)
+                    for partial in result.jobs:
+                        pending[partial.index] = partial
+                    while folded < len(expected) and expected[folded] in pending:
+                        fold(pending.pop(expected[folded]))
+                        folded += 1
+        except (OSError, PermissionError, ImportError) as exc:
+            # Pools need fork/spawn and pipes; restricted hosts fall back
+            # to the serial path — unless results were already folded, in
+            # which case a retry would double-count and the error must
+            # surface.
+            if folded:
+                raise
+            logger.warning(
+                "fleet process pool unavailable (%s: %s); falling back to "
+                "serial rendering of %d jobs",
+                type(exc).__name__,
+                exc,
+                len(tasks),
+            )
+            return False
+    finally:
+        # The gauge reports *live* pool width; once the run is over (or
+        # dead) there are zero shard workers — leaving the last pool size
+        # behind would misreport idle state to `repro obs` and scrapes.
+        obs.gauge_set("repro_fleet_shard_workers", 0)
     return True
 
 

@@ -14,6 +14,15 @@ Installed as ``repro`` (also ``python -m repro``)::
     repro fleet --jobs 200 --nodes 1000  # trace-streamed fleet simulation
     repro obs                          # observability configuration/status
     repro reproduce fig10 --trace t.json --metrics m.prom
+    repro runs list                    # durable run ledger (.repro_runs/)
+    repro runs show last               # one run's full JSON record
+    repro runs check                   # regression-check vs ledger history
+
+Every executing command (``run``/``survey``/``cap-sweep``/``reproduce``/
+``fleet``/``monitor``/``schedule``) also appends one structured record —
+config fingerprint, platforms, wall time, energy, cache/dedupe stats,
+alert counts — to the run ledger (``REPRO_RUNS=0`` opts out,
+``REPRO_RUNS_DIR`` relocates it); ``repro runs`` queries the history.
 
 Observability flags (``run``/``survey``/``cap-sweep``/``reproduce``):
 ``--trace FILE`` writes a Chrome trace-event JSON of the session,
@@ -28,7 +37,9 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import shlex
 import sys
+import time
 from collections.abc import Sequence
 
 from repro import obs
@@ -60,12 +71,15 @@ from repro.capping.fleet import (
     simulate_fleet_traced,
 )
 from repro.capping.policy import CapPolicy
-from repro.capping.shard import CHECKPOINT_ENV
+from repro.capping.shard import CHECKPOINT_ENV, checkpoint_path_from_env
 from repro.capping.scheduler import estimate_cache
 from repro.experiments.common import run_cache, run_workload
 from repro.hardware.platform import DEFAULT_PLATFORM_ID, get_platform, platform_ids
 from repro.experiments.report import format_table, sparkline
 from repro.io import result_to_json, save_trace_csv
+from repro.obs import ledger as run_ledger
+from repro.obs.heartbeat import HEARTBEAT_ENV
+from repro.obs.ledger import RUNS_DIR_ENV, RUNS_ENABLE_ENV
 from repro.monitor import (
     MONITOR_ENV,
     MONITOR_LOG_ENV,
@@ -76,8 +90,9 @@ from repro.monitor import (
     monitoring_requested,
     render_dashboard,
 )
-from repro.runner.cache import CACHE_DIR_ENV, CACHE_ENABLE_ENV
+from repro.runner.cache import CACHE_DIR_ENV, CACHE_ENABLE_ENV, fingerprint
 from repro.runner.engine import RENDER_CHUNK_ENV, EngineConfig
+from repro.runner.runlog import summarize_run
 from repro.runner.sweep import WORKERS_ENV, sweep_stats
 from repro.runner.trace import TRACE_DTYPE_ENV
 from repro.vasp.benchmarks import BENCHMARKS, benchmark, benchmark_names
@@ -119,6 +134,58 @@ def _print_efficiency_summary() -> None:
         print()
         for line in lines:
             print(f"  [{line}]")
+
+
+#: Commands that append a record to the durable run ledger.
+_RECORDED_COMMANDS = {
+    "run",
+    "survey",
+    "cap-sweep",
+    "reproduce",
+    "fleet",
+    "monitor",
+    "schedule",
+}
+
+
+def _annotate_efficiency() -> None:
+    """Fold session cache/dedupe effectiveness into the open ledger draft."""
+    cache_fields = {}
+    for cache in (run_cache(), estimate_cache()):
+        stats = cache.stats()
+        if stats.lookups:
+            cache_fields[stats.name] = {
+                "hits": stats.hits,
+                "misses": stats.misses,
+                "hit_rate": round(stats.hit_rate, 4),
+            }
+    sweeps = sweep_stats()
+    fields: dict = {}
+    if cache_fields:
+        fields["cache"] = cache_fields
+    if sweeps.grids:
+        fields["sweeps"] = {
+            "grids": sweeps.grids,
+            "submitted": sweeps.specs_submitted,
+            "executed": sweeps.specs_executed,
+            "deduped": sweeps.specs_deduped,
+            "dedupe_ratio": round(sweeps.dedupe_ratio, 4),
+        }
+    if fields:
+        run_ledger.annotate_run(**fields)
+
+
+def _format_age(seconds: float | None) -> str:
+    """Compact human age: ``42 s``, ``7.2 min``, ``3.1 h``, ``2.4 d``."""
+    if seconds is None:
+        return "?"
+    if seconds < 120:
+        return f"{seconds:.0f} s"
+    if seconds < 7200:
+        return f"{seconds / 60:.1f} min"
+    if seconds < 172800:
+        return f"{seconds / 3600:.1f} h"
+    return f"{seconds / 86400:.1f} d"
 
 
 def _cmd_list(_args: argparse.Namespace) -> int:
@@ -211,6 +278,17 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if args.export_trace:
         path = save_trace_csv(measured.result.traces[0], args.export_trace)
         print(f"  ground-truth trace written to {path}")
+    run_ledger.annotate_run(
+        fingerprint=fingerprint(
+            "cli.run", args.benchmark, args.nodes, args.cap, args.seed,
+            get_platform(args.platform).id,
+        ),
+        platforms=[get_platform(args.platform).id],
+        jobs=1,
+        nodes=args.nodes,
+        energy_j=measured.result.total_energy_j(),
+        metrics=summarize_run(measured.result).ledger_fields(),
+    )
     return 0
 
 
@@ -238,6 +316,14 @@ def _cmd_survey(args: argparse.Namespace) -> int:
             rows=rows,
             title=f"workload survey ({args.nodes} node(s))",
         )
+    )
+    run_ledger.annotate_run(
+        fingerprint=fingerprint("cli.survey", args.nodes, args.seed),
+        platforms=[get_platform(None).id],
+        jobs=len(rows),
+        nodes=args.nodes,
+        energy_j=round(sum(row[5] for row in rows) * 1e6, 6),
+        metrics={"benchmarks": len(rows)},
     )
     return 0
 
@@ -301,7 +387,18 @@ def _cmd_cap_sweep(args: argparse.Namespace) -> int:
     )
     if monitor is not None:
         print()
-        print(render_dashboard(monitor.finalize()))
+        report = monitor.finalize()
+        print(render_dashboard(report))
+        run_ledger.annotate_run(alerts=report.ledger_summary())
+    run_ledger.annotate_run(
+        fingerprint=fingerprint(
+            "cli.cap_sweep", args.benchmark, n_nodes, caps, args.seed, plat.id
+        ),
+        platforms=[plat.id],
+        jobs=len(caps),
+        nodes=n_nodes,
+        metrics={"caps_w": [round(cap, 1) for cap in caps]},
+    )
     _print_efficiency_summary()
     return 0
 
@@ -314,6 +411,10 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
     if args.json:
         result_to_json(result, args.json)
         print(f"\nresult data written to {args.json}")
+    run_ledger.annotate_run(
+        fingerprint=fingerprint("cli.reproduce", args.artifact),
+        metrics={"artifact": args.artifact},
+    )
     _print_efficiency_summary()
     return 0
 
@@ -323,6 +424,7 @@ def _cmd_obs(args: argparse.Namespace) -> int:
     if args.json_status:
         status = dict(status)
         status["monitor"] = monitor_state()
+        status["ledger"] = run_ledger.ledger_state()
         print(json.dumps(status, indent=2))
         return 0
     print("observability status")
@@ -344,6 +446,34 @@ def _cmd_obs(args: argparse.Namespace) -> int:
         f"{mon['collectors_started']} started, "
         f"{mon['signals_emitted']} health signal(s) emitted this process"
     )
+    ledger_state = run_ledger.ledger_state()
+    print(
+        f"  ledger   : {'on' if ledger_state['enabled'] else 'off'} "
+        f"-> {ledger_state['path']} ({ledger_state['records']} record(s))"
+    )
+    if ledger_state["last_run_id"]:
+        age = ledger_state["last_age_s"]
+        age_note = f", {_format_age(age)} ago" if age is not None else ""
+        print(
+            f"  last run : {ledger_state['last_run_id']} "
+            f"({ledger_state['last_kind']}, {ledger_state['last_status']}"
+            f"{age_note})"
+        )
+    checkpoint_base = checkpoint_path_from_env()
+    if checkpoint_base is not None:
+        candidates = [checkpoint_base] + [
+            checkpoint_base.with_name(checkpoint_base.name + suffix)
+            for suffix in (".capped", ".uncapped")
+        ]
+        ages = [
+            f"{path.name} ({_format_age(time.time() - path.stat().st_mtime)} old)"
+            for path in candidates
+            if path.is_file()
+        ]
+        print(
+            "  checkpoints: "
+            + (", ".join(ages) if ages else f"none yet under {checkpoint_base}")
+        )
     print("\nenvironment")
     for env in (
         obs.TRACE_ENV,
@@ -356,6 +486,9 @@ def _cmd_obs(args: argparse.Namespace) -> int:
         CACHE_DIR_ENV,
         WORKERS_ENV,
         CHECKPOINT_ENV,
+        HEARTBEAT_ENV,
+        RUNS_ENABLE_ENV,
+        RUNS_DIR_ENV,
         RENDER_CHUNK_ENV,
         TRACE_DTYPE_ENV,
     ):
@@ -406,7 +539,23 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
             checkpoint=args.checkpoint,
             checkpoint_every=args.checkpoint_every,
             resume=args.resume,
+            heartbeat=args.heartbeat,
         )
+    run_ledger.annotate_run(
+        # Execution mode (workers, live capture) is part of the
+        # fingerprint: `repro runs check` compares wall time, and a
+        # sharded or traced run is only comparable to its own kind.
+        fingerprint=fingerprint(
+            "cli.fleet", args.jobs, args.nodes, budget, args.seed, args.bin_s,
+            args.chunk, args.resolution, args.platform, args.retain_traces,
+            args.workers, args.trace is not None, args.metrics is not None,
+        ),
+        platforms=[get_platform(platform).id]
+        if node_platforms is None
+        else node_platforms,
+        jobs=args.jobs,
+        energy_j=capped.system.energy_j + uncapped.system.energy_j,
+    )
     rows = [
         [
             report.policy_name,
@@ -458,7 +607,9 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     if monitors is not None:
         for fleet_monitor in monitors:
             print()
-            print(render_dashboard(fleet_monitor.finalize()))
+            report = fleet_monitor.finalize()
+            print(render_dashboard(report))
+            run_ledger.annotate_run(alerts={report.label: report.ledger_summary()})
     _print_efficiency_summary()
     return 0
 
@@ -494,6 +645,19 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
             node_platforms=node_platforms,
         )
     report = monitor.finalize()
+    totals = report.energy.get("totals", {}) if report.energy else {}
+    run_ledger.annotate_run(
+        fingerprint=fingerprint(
+            "cli.monitor", args.jobs, args.nodes, budget, args.seed,
+            args.policy, args.resolution, args.platform, args.window,
+        ),
+        platforms=[get_platform(platform).id]
+        if node_platforms is None
+        else node_platforms,
+        jobs=args.jobs,
+        energy_j=totals.get("energy_j"),
+        alerts=report.ledger_summary(),
+    )
     print(render_dashboard(report))
     print()
     print("per-job power report")
@@ -511,6 +675,103 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
         n_nodes=args.nodes, budget_w_per_node=args.watts_per_node, copies=args.copies
     )
     print(scheduling.render(result))
+    run_ledger.annotate_run(
+        fingerprint=fingerprint(
+            "cli.schedule", args.nodes, args.watts_per_node, args.copies
+        ),
+        nodes=args.nodes,
+    )
+    return 0
+
+
+def _cmd_runs(args: argparse.Namespace) -> int:
+    """Query the durable run ledger: list / show / last / diff / check."""
+    ledger = run_ledger.RunLedger()
+    records = ledger.records()
+    action = args.runs_command
+    if action == "list":
+        selected = [
+            record
+            for record in records
+            if args.kind is None or record.kind == args.kind
+        ]
+        selected = selected[-args.limit :]
+        if args.json_out:
+            print(json.dumps([record.to_json() for record in selected], indent=2))
+            return 0
+        if not selected:
+            print(f"run ledger is empty ({ledger.path})")
+            return 0
+        rows = []
+        for record in reversed(selected):
+            label = record.label
+            if len(label) > 42:
+                label = label[:41] + "…"
+            rows.append(
+                [
+                    record.run_id,
+                    record.kind,
+                    record.status,
+                    f"{record.wall_s:.2f}" if record.wall_s is not None else "-",
+                    _format_age(record.age_s),
+                    label,
+                ]
+            )
+        print(
+            format_table(
+                headers=["Run", "Kind", "Status", "Wall (s)", "Age", "Command"],
+                rows=rows,
+                title=(
+                    f"run ledger: {len(records)} record(s) in {ledger.path}"
+                ),
+            )
+        )
+        return 0
+    if action in {"show", "last"}:
+        ref = "last" if action == "last" else args.ref
+        try:
+            record = ledger.find(ref)
+        except KeyError as exc:
+            print(f"error: {exc.args[0]}")
+            return 2
+        print(json.dumps(record.to_json(), indent=2, sort_keys=True))
+        return 0
+    if action == "diff":
+        try:
+            record_a = ledger.find(args.ref_a)
+            record_b = ledger.find(args.ref_b)
+        except KeyError as exc:
+            print(f"error: {exc.args[0]}")
+            return 2
+        changed = run_ledger.diff_records(record_a, record_b)
+        print(f"diff {record_a.run_id} -> {record_b.run_id}")
+        if not changed:
+            print("  records are equivalent (identity fields excluded)")
+            return 0
+        for key, value_a, value_b in changed:
+            print(f"  {key:36s} {value_a!r} -> {value_b!r}")
+        return 0
+    # action == "check"
+    try:
+        target = ledger.find(args.ref)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}")
+        return 2
+    if target.fingerprint is None:
+        print(f"run {target.run_id} has no config fingerprint; nothing to check")
+        return 0
+    findings, history = run_ledger.check_regression(
+        records, target, wall_threshold=args.threshold
+    )
+    print(
+        f"checked {target.run_id} ({target.kind}) against {history} "
+        f"comparable run(s)"
+    )
+    if findings:
+        for finding in findings:
+            print(f"  REGRESSION: {finding}")
+        return 1
+    print("  no regressions found")
     return 0
 
 
@@ -687,6 +948,16 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="resume from the checkpoint if present (bit-identical restart)",
     )
+    p_fleet.add_argument(
+        "--heartbeat",
+        default=None,
+        metavar="PATH",
+        help=(
+            "publish live progress (jobs folded, nodes/sec, ETA, checkpoint "
+            "age) to PATH(.capped/.uncapped) as atomically-replaced JSON; "
+            "default: REPRO_FLEET_HEARTBEAT"
+        ),
+    )
     add_platform_flag(p_fleet, mixed=True)
     p_fleet.set_defaults(func=_cmd_fleet)
 
@@ -753,6 +1024,45 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_obs.set_defaults(func=_cmd_obs)
 
+    p_runs = sub.add_parser(
+        "runs", help="query the durable run ledger (.repro_runs/)"
+    )
+    runs_sub = p_runs.add_subparsers(dest="runs_command", required=True)
+    r_list = runs_sub.add_parser("list", help="list recorded runs, newest first")
+    r_list.add_argument("--kind", default=None, help="filter by command kind")
+    r_list.add_argument(
+        "--limit", type=int, default=20, help="show at most N records (default 20)"
+    )
+    r_list.add_argument(
+        "--json", dest="json_out", action="store_true", help="emit JSON records"
+    )
+    r_list.set_defaults(func=_cmd_runs)
+    r_show = runs_sub.add_parser("show", help="print one run's full JSON record")
+    r_show.add_argument(
+        "ref", nargs="?", default="last", help="run id prefix or 'last'"
+    )
+    r_show.set_defaults(func=_cmd_runs)
+    r_last = runs_sub.add_parser("last", help="print the most recent record")
+    r_last.set_defaults(func=_cmd_runs)
+    r_diff = runs_sub.add_parser(
+        "diff", help="changed configuration/outcome fields between two runs"
+    )
+    r_diff.add_argument("ref_a", help="run id prefix or 'last'")
+    r_diff.add_argument("ref_b", nargs="?", default="last")
+    r_diff.set_defaults(func=_cmd_runs)
+    r_check = runs_sub.add_parser(
+        "check", help="regression-check a run against its ledger history"
+    )
+    r_check.add_argument("ref", nargs="?", default="last")
+    r_check.add_argument(
+        "--threshold",
+        type=float,
+        default=0.25,
+        metavar="FRACTION",
+        help="wall-time slowdown threshold vs the best comparable run",
+    )
+    r_check.set_defaults(func=_cmd_runs)
+
     return parser
 
 
@@ -770,18 +1080,32 @@ def main(argv: Sequence[str] | None = None) -> int:
     # Label the viewer rows in exported Chrome traces.
     obs.name_process(f"repro {args.command}")
     obs.name_thread("main")
+    # Executing commands leave one durable record in the run ledger.
+    # Recording is silent (the record is queried via `repro runs`, not
+    # printed) so command output stays byte-stable run to run.
+    if args.command in _RECORDED_COMMANDS:
+        run_ledger.begin_run(
+            args.command,
+            shlex.join(list(argv) if argv is not None else sys.argv[1:]),
+        )
     try:
         code = args.func(args)
         for path, kind in obs.flush().items():
             print(f"{kind} written to {path}")
+        _annotate_efficiency()
+        run_ledger.finish_run("ok" if code == 0 else f"exit-{code}")
         return code
     except BrokenPipeError:
         # Output piped into a pager/head that closed early — not an error.
+        run_ledger.discard_run()
         try:
             sys.stdout.close()
         except OSError:
             pass
         return 0
+    except Exception:
+        run_ledger.finish_run("error")
+        raise
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

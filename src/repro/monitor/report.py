@@ -104,6 +104,18 @@ class MonitorReport:
         path.write_text(json.dumps(self.to_json(), indent=2) + "\n")
         return path
 
+    def ledger_summary(self) -> dict[str, object]:
+        """Compact alert/signal counts for the run ledger's ``alerts`` field."""
+        totals = self.energy.get("totals", {}) if self.energy else {}
+        return {
+            "signals": self.total_signals,
+            "signal_kinds": self.distinct_signal_kinds,
+            "fired": self.alerts_fired,
+            "resolved": self.alerts_resolved,
+            "nodes_watched": self.nodes_watched,
+            "energy_j": totals.get("energy_j"),
+        }
+
 
 def render_dashboard(report: MonitorReport, max_rows: int = 10) -> str:
     """The operator-facing text dashboard for one monitoring session."""

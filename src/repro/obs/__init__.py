@@ -8,7 +8,15 @@ has three parts:
   (``chrome://tracing`` / Perfetto) JSON exporter;
 * :mod:`repro.obs.metrics` — counters / gauges / histograms with
   Prometheus text-exposition and JSON snapshot exporters;
-* :mod:`repro.obs.logconf` — stdlib logging wiring (``REPRO_LOG``).
+* :mod:`repro.obs.logconf` — stdlib logging wiring (``REPRO_LOG``);
+* :mod:`repro.obs.merge` — cross-process capture: workers record into a
+  fresh tracer/registry and ship an ``ObsPartial`` back with their
+  results, folded into the coordinator's state (sharded fleet runs and
+  parallel sweeps stay fully observable);
+* :mod:`repro.obs.ledger` — durable JSON-lines run ledger
+  (``.repro_runs/``, the ``repro runs`` CLI);
+* :mod:`repro.obs.heartbeat` — live progress telemetry for long fleet
+  runs (``REPRO_FLEET_HEARTBEAT`` / ``--heartbeat``).
 
 This module owns the *global observability state* and the cheap
 module-level helpers the hot layers call:

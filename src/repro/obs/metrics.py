@@ -126,6 +126,22 @@ class Counter:
             }
         return {"type": "counter", "help": self.help_text, "values": series}
 
+    # -- cross-process merge --------------------------------------------
+    def state(self) -> dict[str, Any]:
+        """Picklable per-series state (for :mod:`repro.obs.merge`)."""
+        with self._lock:
+            return {"values": dict(self._values)}
+
+    def merge_state(self, state: dict[str, Any]) -> None:
+        """Fold another counter's :meth:`state` in (values add).
+
+        Addition is commutative, so merging worker states in any arrival
+        order yields exactly the totals a serial run would have counted.
+        """
+        with self._lock:
+            for key, value in state["values"].items():
+                self._values[key] = self._values.get(key, 0.0) + value
+
 
 class Gauge:
     """A point-in-time value that can move both ways."""
@@ -171,6 +187,22 @@ class Gauge:
                 for key, value in sorted(self._values.items())
             }
         return {"type": "gauge", "help": self.help_text, "values": series}
+
+    # -- cross-process merge --------------------------------------------
+    def state(self) -> dict[str, Any]:
+        """Picklable per-series state (for :mod:`repro.obs.merge`)."""
+        with self._lock:
+            return {"values": dict(self._values)}
+
+    def merge_state(self, state: dict[str, Any]) -> None:
+        """Fold another gauge's :meth:`state` in (last writer wins).
+
+        Gauges are point-in-time readings, so a worker's value replaces
+        the local one — the merged gauge reports whatever was observed
+        most recently in absorb order.
+        """
+        with self._lock:
+            self._values.update(state["values"])
 
 
 class Histogram:
@@ -251,6 +283,36 @@ class Histogram:
                 "count": self._total,
             }
 
+    # -- cross-process merge --------------------------------------------
+    def state(self) -> dict[str, Any]:
+        """Picklable bucket state (for :mod:`repro.obs.merge`)."""
+        with self._lock:
+            return {
+                "bounds": tuple(self.bounds),
+                "counts": list(self._counts),
+                "sum": self._sum,
+                "count": self._total,
+            }
+
+    def merge_state(self, state: dict[str, Any]) -> None:
+        """Fold another histogram's :meth:`state` in (bucket counts add).
+
+        Raises
+        ------
+        ValueError
+            If the bucket bounds differ — counts cannot be re-bucketed.
+        """
+        if tuple(state["bounds"]) != tuple(self.bounds):
+            raise ValueError(
+                f"histogram {self.name}: cannot merge states with different "
+                f"bucket bounds ({state['bounds']} vs {self.bounds})"
+            )
+        with self._lock:
+            for index, count in enumerate(state["counts"]):
+                self._counts[index] += count
+            self._sum += state["sum"]
+            self._total += state["count"]
+
 
 class MetricsRegistry:
     """Get-or-create registry of named metrics with both exporters."""
@@ -322,6 +384,47 @@ class MetricsRegistry:
         with self._lock:
             metrics = [(name, self._metrics[name]) for name in sorted(self._metrics)]
         return {name: metric.snapshot() for name, metric in metrics}
+
+    # -- cross-process merge --------------------------------------------
+    def state(self) -> dict[str, Any]:
+        """Picklable snapshot of every metric's mergeable state.
+
+        The payload :class:`repro.obs.merge.ObsPartial` ships across the
+        process-pool boundary; :meth:`merge_state` folds it back in.
+        """
+        with self._lock:
+            metrics = list(self._metrics.items())
+        kinds = {Counter: "counter", Gauge: "gauge", Histogram: "histogram"}
+        return {
+            name: {
+                "kind": kinds[type(metric)],
+                "help": metric.help_text,
+                "state": metric.state(),
+            }
+            for name, metric in metrics
+        }
+
+    def merge_state(self, state: dict[str, Any]) -> None:
+        """Fold a :meth:`state` payload in (get-or-create, then merge).
+
+        Counters add, gauges take the incoming value, histograms add
+        bucket counts — so merging every worker's registry into the
+        coordinator's reproduces exactly the counter totals a serial run
+        accumulates in one process.
+        """
+        for name, entry in sorted(state.items()):
+            kind = entry["kind"]
+            if kind == "counter":
+                metric = self.counter(name, entry["help"])
+            elif kind == "gauge":
+                metric = self.gauge(name, entry["help"])
+            elif kind == "histogram":
+                metric = self.histogram(
+                    name, entry["help"], buckets=entry["state"]["bounds"]
+                )
+            else:
+                raise ValueError(f"unknown metric kind {kind!r} for {name!r}")
+            metric.merge_state(entry["state"])
 
     def export_prometheus(self, path: str | Path) -> Path:
         """Write the Prometheus exposition to a file; returns the path."""

@@ -17,9 +17,11 @@ Design constraints:
 * **Thread- and process-safe identity.**  Every event records the OS
   process id and thread id it was emitted from, so traces from the
   serial path and from in-process threads interleave correctly in the
-  viewer.  (Sweep *worker processes* do not ship events back; the
-  executor runs in-process while tracing is active — see
-  :mod:`repro.runner.sweep`.)
+  viewer.  Sweep and fleet *worker processes* capture their own spans
+  into an :class:`repro.obs.merge.ObsPartial` and ship them back with
+  their results; :meth:`Tracer.absorb` rebases them onto the
+  coordinator's epoch, so one exported file carries per-worker ``pid``
+  rows.
 * **Determinism.**  Tracing only ever reads the wall clock; it never
   touches the RNG streams or the computation, so instrumented runs are
   bit-identical to uninstrumented ones.
@@ -31,9 +33,9 @@ import json
 import os
 import threading
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from pathlib import Path
-from typing import Any
+from typing import Any, Sequence
 
 
 @dataclass(frozen=True)
@@ -191,6 +193,50 @@ class Tracer:
         )
         with self._lock:
             self._thread_names[key] = name
+
+    # -- cross-process merge --------------------------------------------
+    @property
+    def epoch_perf_s(self) -> float:
+        """This tracer's epoch on the ``time.perf_counter`` clock.
+
+        On platforms where ``perf_counter`` is a system-wide monotonic
+        clock (Linux: ``CLOCK_MONOTONIC``), two processes' epochs are
+        directly comparable — which is what lets :meth:`absorb` rebase a
+        worker tracer's timestamps onto the coordinator's timeline.
+        """
+        return self._epoch
+
+    def metadata(self) -> tuple[dict[int, str], dict[tuple[int, int], str]]:
+        """Copies of the (process_names, thread_names) label maps."""
+        with self._lock:
+            return dict(self._process_names), dict(self._thread_names)
+
+    def absorb(
+        self,
+        events: "Sequence[TraceEvent]",
+        *,
+        process_names: dict[int, str] | None = None,
+        thread_names: dict[tuple[int, int], str] | None = None,
+        offset_us: float = 0.0,
+    ) -> int:
+        """Merge events recorded by another tracer into this one.
+
+        ``offset_us`` shifts the incoming timestamps onto this tracer's
+        epoch (``(other.epoch_perf_s - self.epoch_perf_s) * 1e6`` when
+        both epochs share a clock).  Process/thread labels merge in;
+        events keep their origin pid/tid, so a merged Chrome export shows
+        one row per worker process.  Returns the number of events added.
+        """
+        shifted = [
+            replace(event, start_us=event.start_us + offset_us) for event in events
+        ]
+        with self._lock:
+            self._events.extend(shifted)
+            if process_names:
+                self._process_names.update(process_names)
+            if thread_names:
+                self._thread_names.update(thread_names)
+        return len(shifted)
 
     # -- inspection / export -------------------------------------------
     @property

@@ -36,6 +36,16 @@ class RunLogSummary:
         """Total time across phases (the OUTCAR 'LOOP+' analogue)."""
         return sum(seconds for _, seconds in self.phase_times.values())
 
+    def ledger_fields(self) -> dict[str, object]:
+        """The summary as run-ledger ``metrics`` fields (``repro runs``)."""
+        return {
+            "runtime_s": round(self.runtime_s, 6),
+            "energy_j": round(self.total_energy_j, 6),
+            "cap_w": self.gpu_power_cap_w,
+            "nodes": self.n_nodes,
+            "phases": len(self.phase_times),
+        }
+
 
 def summarize_run(result: RunResult) -> RunLogSummary:
     """Build the summary a run log records."""

@@ -20,6 +20,13 @@ Determinism contract: parallel execution is bit-identical to serial
 execution.  Seeds are part of the spec, engine inputs are rebuilt from
 the spec inside the worker, and nothing about worker identity enters the
 computation.
+
+Observability composes with the pool: when tracing/metrics are active,
+each worker wraps its specs in a fresh per-process capture
+(:mod:`repro.obs.merge`) and ships the recorded spans and metric state
+back with the result — the coordinator's merged trace shows every
+``sweep.spec`` span under its worker's pid row, and merged counters
+equal a serial run's exactly.
 """
 
 from __future__ import annotations
@@ -32,6 +39,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Sequence, TypeVar
 
 from repro import obs
+from repro.obs import merge as obs_merge
 from repro.runner.cache import fingerprint
 from repro.runner.engine import EngineConfig
 from repro.vasp.workload import VaspWorkload
@@ -163,6 +171,35 @@ def execute_spec(spec: Any) -> Any:
     return spec.execute()
 
 
+def _call_captured(payload: tuple) -> tuple:
+    """Worker-side: run one spec under a fresh observability capture.
+
+    Mirrors :meth:`SweepExecutor._run_serial` exactly — same
+    ``sweep.spec`` span, same latency histogram — so the merged
+    coordinator state is indistinguishable from an in-process run.
+    Returns ``(result, ObsPartial | None)``.
+    """
+    fn, task, index, (trace_on, metrics_on) = payload
+    token = obs_merge.begin_worker_capture(
+        trace_on,
+        metrics_on,
+        process_label=f"repro sweep worker {os.getpid()}",
+        thread_label="sweep",
+    )
+    try:
+        start = time.perf_counter()
+        with obs.span("sweep.spec", index=index, spec=type(task).__name__):
+            result = fn(task)
+        obs.observe(
+            "repro_sweep_spec_seconds",
+            time.perf_counter() - start,
+            help_text="Per-spec sweep execution latency",
+        )
+    finally:
+        partial = obs_merge.finish_worker_capture(token)
+    return result, partial
+
+
 def available_cpus() -> int:
     """CPUs this process may actually run on (affinity-aware).
 
@@ -292,33 +329,37 @@ class SweepExecutor:
             obs.observe(
                 "repro_sweep_spec_seconds",
                 time.perf_counter() - start,
-                help_text="Per-spec sweep execution latency (in-process path)",
+                help_text="Per-spec sweep execution latency",
             )
         return results
 
     def _execute(
         self, fn: Callable[[SpecT], ResultT], tasks: list[SpecT], workers: int
     ) -> list[ResultT]:
-        if obs.is_active():
-            # Spans and metrics recorded inside pool workers would die
-            # with the worker process; while observability is on, run
-            # in-process so engine/cache instrumentation lands in the
-            # session's tracer and registry.  Results are identical by
-            # the serial == parallel contract.
-            if workers > 1:
-                logger.debug(
-                    "observability active: executing %d specs in-process "
-                    "(would have used %d workers)",
-                    len(tasks),
-                    workers,
-                )
-            return self._run_serial(fn, tasks)
         if workers <= 1 or len(tasks) <= 1:
+            if obs.is_active():
+                return self._run_serial(fn, tasks)
             return [fn(task) for task in tasks]
+        capture = obs_merge.capture_flags()
         chunksize = max(len(tasks) // (workers * 4), 1)
         try:
             with ProcessPoolExecutor(max_workers=workers) as pool:
-                return list(pool.map(fn, tasks, chunksize=chunksize))
+                if capture is None:
+                    return list(pool.map(fn, tasks, chunksize=chunksize))
+                # Observability on: wrap each spec in a worker-side
+                # capture and fold the shipped spans/metrics into the
+                # coordinator's live state as results stream back.
+                payloads = [
+                    (fn, task, index, capture)
+                    for index, task in enumerate(tasks)
+                ]
+                results: list[ResultT] = []
+                for result, partial in pool.map(
+                    _call_captured, payloads, chunksize=chunksize
+                ):
+                    obs_merge.absorb_partial(partial)
+                    results.append(result)
+                return results
         except (OSError, PermissionError, ImportError) as exc:
             # Pools need fork/spawn and pipes; restricted hosts fall back
             # to serial execution (identical results, by construction).
@@ -329,6 +370,8 @@ class SweepExecutor:
                 exc,
                 len(tasks),
             )
+            if obs.is_active():
+                return self._run_serial(fn, tasks)
             return [fn(task) for task in tasks]
 
 

@@ -1,0 +1,24 @@
+"""Repo-wide fixtures: keep durable side-channels out of the source tree.
+
+The run ledger (:mod:`repro.obs.ledger`) appends to ``.repro_runs/`` in
+the working directory by default.  Tests exercise the CLI from the repo
+root, so without redirection every test run would litter (and mutate) a
+real ledger; point it at a session-temporary directory instead.  Tests
+that need their own ledger location simply set ``REPRO_RUNS_DIR``
+themselves (monkeypatch wins over this session-scoped default).
+"""
+
+import pytest
+
+from repro.obs.ledger import RUNS_DIR_ENV
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_run_ledger(tmp_path_factory):
+    """Redirect the run ledger to a temp dir for the whole test session."""
+    patcher = pytest.MonkeyPatch()
+    patcher.setenv(
+        RUNS_DIR_ENV, str(tmp_path_factory.mktemp("repro_runs"))
+    )
+    yield
+    patcher.undo()

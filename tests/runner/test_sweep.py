@@ -1,5 +1,7 @@
 """Unit tests for the sweep executor and run specs."""
 
+import os
+
 import numpy as np
 import pytest
 
@@ -221,11 +223,11 @@ class TestObservabilityIntegration:
         yield
         obs.disable()
 
-    def test_active_obs_forces_in_process_execution(self, workload):
-        """With tracing on, specs run in-process so their spans survive."""
+    def test_pooled_execution_merges_worker_obs(self, workload):
+        """With tracing on, worker captures merge back: every per-spec
+        span and histogram observation survives pool execution."""
         obs.enable(trace=True, metrics=True)
         specs = [EstimateSpec(workload, n_nodes=n) for n in (1, 2, 4, 8)]
-        # workers=4 would normally use the process pool for this grid.
         results = SweepExecutor(workers=4).run(specs)
         assert len(results) == 4
         names = [e.name for e in obs.tracer().events]
@@ -233,6 +235,9 @@ class TestObservabilityIntegration:
         assert "sweep.map" in names
         histogram = obs.metrics().get("repro_sweep_spec_seconds")
         assert histogram.count == 4
+        # The merged spans kept their worker process ids.
+        span_pids = {e.pid for e in obs.tracer().events if e.name == "sweep.spec"}
+        assert os.getpid() not in span_pids
 
     def test_sweep_counters_recorded(self, workload):
         obs.enable(metrics=True)
