@@ -55,6 +55,16 @@ OBS_OVERHEAD_THRESHOLD = 0.10
 #: The ratio is load-invariant (eager pays O(pool) construction the
 #: sharded lazy path skips entirely), so it gates on any host.
 SHARD_SPEEDUP_FLOOR = 2.0
+#: Hard floor on the surrogate's per-point speedup over exact simulation.
+#: The ratio compares a ~100 us ridge evaluation against a full engine
+#: run of the same point on the same host, so it is load-invariant and
+#: sits orders of magnitude above the floor when the fast path is intact.
+SURROGATE_SPEEDUP_FLOOR = 100.0
+#: Held-out-workload HPM MAPE that fails the surrogate accuracy gate
+#: (deterministic: seeded corpus, seeded k-means, exact ridge solve).
+SURROGATE_MAPE_CEILING = 0.25
+#: Held-out-cap HPM MAPE ceiling (same determinism).
+SURROGATE_CAP_MAPE_CEILING = 0.25
 
 
 def collect_efficiency() -> dict[str, float | int]:
@@ -224,6 +234,35 @@ def collect_shard() -> dict[str, float | int]:
     }
 
 
+def collect_surrogate() -> dict[str, float | int]:
+    """Surrogate speedup and held-out accuracy fields for the baseline.
+
+    Reuses the benchmark suite's measurement (default training corpus,
+    per-prediction latency vs one exact engine run, leave-one-out
+    workload x cap evaluation).  The accuracy numbers are deterministic
+    — seeded corpus, seeded k-means, exact ridge solve — so any drift is
+    a real model change; the speedup ratio is same-host and only gated
+    against its (far-away) floor.
+    """
+    import sys as _sys
+
+    _sys.path.insert(0, str(REPO_ROOT / "src"))
+    _sys.path.insert(0, str(REPO_ROOT))
+    from benchmarks.test_surrogate_bench import measure_surrogate
+
+    stats = measure_surrogate()
+    return {
+        "corpus_size": stats["corpus_size"],
+        "train_s": round(stats["train_s"], 4),
+        "predict_us": round(stats["predict_s"] * 1.0e6, 1),
+        "engine_s": round(stats["engine_s"], 4),
+        "speedup": round(stats["speedup"], 1),
+        "mape": round(stats["mape"], 4),
+        "worst_ape": round(stats["worst_ape"], 4),
+        "cap_mape": round(stats["cap_mape"], 4),
+    }
+
+
 def run_benchmarks(json_path: Path) -> None:
     """Run the benchmark suite, writing pytest-benchmark JSON output."""
     cmd = [
@@ -267,6 +306,7 @@ def write_baseline(times: dict[str, float], machine_note: str = "") -> None:
         "monitor": collect_monitor(),
         "obs": collect_obs(),
         "shard": collect_shard(),
+        "surrogate": collect_surrogate(),
         "benchmarks": {name: {"min_s": value} for name, value in sorted(times.items())},
     }
     BASELINE_PATH.write_text(json.dumps(payload, indent=2) + "\n")
@@ -423,6 +463,34 @@ def compare(times: dict[str, float], threshold: float) -> int:
             failures.append(
                 f"shard: 100k-node speedup {now_shard['speedup_vs_eager']:.2f}x "
                 f"below the {SHARD_SPEEDUP_FLOOR:.0f}x floor"
+            )
+    # Surrogate gate: the fast path must keep its >= 100x per-point
+    # speedup, and held-out accuracy (deterministic) must stay under the
+    # MAPE ceilings — a silent feature or training regression shows up
+    # here even when every timing is clean.
+    base_surro = baseline.get("surrogate")
+    if base_surro is not None:
+        now_surro = collect_surrogate()
+        print("\nsurrogate (per-point speedup + held-out accuracy):")
+        for key in sorted(set(base_surro) | set(now_surro)):
+            base_v = base_surro.get(key, "-")
+            now_v = now_surro.get(key, "-")
+            changed = "" if base_v == now_v else "  (changed)"
+            print(f"  {key:22s} {base_v!s:>12} -> {now_v!s:>12}{changed}")
+        if now_surro["speedup"] < SURROGATE_SPEEDUP_FLOOR:
+            failures.append(
+                f"surrogate: per-point speedup {now_surro['speedup']:.0f}x "
+                f"below the {SURROGATE_SPEEDUP_FLOOR:.0f}x floor"
+            )
+        if now_surro["mape"] > SURROGATE_MAPE_CEILING:
+            failures.append(
+                f"surrogate: held-out workload MAPE {now_surro['mape']:.3f} "
+                f"above the {SURROGATE_MAPE_CEILING:.2f} ceiling"
+            )
+        if now_surro["cap_mape"] > SURROGATE_CAP_MAPE_CEILING:
+            failures.append(
+                f"surrogate: held-out cap MAPE {now_surro['cap_mape']:.3f} "
+                f"above the {SURROGATE_CAP_MAPE_CEILING:.2f} ceiling"
             )
     if failures:
         print("\nguarded benches regressed:")

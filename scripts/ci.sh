@@ -40,6 +40,38 @@ echo "== cross-platform smoke (registry + h100 cap sweep) =="
 python -m repro platforms
 python -m repro cap-sweep PdO2 --platform h100-sxm --nodes 1
 
+echo "== surrogate smoke (train -> predict -> verified cap search) =="
+# First command trains and persists the store; the rest must hit it.
+export REPRO_SURROGATE_DIR="$SMOKE_DIR/surrogate"
+python -m repro predict Si256_hse --nodes 1 --cap 300
+python -m repro cap-sweep PdO4 --nodes 1 --surrogate
+python - <<'PY'
+from repro.capping.policy import search_cap_policy
+from repro.prediction import load_or_train
+from repro.vasp.benchmarks import benchmark
+
+pairs = [
+    (benchmark("PdO2").build(), 1),
+    (benchmark("Si256_hse").build(), 1),
+    (benchmark("GaAsBi-64").build(), 1),
+]
+caps = [125.0, 200.0, 300.0, 400.0]
+surrogate = load_or_train()  # served from the store the smoke just wrote
+fast = search_cap_policy(pairs, caps, slowdown_limit=1.5, surrogate=surrogate)
+exact = search_cap_policy(pairs, caps, slowdown_limit=1.5)
+assert fast.best_policy.caps_w == exact.best_policy.caps_w, (
+    f"surrogate winner {fast.best_policy.caps_w} "
+    f"!= exhaustive {exact.best_policy.caps_w}"
+)
+error = fast.verification_error
+assert error is not None and error < 0.2, f"verification error {error}"
+print(
+    f"cap search ok: winner matches exhaustive search, "
+    f"{fast.predictions} predictions / {fast.fallbacks} fallbacks, "
+    f"winner verification error {error:.1%}"
+)
+PY
+
 echo "== sharded fleet smoke (bit-identity vs serial) =="
 FLEET_ARGS=(fleet --jobs 4 --nodes 6 --seed 3 --resolution 1.0)
 # Cache/sweep summary lines vary with worker count (each worker process

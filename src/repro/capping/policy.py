@@ -14,11 +14,20 @@ GPU power caps.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
+import itertools
+import logging
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Sequence
 
+from repro import obs
 from repro.hardware.platform import Platform, get_platform
 from repro.vasp.incar import Incar
 from repro.vasp.workload import VaspWorkload
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.prediction.model import TwoStageSurrogate
+
+logger = logging.getLogger(__name__)
 
 
 class WorkloadClass(enum.Enum):
@@ -90,3 +99,276 @@ class CapPolicy:
     def half_tdp(cls, platform: "str | Platform | None" = None) -> "CapPolicy":
         """The paper's recommended 50 %-of-TDP policy."""
         return cls(platform=platform)
+
+
+# ---------------------------------------------------------------------------
+# Cap-policy search (surrogate fast path, exact winner verification)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CandidateOutcome:
+    """One evaluated candidate policy: its caps, objective and feasibility."""
+
+    cap_higher_w: float
+    cap_dft_w: float
+    #: Total energy over the workload set (per-node energy x nodes), J.
+    energy_j: float
+    #: Worst per-workload cap-induced slowdown under this policy.
+    max_slowdown: float
+
+    def feasible(self, slowdown_limit: float) -> bool:
+        """Whether the worst slowdown stays inside the limit."""
+        return self.max_slowdown <= slowdown_limit + 1e-9
+
+
+@dataclass
+class CapPolicySearchResult:
+    """Outcome of a cap-policy search over a candidate grid.
+
+    When the search ran on the surrogate, the winner's objective is
+    re-simulated exactly (the verify-the-winner contract) and
+    ``verification_error`` reports how far the fast path was off —
+    candidates that lost are never re-simulated, which is where the
+    speedup comes from.
+    """
+
+    best_policy: CapPolicy
+    best: CandidateOutcome
+    outcomes: list[CandidateOutcome]
+    slowdown_limit: float
+    used_surrogate: bool
+    #: Surrogate predictions served / engine fallbacks during the search.
+    predictions: int = 0
+    fallbacks: int = 0
+    #: The winner's objective re-simulated exactly (surrogate runs only).
+    exact_energy_j: float | None = None
+    exact_max_slowdown: float | None = None
+    notes: list[str] = field(default_factory=list)
+
+    @property
+    def verification_error(self) -> float | None:
+        """Relative surrogate-vs-exact error on the winner's objective."""
+        if self.exact_energy_j is None or not self.used_surrogate:
+            return None
+        return abs(self.best.energy_j - self.exact_energy_j) / self.exact_energy_j
+
+
+def _pair_key(workload: VaspWorkload, n_nodes: int) -> tuple[str, int]:
+    return (workload.name, n_nodes)
+
+
+def _exact_table(
+    pairs: "Sequence[tuple[VaspWorkload, int]]",
+    caps: Sequence[float],
+    platform: "str | Platform | None",
+    seed: int,
+    workers: int | None,
+) -> dict[tuple[str, int, float | None], tuple[float, float]]:
+    """Engine truth for every (workload, nodes) x (caps + uncapped) point.
+
+    Returns (energy-per-node J, slowdown) per point, computed through the
+    sweep executor — candidates sharing a cap for a class share these
+    engine runs, and the uncapped baseline is one run per pair.
+    """
+    from repro.runner.sweep import RunSpec, SweepExecutor
+
+    plat = get_platform(platform)
+    cap_grid: list[float | None] = [None] + list(dict.fromkeys(caps))
+    specs = [
+        RunSpec(
+            workload=workload,
+            n_nodes=n_nodes,
+            gpu_cap_w=cap_w,
+            seed=seed,
+            platform=plat.id,
+        )
+        for workload, n_nodes in pairs
+        for cap_w in cap_grid
+    ]
+    results = SweepExecutor(workers=workers).run(specs)
+    table: dict[tuple[str, int, float | None], tuple[float, float]] = {}
+    measured = {}
+    index = 0
+    for workload, n_nodes in pairs:
+        for cap_w in cap_grid:
+            measured[(workload.name, n_nodes, cap_w)] = results[index]
+            index += 1
+    for workload, n_nodes in pairs:
+        baseline = measured[(workload.name, n_nodes, None)]
+        for cap_w in cap_grid:
+            run = measured[(workload.name, n_nodes, cap_w)]
+            table[(workload.name, n_nodes, cap_w)] = (
+                run.result.total_energy_j() / n_nodes,
+                run.runtime_s / baseline.runtime_s,
+            )
+    return table
+
+
+def search_cap_policy(
+    pairs: "Sequence[tuple[VaspWorkload, int]]",
+    caps_w: Sequence[float],
+    platform: "str | Platform | None" = None,
+    slowdown_limit: float = 1.25,
+    surrogate: "TwoStageSurrogate | None" = None,
+    seed: int = 7,
+    workers: int | None = None,
+) -> CapPolicySearchResult:
+    """Search per-class cap assignments for the lowest-energy policy.
+
+    Candidates are the cross product of ``caps_w`` over the two workload
+    classes.  A candidate's objective is the total energy-to-solution of
+    the (workload, node count) set under its caps; candidates whose worst
+    cap-induced slowdown exceeds ``slowdown_limit`` are infeasible (when
+    nothing is feasible, the least-slow candidate wins and a note says
+    so).
+
+    With ``surrogate`` set, every candidate point is predicted instead of
+    simulated (out-of-envelope predictions fall back to the engine
+    per-point), and only the winning policy is re-simulated exactly —
+    the fast path evaluates ``caps^2`` candidates for the engine cost of
+    roughly one.
+    """
+    if not pairs:
+        raise ValueError("need at least one (workload, n_nodes) pair")
+    caps = list(dict.fromkeys(caps_w))
+    if not caps:
+        raise ValueError("need at least one candidate cap")
+    plat = get_platform(platform)
+    spec = plat.gpu
+    for cap in caps:
+        if not (spec.cap_min_w <= cap <= spec.cap_max_w):
+            raise ValueError(
+                f"candidate cap {cap:.0f} W outside {spec.name} range "
+                f"[{spec.cap_min_w:.0f}, {spec.cap_max_w:.0f}] W"
+            )
+
+    classes = {
+        _pair_key(workload, n_nodes): classify_workload(workload)
+        for workload, n_nodes in pairs
+    }
+
+    predictions = 0
+    fallbacks = 0
+    notes: list[str] = []
+
+    with obs.span(
+        "capping.search_cap_policy",
+        candidates=len(caps) ** 2,
+        pairs=len(pairs),
+        surrogate=surrogate is not None,
+    ):
+        # Per-point measurements for every candidate cap (plus uncapped).
+        if surrogate is None:
+            table = _exact_table(pairs, caps, plat, seed, workers)
+        else:
+            table = {}
+            exact_pairs: list[tuple[VaspWorkload, int]] = []
+            seen_pairs: set[tuple[str, int]] = set()
+            exact_caps: set[float] = set()
+            for workload, n_nodes in pairs:
+                for cap_w in caps:
+                    prediction = surrogate.predict(workload, n_nodes, cap_w, plat.id)
+                    predictions += 1
+                    if prediction.in_envelope:
+                        table[(workload.name, n_nodes, cap_w)] = (
+                            prediction.energy_per_node_j,
+                            prediction.slowdown,
+                        )
+                    else:
+                        fallbacks += 1
+                        if (workload.name, n_nodes) not in seen_pairs:
+                            seen_pairs.add((workload.name, n_nodes))
+                            exact_pairs.append((workload, n_nodes))
+                        exact_caps.add(cap_w)
+            if exact_pairs:
+                notes.append(
+                    f"{fallbacks} out-of-envelope point(s) re-simulated exactly"
+                )
+                exact = _exact_table(
+                    exact_pairs, sorted(exact_caps), plat, seed, workers
+                )
+                for key, value in exact.items():
+                    if key[2] is not None:
+                        table[key] = value
+
+        # Score every candidate from the point table.
+        outcomes: list[CandidateOutcome] = []
+        for cap_higher, cap_dft in itertools.product(caps, repeat=2):
+            energy = 0.0
+            worst = 1.0
+            for workload, n_nodes in pairs:
+                cls = classes[_pair_key(workload, n_nodes)]
+                cap = cap_higher if cls is WorkloadClass.HIGHER_ORDER else cap_dft
+                energy_per_node, slowdown = table[(workload.name, n_nodes, cap)]
+                energy += energy_per_node * n_nodes
+                worst = max(worst, slowdown)
+            outcomes.append(
+                CandidateOutcome(
+                    cap_higher_w=cap_higher,
+                    cap_dft_w=cap_dft,
+                    energy_j=energy,
+                    max_slowdown=worst,
+                )
+            )
+
+        feasible = [o for o in outcomes if o.feasible(slowdown_limit)]
+        if feasible:
+            best = min(feasible, key=lambda o: o.energy_j)
+        else:
+            best = min(outcomes, key=lambda o: o.max_slowdown)
+            notes.append(
+                f"no candidate met the {slowdown_limit:.2f}x slowdown limit; "
+                f"picked the least-slow one"
+            )
+        best_policy = CapPolicy(
+            caps_w={
+                WorkloadClass.HIGHER_ORDER: best.cap_higher_w,
+                WorkloadClass.BASIC_DFT: best.cap_dft_w,
+            },
+            platform=plat,
+        )
+
+        # Verify the winner: re-simulate only the winning policy exactly.
+        exact_energy: float | None = None
+        exact_worst: float | None = None
+        if surrogate is not None:
+            winner_caps = sorted({best.cap_higher_w, best.cap_dft_w})
+            exact = _exact_table(pairs, winner_caps, plat, seed, workers)
+            exact_energy = 0.0
+            exact_worst = 1.0
+            for workload, n_nodes in pairs:
+                cls = classes[_pair_key(workload, n_nodes)]
+                cap = (
+                    best.cap_higher_w
+                    if cls is WorkloadClass.HIGHER_ORDER
+                    else best.cap_dft_w
+                )
+                energy_per_node, slowdown = exact[(workload.name, n_nodes, cap)]
+                exact_energy += energy_per_node * n_nodes
+                exact_worst = max(exact_worst, slowdown)
+
+    result = CapPolicySearchResult(
+        best_policy=best_policy,
+        best=best,
+        outcomes=outcomes,
+        slowdown_limit=slowdown_limit,
+        used_surrogate=surrogate is not None,
+        predictions=predictions,
+        fallbacks=fallbacks,
+        exact_energy_j=exact_energy,
+        exact_max_slowdown=exact_worst,
+        notes=notes,
+    )
+    error = result.verification_error
+    if error is not None:
+        obs.observe(
+            "repro_surrogate_winner_error",
+            error,
+            help_text="Surrogate-vs-exact relative error on search winners",
+        )
+        logger.debug(
+            "cap-policy search winner verified: %.1f%% surrogate error",
+            100.0 * error,
+        )
+    return result

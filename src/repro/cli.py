@@ -8,6 +8,8 @@ Installed as ``repro`` (also ``python -m repro``)::
     repro run PdO4 --platform h100-sxm # same workload on another platform
     repro survey                       # all seven benchmarks
     repro cap-sweep Si128_acfdtr       # power-cap response of one workload
+    repro cap-sweep PdO4 --surrogate   # surrogate-scored grid, winner verified
+    repro predict Si256_hse --cap 300  # surrogate prediction, no engine run
     repro reproduce fig12              # regenerate a paper table/figure
     repro reproduce fig05 --json out.json
     repro schedule --watts-per-node 900
@@ -19,7 +21,8 @@ Installed as ``repro`` (also ``python -m repro``)::
     repro runs check                   # regression-check vs ledger history
 
 Every executing command (``run``/``survey``/``cap-sweep``/``reproduce``/
-``fleet``/``monitor``/``schedule``) also appends one structured record —
+``fleet``/``monitor``/``schedule``/``predict``) also appends one structured
+record —
 config fingerprint, platforms, wall time, energy, cache/dedupe stats,
 alert counts — to the run ledger (``REPRO_RUNS=0`` opts out,
 ``REPRO_RUNS_DIR`` relocates it); ``repro runs`` queries the history.
@@ -90,6 +93,13 @@ from repro.monitor import (
     monitoring_requested,
     render_dashboard,
 )
+from repro.prediction.model import surrogate_stats
+from repro.prediction.store import (
+    SURROGATE_DIR_ENV,
+    SURROGATE_ENV,
+    load_or_train,
+    surrogate_disabled,
+)
 from repro.runner.cache import CACHE_DIR_ENV, CACHE_ENABLE_ENV, fingerprint
 from repro.runner.engine import RENDER_CHUNK_ENV, EngineConfig
 from repro.runner.runlog import summarize_run
@@ -130,6 +140,9 @@ def _print_efficiency_summary() -> None:
     sweeps = sweep_stats()
     if sweeps.grids:
         lines.append(sweeps.summary_line())
+    surro = surrogate_stats()
+    if surro.predictions:
+        lines.append(surro.summary_line())
     if lines:
         print()
         for line in lines:
@@ -145,6 +158,7 @@ _RECORDED_COMMANDS = {
     "fleet",
     "monitor",
     "schedule",
+    "predict",
 }
 
 
@@ -170,6 +184,14 @@ def _annotate_efficiency() -> None:
             "executed": sweeps.specs_executed,
             "deduped": sweeps.specs_deduped,
             "dedupe_ratio": round(sweeps.dedupe_ratio, 4),
+        }
+    surro = surrogate_stats()
+    if surro.predictions or surro.trainings:
+        fields["surrogate"] = {
+            "predictions": surro.predictions,
+            "hits": surro.hits,
+            "fallbacks": surro.fallbacks,
+            "trainings": surro.trainings,
         }
     if fields:
         run_ledger.annotate_run(**fields)
@@ -328,6 +350,141 @@ def _cmd_survey(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cap_sweep_surrogate(
+    args: argparse.Namespace, workload, n_nodes: int, plat, caps: list[float]
+) -> int:
+    """Surrogate fast path: predict the grid, re-simulate only the winner.
+
+    Every cap is scored through the trained surrogate (out-of-envelope
+    points fall back to the engine); the winner — lowest predicted
+    energy/node within the slowdown limit — is then re-simulated exactly
+    and the surrogate-vs-exact energy error reported alongside it.
+    """
+    with obs.span("cli.cap_sweep_surrogate", benchmark=workload.name):
+        surrogate = load_or_train(workers=args.workers)
+        t0 = time.perf_counter()
+        predictions = []
+        for cap in [None, *caps]:
+            try:
+                predictions.append(
+                    surrogate.predict(
+                        workload, n_nodes=n_nodes, cap_w=cap, platform=plat.id
+                    )
+                )
+            except ValueError:
+                # Cap outside the device's range: not representable in
+                # the feature space, so the engine decides this point.
+                predictions.append(None)
+        predict_s = time.perf_counter() - t0
+    base_runtime = (
+        predictions[0].runtime_s if predictions[0] is not None else None
+    )
+    if base_runtime is None:
+        base_runtime = run_workload(
+            workload, n_nodes=n_nodes, seed=args.seed, platform=args.platform
+        ).runtime_s
+    rows = []
+    # cap -> (runtime_s, energy_per_node_j, slowdown, source)
+    table: dict[float, tuple[float, float, float, str]] = {}
+    for cap, pred in zip(caps, predictions[1:]):
+        if pred is not None and pred.in_envelope:
+            gpu_hpm = pred.tdp_fraction * plat.gpu.tdp_w
+            table[cap] = (pred.runtime_s, pred.energy_per_node_j, pred.slowdown, "surrogate")
+        else:
+            # Outside the trained envelope: run this point exactly.
+            measured = run_workload(
+                workload,
+                n_nodes=n_nodes,
+                gpu_cap_w=cap,
+                seed=args.seed,
+                platform=args.platform,
+            )
+            gpu_hpm = high_power_mode_w(measured.telemetry[0].gpu_power(0))
+            table[cap] = (
+                measured.runtime_s,
+                measured.result.total_energy_j() / n_nodes,
+                measured.runtime_s / base_runtime,
+                "engine",
+            )
+        runtime_s, energy_j, slowdown, source = table[cap]
+        rows.append(
+            [
+                f"{cap:.0f}",
+                runtime_s,
+                1.0 / slowdown if slowdown > 0 else 0.0,
+                gpu_hpm,
+                gpu_hpm / cap,
+                source,
+            ]
+        )
+    print(
+        format_table(
+            headers=["Cap (W)", "Runtime (s)", "Perf", "GPU HPM (W)", "HPM/cap", "Source"],
+            rows=rows,
+            title=(
+                f"{workload.name} cap sweep ({n_nodes} node(s), {plat.id}, "
+                "surrogate)"
+            ),
+        )
+    )
+    # Winner: lowest energy/node within the slowdown limit (least-slow
+    # cap when nothing qualifies), then one exact run to verify it.
+    feasible = [c for c in caps if table[c][2] <= args.slowdown_limit]
+    if feasible:
+        winner = min(feasible, key=lambda c: table[c][1])
+        note = ""
+    else:
+        winner = min(caps, key=lambda c: table[c][2])
+        note = f" (no cap met slowdown <= {args.slowdown_limit:g}; least-slow shown)"
+    runtime_s, energy_j, slowdown, source = table[winner]
+    measured = run_workload(
+        workload,
+        n_nodes=n_nodes,
+        gpu_cap_w=winner,
+        seed=args.seed,
+        platform=args.platform,
+    )
+    exact_energy_j = measured.result.total_energy_j() / n_nodes
+    error = abs(energy_j - exact_energy_j) / exact_energy_j
+    obs.observe("repro_surrogate_winner_error", error)
+    print()
+    print(
+        f"  winner: {winner:.0f} W — predicted {energy_j / 1e6:.3f} MJ/node, "
+        f"slowdown {slowdown:.3f}{note}"
+    )
+    print(
+        f"  exact re-simulation: {exact_energy_j / 1e6:.3f} MJ/node "
+        f"({measured.runtime_s:.0f} s) — surrogate off by {error:.1%}"
+    )
+    print(
+        f"  [{len(predictions)} predictions in "
+        f"{predict_s * 1e3:.1f} ms, 1 verification run]"
+    )
+    stats = surrogate_stats()
+    run_ledger.annotate_run(
+        fingerprint=fingerprint(
+            "cli.cap_sweep",
+            args.benchmark,
+            n_nodes,
+            caps,
+            args.seed,
+            plat.id,
+            "surrogate",
+        ),
+        platforms=[plat.id],
+        jobs=len(caps),
+        nodes=n_nodes,
+        metrics={
+            "caps_w": [round(cap, 1) for cap in caps],
+            "winner_cap_w": round(winner, 1),
+            "winner_verification_error": round(error, 4),
+            "surrogate_fallbacks": stats.fallbacks,
+        },
+    )
+    _print_efficiency_summary()
+    return 0
+
+
 def _cmd_cap_sweep(args: argparse.Namespace) -> int:
     case = benchmark(args.benchmark)
     workload = case.build()
@@ -344,6 +501,8 @@ def _cmd_cap_sweep(args: argparse.Namespace) -> int:
             0.50 * spec.tdp_w,
             max(0.25 * spec.tdp_w, spec.cap_min_w),
         ]
+    if args.surrogate and not surrogate_disabled():
+        return _cap_sweep_surrogate(args, workload, n_nodes, plat, caps)
     monitor = None
     if args.monitor or monitoring_requested():
         monitor = FleetMonitor(
@@ -398,6 +557,87 @@ def _cmd_cap_sweep(args: argparse.Namespace) -> int:
         jobs=len(caps),
         nodes=n_nodes,
         metrics={"caps_w": [round(cap, 1) for cap in caps]},
+    )
+    _print_efficiency_summary()
+    return 0
+
+
+def _cmd_predict(args: argparse.Namespace) -> int:
+    """Surrogate prediction for one (benchmark, nodes, cap, platform) point.
+
+    Trains (or loads) the two-stage surrogate, prints every predicted
+    target plus the envelope verdict; ``--exact`` also runs the engine
+    and reports the surrogate-vs-exact errors.
+    """
+    case = benchmark(args.benchmark)
+    workload = case.build()
+    n_nodes = args.nodes if args.nodes else case.optimal_nodes
+    plat = get_platform(args.platform)
+    if surrogate_disabled():
+        print(f"surrogate fast path disabled ({SURROGATE_ENV}=0); unset to enable")
+        return 1
+    with obs.span("cli.predict", benchmark=args.benchmark):
+        surrogate = load_or_train(workers=args.workers)
+        t0 = time.perf_counter()
+        pred = surrogate.predict(
+            workload, n_nodes=n_nodes, cap_w=args.cap, platform=plat.id
+        )
+        latency_us = (time.perf_counter() - t0) * 1.0e6
+    cap_note = f"{args.cap:.0f} W cap" if args.cap is not None else "uncapped"
+    print(f"{workload.name}: {n_nodes} node(s), {plat.id}, {cap_note}")
+    print(
+        f"  profile class    : {pred.class_index}"
+        f" (distance {pred.class_distance:.2f},"
+        f" uncertainty {pred.uncertainty:.3f})"
+    )
+    verdict = "in" if pred.in_envelope else "OUT -- engine recommended"
+    print(f"  envelope         : {verdict}")
+    print(f"  node HPM         : {pred.hpm_w:.0f} W")
+    print(f"  mean node power  : {pred.mean_node_power_w:.0f} W")
+    print(
+        f"  GPU HPM          : {pred.tdp_fraction * plat.gpu.tdp_w:.0f} W"
+        f" ({pred.tdp_fraction:.2f} x TDP)"
+    )
+    print(f"  runtime          : {pred.runtime_s:.0f} s (slowdown {pred.slowdown:.3f})")
+    print(f"  energy/node      : {pred.energy_per_node_j / 1.0e6:.3f} MJ")
+    print(f"  latency          : {latency_us:.0f} us/prediction")
+    metrics: dict = {
+        "in_envelope": pred.in_envelope,
+        "hpm_w": round(pred.hpm_w, 1),
+        "runtime_s": round(pred.runtime_s, 1),
+        "energy_per_node_j": round(pred.energy_per_node_j, 1),
+    }
+    if args.exact:
+        measured = run_workload(
+            workload,
+            n_nodes=n_nodes,
+            gpu_cap_w=args.cap,
+            seed=args.seed,
+            platform=args.platform,
+        )
+        exact_hpm = high_power_mode_w(measured.telemetry[0].node_power)
+        exact_energy_j = measured.result.total_energy_j() / n_nodes
+        hpm_err = abs(pred.hpm_w - exact_hpm) / exact_hpm
+        rt_err = abs(pred.runtime_s - measured.runtime_s) / measured.runtime_s
+        en_err = abs(pred.energy_per_node_j - exact_energy_j) / exact_energy_j
+        print("\nexact run (engine)")
+        print(f"  node HPM         : {exact_hpm:.0f} W ({hpm_err:.1%} error)")
+        print(f"  runtime          : {measured.runtime_s:.0f} s ({rt_err:.1%} error)")
+        print(
+            f"  energy/node      : {exact_energy_j / 1.0e6:.3f} MJ"
+            f" ({en_err:.1%} error)"
+        )
+        metrics["exact_hpm_error"] = round(hpm_err, 4)
+        metrics["exact_runtime_error"] = round(rt_err, 4)
+        metrics["exact_energy_error"] = round(en_err, 4)
+    run_ledger.annotate_run(
+        fingerprint=fingerprint(
+            "cli.predict", args.benchmark, n_nodes, args.cap, plat.id
+        ),
+        platforms=[plat.id],
+        jobs=1,
+        nodes=n_nodes,
+        metrics=metrics,
     )
     _print_efficiency_summary()
     return 0
@@ -485,6 +725,8 @@ def _cmd_obs(args: argparse.Namespace) -> int:
         CACHE_ENABLE_ENV,
         CACHE_DIR_ENV,
         WORKERS_ENV,
+        SURROGATE_ENV,
+        SURROGATE_DIR_ENV,
         CHECKPOINT_ENV,
         HEARTBEAT_ENV,
         RUNS_ENABLE_ENV,
@@ -498,6 +740,7 @@ def _cmd_obs(args: argparse.Namespace) -> int:
     for cache in (run_cache(), estimate_cache()):
         print(f"  {cache.stats().summary_line()}")
     print(f"  {sweep_stats().summary_line()}")
+    print(f"  {surrogate_stats().summary_line()}")
     print(
         "\nenable with `repro <cmd> --trace FILE --metrics FILE "
         "--log-level LEVEL` or the REPRO_* environment variables."
@@ -866,8 +1109,54 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="replay each sweep point through the fleet health monitor",
     )
+    p_sweep.add_argument(
+        "--surrogate",
+        action="store_true",
+        help=(
+            "fast path: score the cap grid through the trained surrogate, "
+            "re-simulate only the winner exactly"
+        ),
+    )
+    p_sweep.add_argument(
+        "--slowdown-limit",
+        type=float,
+        default=1.25,
+        metavar="FACTOR",
+        help="max acceptable slowdown when picking the winner (--surrogate)",
+    )
+    p_sweep.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="corpus-build workers if the surrogate must train first",
+    )
     add_platform_flag(p_sweep)
     p_sweep.set_defaults(func=_cmd_cap_sweep)
+
+    p_predict = sub.add_parser(
+        "predict",
+        help="surrogate prediction for a benchmark (no engine run)",
+        parents=[obs_flags],
+    )
+    p_predict.add_argument("benchmark", choices=benchmark_names())
+    p_predict.add_argument("--nodes", type=int, default=None)
+    p_predict.add_argument(
+        "--cap", type=float, default=None, help="GPU power cap in W"
+    )
+    p_predict.add_argument("--seed", type=int, default=7)
+    p_predict.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="corpus-build workers if the surrogate must train first",
+    )
+    p_predict.add_argument(
+        "--exact",
+        action="store_true",
+        help="also run the engine and report the surrogate's errors",
+    )
+    add_platform_flag(p_predict)
+    p_predict.set_defaults(func=_cmd_predict)
 
     p_repro = sub.add_parser(
         "reproduce", help="regenerate a paper artifact", parents=[obs_flags]

@@ -146,6 +146,116 @@ def _kmeanspp_init(z: np.ndarray, k: int, rng: np.random.Generator) -> np.ndarra
     return np.stack(centroids)
 
 
+@dataclass
+class ProfileClassifier:
+    """Stage 1 of the two-stage surrogate: workload power classes.
+
+    Fitted on **engine-derived profile features** (the same
+    telemetry-only :func:`profile_features` the top-down study uses), so
+    the classes are power classes, not input-file classes.  At prediction
+    time no power series exists yet, so assignment goes through the
+    scheduler-visible *input* features instead: each class carries the
+    centroid of its members' standardized input features, and a novel job
+    is assigned to the nearest one.
+
+    The distance to that centroid is the stage-1 **envelope** signal: a
+    job far from every class it trained on is extrapolation, and the
+    surrogate's caller should fall back to the engine.
+
+    Classes are renumbered by ascending high-power-mode centroid (class 0
+    is the lowest-power class), stable across seeds.
+    """
+
+    profile_model: ClusterModel
+    input_mean: np.ndarray
+    input_scale: np.ndarray
+    #: Per-class centroid of standardized input features, class-ordered.
+    input_centroids: np.ndarray
+    #: Largest member-to-own-centroid input distance seen in training,
+    #: per class — the in-envelope radius.
+    class_radius: np.ndarray
+    #: Training labels (class-ordered), aligned with the fitted matrix.
+    labels: np.ndarray
+
+    @property
+    def k(self) -> int:
+        """Number of classes."""
+        return self.input_centroids.shape[0]
+
+    def standardize(self, input_features: np.ndarray) -> np.ndarray:
+        """Standardize one input-feature vector with the training scale."""
+        z = (np.asarray(input_features, dtype=float) - self.input_mean)
+        return z / self.input_scale
+
+    def classify(self, input_features: np.ndarray) -> tuple[int, float]:
+        """(class index, distance to its centroid) for one input vector."""
+        z = self.standardize(input_features)
+        distances = np.linalg.norm(self.input_centroids - z, axis=1)
+        cls = int(np.argmin(distances))
+        return cls, float(distances[cls])
+
+    def in_envelope(self, cls: int, distance: float, margin: float = 1.5) -> bool:
+        """Whether a distance sits inside the class's training envelope.
+
+        ``margin`` widens the observed in-class radius: mild
+        interpolation beyond the exact training hull is what the
+        surrogate is *for*; multiples of it are extrapolation.
+        """
+        return distance <= self.class_radius[cls] * margin + 1e-9
+
+
+def fit_profile_classifier(
+    profile_matrix: np.ndarray,
+    input_matrix: np.ndarray,
+    k: int = 2,
+    seed: int = 0,
+) -> ProfileClassifier:
+    """Fit stage 1: k-means on profiles, input-feature assignment on top.
+
+    ``profile_matrix`` rows are :func:`profile_features` of each training
+    run's power series; ``input_matrix`` rows are the matching
+    scheduler-visible feature vectors.  Rows must align.
+    """
+    profiles = np.asarray(profile_matrix, dtype=float)
+    inputs = np.asarray(input_matrix, dtype=float)
+    if profiles.shape[0] != inputs.shape[0]:
+        raise ValueError(
+            f"profile rows ({profiles.shape[0]}) and input rows "
+            f"({inputs.shape[0]}) must align"
+        )
+    model = kmeans_profiles(profiles, k=k, seed=seed)
+    order = model.centroid_power_order()
+    rank = {cluster: position for position, cluster in enumerate(order)}
+    labels = np.array([rank[int(label)] for label in model.labels], dtype=int)
+
+    mean = inputs.mean(axis=0)
+    scale = inputs.std(axis=0)
+    scale[scale == 0] = 1.0
+    z = (inputs - mean) / scale
+    centroids = np.stack(
+        [
+            z[labels == cls].mean(axis=0) if np.any(labels == cls) else mean * 0.0
+            for cls in range(model.k)
+        ]
+    )
+    radius = np.array(
+        [
+            float(np.linalg.norm(z[labels == cls] - centroids[cls], axis=1).max())
+            if np.any(labels == cls)
+            else 0.0
+            for cls in range(model.k)
+        ]
+    )
+    return ProfileClassifier(
+        profile_model=model,
+        input_mean=mean,
+        input_scale=scale,
+        input_centroids=centroids,
+        class_radius=radius,
+        labels=labels,
+    )
+
+
 def classify_jobs(
     series_by_job: dict[str, np.ndarray], k: int = 2, seed: int = 0
 ) -> dict[str, int]:

@@ -6,6 +6,18 @@ batch system can classify jobs "without costly computation".  The feature
 set encodes the power drivers Section IV identifies: plane waves
 (occupancy), bands per GPU (duty), method class (kernel mix) and
 concurrency.
+
+The surrogate extension (:func:`surrogate_feature_vector`) appends the
+two dimensions the base vector is blind to: the applied GPU power cap
+and the hardware platform's spec envelope — so one model can regress
+across (workload, node count, cap, platform) grid points instead of
+memorizing a single machine at its TDP.
+
+Method-class features (``is_hse``/``is_rpa``) are derived from INCAR
+tags, never from the workload *name*; accuracy claims about them must
+come from a held-out workload × cap split
+(:func:`repro.prediction.evaluate.evaluate_surrogate`), not from
+training points.
 """
 
 from __future__ import annotations
@@ -14,6 +26,7 @@ import math
 
 import numpy as np
 
+from repro.hardware.platform import Platform, get_platform
 from repro.vasp.methods import Functional
 from repro.vasp.parallel import ParallelConfig
 from repro.vasp.workload import VaspWorkload
@@ -30,6 +43,21 @@ FEATURE_NAMES: tuple[str, ...] = (
     "log_nodes",
 )
 
+#: Names of the surrogate feature-vector entries: the base workload
+#: features plus the cap and platform-spec terms, in order.
+SURROGATE_FEATURE_NAMES: tuple[str, ...] = FEATURE_NAMES + (
+    "log_nelm",
+    "log_kpoints",
+    "cap_fraction",
+    "cap_depth",
+    "cap_depth_sq",
+    "cap_depth_hse",
+    "log_gpu_tdp",
+    "log_hbm_bw",
+    "log_fp64_tflops",
+    "host_fraction",
+)
+
 
 def feature_vector(workload: VaspWorkload, n_nodes: int) -> np.ndarray:
     """Scheduler-visible features for one (workload, node count) pair."""
@@ -41,8 +69,8 @@ def feature_vector(workload: VaspWorkload, n_nodes: int) -> np.ndarray:
     k_per_group = workload.kpoints.kpoints_per_group(workload.incar.kpar)
     # The basic-DFT family (LDA/GGA/vdW) is the reference class; vdW adds
     # only a minor correction (Section IV-D treats it like DFT), so it
-    # shares the class rather than burning a one-hot no held-out split
-    # could learn.
+    # shares the class rather than burning a one-hot that only a held-out
+    # workload split (evaluate_surrogate) can honestly score.
     return np.array(
         [
             1.0,
@@ -54,5 +82,67 @@ def feature_vector(workload: VaspWorkload, n_nodes: int) -> np.ndarray:
             # Bounded duty-churn transform of the sequential k-point count.
             1.0 / (1.0 + 0.05 * (k_per_group - 1)),
             math.log2(n_nodes),
+        ]
+    )
+
+
+def surrogate_feature_vector(
+    workload: VaspWorkload,
+    n_nodes: int,
+    cap_w: float | None = None,
+    platform: "str | Platform | None" = None,
+) -> np.ndarray:
+    """Features for one (workload, node count, cap, platform) grid point.
+
+    Extends :func:`feature_vector` with what the base vector cannot see:
+
+    * ``log_nelm``/``log_kpoints`` — the work-volume terms (SCF step
+      budget, irreducible k-points) that drive *runtime*, which the
+      power-only base vector never needed;
+    * ``cap_fraction`` — applied cap over the GPU TDP (1.0 uncapped);
+    * ``cap_depth`` — how far into the platform's cap range the limit
+      sits (0 uncapped/at ``cap_max``, 1 at the floor) — the regulation
+      and DVFS-slowdown regimes are functions of depth, not watts;
+    * ``cap_depth_sq``/``cap_depth_hse`` — curvature and method
+      interaction on the cap axis: capped power is pinned at
+      ``min(demand, cap)``, a hinge a purely linear cap term cannot
+      bend around, and the hinge point sits deeper for the
+      power-hungry higher-order methods;
+    * platform spec terms (log GPU TDP, log HBM bandwidth, log FP64
+      ceiling, host power over node TDP) so one model spans platforms.
+
+    ``cap_w`` is validated against the platform's cap range the same way
+    the hardware layer validates ``set_power_limit``.
+    """
+    spec = get_platform(platform).node
+    gpu = spec.gpu
+    if cap_w is None:
+        cap = gpu.tdp_w
+    else:
+        if not (gpu.cap_min_w <= cap_w <= gpu.cap_max_w):
+            raise ValueError(
+                f"cap {cap_w:.0f} W outside {gpu.name} range "
+                f"[{gpu.cap_min_w:.0f}, {gpu.cap_max_w:.0f}] W"
+            )
+        cap = cap_w
+    depth = (gpu.cap_max_w - cap) / (gpu.cap_max_w - gpu.cap_min_w)
+    base = feature_vector(workload, n_nodes)
+    is_hse = base[FEATURE_NAMES.index("is_hse")]
+    is_rpa = base[FEATURE_NAMES.index("is_rpa")]
+    return np.concatenate(
+        [
+            base,
+            [
+                math.log10(max(workload.incar.nelm, 1)),
+                math.log10(max(workload.kpoints.irreducible, 1)),
+                cap / gpu.tdp_w,
+                depth,
+                depth * depth,
+                depth * max(is_hse, is_rpa),
+                math.log10(gpu.tdp_w),
+                math.log10(gpu.hbm_bw_gbs),
+                math.log10(gpu.peak_fp64_tflops),
+                spec.host_power_w / spec.tdp_w,
+            ],
         ]
     )

@@ -123,6 +123,9 @@ class RunSpec:
     gpu_cap_w: float | None = None
     seed: int = 7
     engine_config: EngineConfig | None = None
+    #: Hardware platform id (None = registry default).  A string, not a
+    #: ``Platform``, so the spec stays trivially picklable/fingerprintable.
+    platform: str | None = None
 
     def __post_init__(self) -> None:
         if self.n_nodes < 1:
@@ -139,6 +142,7 @@ class RunSpec:
             gpu_cap_w=self.gpu_cap_w,
             seed=self.seed,
             engine_config=self.engine_config,
+            platform=self.platform,
         )
 
 
@@ -154,6 +158,8 @@ class EstimateSpec:
     workload: VaspWorkload
     n_nodes: int = 1
     cap_w: float | None = None
+    #: Hardware platform id (None = registry default).
+    platform: str | None = None
 
     def __post_init__(self) -> None:
         if self.n_nodes < 1:
@@ -163,7 +169,9 @@ class EstimateSpec:
         """Estimate the spec analytically (cached)."""
         from repro.capping.scheduler import cached_estimate_run
 
-        return cached_estimate_run(self.workload, self.n_nodes, self.cap_w)
+        return cached_estimate_run(
+            self.workload, self.n_nodes, self.cap_w, self.platform
+        )
 
 
 def execute_spec(spec: Any) -> Any:

@@ -11,6 +11,7 @@ themselves (monkeypatch wins over this session-scoped default).
 import pytest
 
 from repro.obs.ledger import RUNS_DIR_ENV
+from repro.prediction.store import SURROGATE_DIR_ENV
 
 
 @pytest.fixture(scope="session", autouse=True)
@@ -19,6 +20,17 @@ def _isolated_run_ledger(tmp_path_factory):
     patcher = pytest.MonkeyPatch()
     patcher.setenv(
         RUNS_DIR_ENV, str(tmp_path_factory.mktemp("repro_runs"))
+    )
+    yield
+    patcher.undo()
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_surrogate_store(tmp_path_factory):
+    """Keep the surrogate store (``.repro_cache/surrogate``) out of the tree."""
+    patcher = pytest.MonkeyPatch()
+    patcher.setenv(
+        SURROGATE_DIR_ENV, str(tmp_path_factory.mktemp("repro_surrogate"))
     )
     yield
     patcher.undo()
