@@ -51,6 +51,9 @@ MONITOR_OVERHEAD_THRESHOLD = 0.10
 #: Wall-time overhead of a sharded run with trace+metric capture on.
 #: Same interleaved min-of-rounds construction as the monitor gate.
 OBS_OVERHEAD_THRESHOLD = 0.10
+#: Wall-time overhead of a run with the sampling profiler attached.
+#: Same interleaved min-of-rounds construction as the obs gate.
+PROFILE_OVERHEAD_THRESHOLD = 0.10
 #: Hard floor on the 100k-node sharded/eager nodes-per-second ratio.
 #: The ratio is load-invariant (eager pays O(pool) construction the
 #: sharded lazy path skips entirely), so it gates on any host.
@@ -198,6 +201,41 @@ def collect_obs() -> dict[str, float | int]:
     }
 
 
+def collect_profile() -> dict[str, float | int]:
+    """Sampling-profiler overhead fields for the baseline.
+
+    Reuses the benchmark suite's interleaved measurement.  The overhead
+    ratio is host-jitter-bound (gated wide at 10 %); the sample count is
+    load-dependent and recorded informationally — the gate only demands
+    that sampling happened at all (a silently dead sampler thread shows
+    up as zero samples even when timings are clean).
+    """
+    import sys as _sys
+
+    _sys.path.insert(0, str(REPO_ROOT / "src"))
+    _sys.path.insert(0, str(REPO_ROOT))
+    from benchmarks.test_monitor_bench import paired_overhead
+    from benchmarks.test_profile_bench import (
+        PROFILE_JOBS,
+        PROFILE_NODES,
+        PROFILE_WORKERS,
+        measure_profile_overhead,
+    )
+
+    plain, profiled, samples, _state, plain_times, profile_times = (
+        measure_profile_overhead()
+    )
+    if profiled.system != plain.system:
+        raise SystemExit("profiled fleet statistics diverged from plain run")
+    return {
+        "fleet_nodes": PROFILE_NODES,
+        "fleet_jobs": PROFILE_JOBS,
+        "workers": PROFILE_WORKERS,
+        "overhead": round(paired_overhead(plain_times, profile_times), 4),
+        "samples": samples,
+    }
+
+
 def collect_shard() -> dict[str, float | int]:
     """Fleet scaling fields: nodes/sec at 1k vs 100k, sharded vs eager.
 
@@ -305,6 +343,7 @@ def write_baseline(times: dict[str, float], machine_note: str = "") -> None:
         "memory": collect_memory(),
         "monitor": collect_monitor(),
         "obs": collect_obs(),
+        "profile": collect_profile(),
         "shard": collect_shard(),
         "surrogate": collect_surrogate(),
         "benchmarks": {name: {"min_s": value} for name, value in sorted(times.items())},
@@ -448,6 +487,24 @@ def compare(times: dict[str, float], threshold: float) -> int:
             )
         if now_obs["merged_spans"] == 0:
             failures.append("obs: no worker spans survived the merge")
+    # Profile gate: the sampling profiler must stay a near-free rider on
+    # the sharded fleet path (and must actually be sampling).
+    base_prof = baseline.get("profile")
+    if base_prof is not None:
+        now_prof = collect_profile()
+        print("\nprofile (sampling overhead + sample count):")
+        for key in sorted(set(base_prof) | set(now_prof)):
+            base_v = base_prof.get(key, "-")
+            now_v = now_prof.get(key, "-")
+            changed = "" if base_v == now_v else "  (changed)"
+            print(f"  {key:22s} {base_v!s:>12} -> {now_v!s:>12}{changed}")
+        if now_prof["overhead"] > PROFILE_OVERHEAD_THRESHOLD:
+            failures.append(
+                f"profile: sampling overhead {now_prof['overhead']:+.1%} "
+                f"above the {PROFILE_OVERHEAD_THRESHOLD:.0%} gate"
+            )
+        if now_prof["samples"] == 0:
+            failures.append("profile: sampler thread recorded no samples")
     # Shard gate: the 100k-node sharded path must keep beating the eager
     # reference in nodes/sec by the floor ratio (load-invariant).
     base_shard = baseline.get("shard")

@@ -133,6 +133,67 @@ print(f"ledger ok: run {record['run_id']} recorded {record['kind']}")
 PY
 python -m repro runs check
 
+echo "== profiler smoke (sharded --profile merges to one speedscope) =="
+# A tight sampling interval makes worker-batch samples a certainty even
+# on the small smoke workload; the merged document must carry rows from
+# the coordinator *and* the shard workers, attributed to obs spans.
+REPRO_PROFILE_INTERVAL=0.0005 python -m repro fleet --jobs 8 --nodes 40 \
+    --seed 3 --resolution 1.0 --workers 2 \
+    --profile "$SMOKE_DIR/fleet.speedscope" > /dev/null
+python - "$SMOKE_DIR/fleet.speedscope" <<'PY'
+import json, sys
+
+doc = json.load(open(sys.argv[1]))
+rows = [p["name"] for p in doc["profiles"]]
+frames = [f["name"] for f in doc["shared"]["frames"]]
+workers = [name for name in rows if "worker" in name]
+assert workers, f"no worker rows in merged profile: {rows}"
+assert any(
+    f.startswith("span:") and f != "span:(no span)" for f in frames
+), "no span pseudo-frames in merged profile"
+total = sum(len(p["samples"]) for p in doc["profiles"])
+assert total > 0, "merged profile holds no samples"
+print(
+    f"profile ok: {total} stacks across {len(rows)} rows "
+    f"({len(workers)} worker rows)"
+)
+PY
+
+echo "== sentinel smoke (ledger-mined regression gate) =="
+# The sentinel needs jitter-only history, so it gets its own ledger:
+# the shared smoke ledger mixes runs from early (idle) and late (loaded)
+# phases of this script, and that cross-phase drift is a real shift the
+# dual gate would correctly flag. Three back-to-back runs build a
+# temporally adjacent baseline; the green check loosens --tolerance to
+# ride out the shared 1-CPU container's ~40% wall-time jitter, while
+# the seeded 2x record must still trip the default gates.
+export REPRO_RUNS_DIR="$SMOKE_DIR/sentinel-runs"
+python -m repro "${FLEET_ARGS[@]}" > /dev/null
+python -m repro "${FLEET_ARGS[@]}" > /dev/null
+python -m repro "${FLEET_ARGS[@]}" > /dev/null
+python -m repro sentinel check --tolerance 0.6
+python -m repro sentinel report
+python - <<'PY'
+from repro.obs.ledger import RunLedger, RunRecord
+
+book = RunLedger()
+last = book.last()
+book.append(
+    RunRecord(
+        run_id="00000000T000000-regress",
+        kind=last.kind,
+        fingerprint=last.fingerprint,
+        wall_s=(last.wall_s or 1.0) * 2.0,
+    )
+)
+print(f"seeded 2x wall-time record against fingerprint {last.fingerprint}")
+PY
+if python -m repro sentinel check; then
+    echo "sentinel missed the seeded 2x wall-time regression"; exit 1
+fi
+echo "sentinel ok: seeded regression flagged, jitter history stayed green"
+export REPRO_RUNS_DIR="$SMOKE_DIR/runs"
+
 if [[ "$SKIP_BENCH" == "1" ]]; then
     echo "== benches skipped (--skip-bench) =="
     exit 0

@@ -117,10 +117,12 @@ class ShardTask:
     chunk_samples: int | None
     monitor_config: "MonitorConfig | None"
     jobs: tuple[ShardJobTask, ...]
-    #: (trace, metrics) layers the coordinator is collecting — the worker
-    #: captures matching :class:`repro.obs.merge.ObsPartial` snapshots.
-    #: None (obs off at the coordinator) skips capture entirely.
-    obs_capture: tuple[bool, bool] | None = None
+    #: (trace, metrics, profile) layers the coordinator is collecting —
+    #: the worker captures matching :class:`repro.obs.merge.ObsPartial`
+    #: snapshots.  None (obs off at the coordinator) skips capture
+    #: entirely.  Two-element tuples (pre-profiler callers) mean
+    #: profile off.
+    obs_capture: tuple[bool, ...] | None = None
 
 
 @dataclass
@@ -238,10 +240,11 @@ def _render_shard(task: ShardTask) -> ShardResult:
     """
     token = None
     if task.obs_capture is not None:
-        trace_on, metrics_on = task.obs_capture
+        trace_on, metrics_on, profile_on = (*task.obs_capture, False)[:3]
         token = obs_merge.begin_worker_capture(
             trace=trace_on,
             metrics=metrics_on,
+            profile=profile_on,
             process_label=f"repro fleet worker {os.getpid()}",
         )
     try:

@@ -19,6 +19,11 @@ Installed as ``repro`` (also ``python -m repro``)::
     repro runs list                    # durable run ledger (.repro_runs/)
     repro runs show last               # one run's full JSON record
     repro runs check                   # regression-check vs ledger history
+    repro sentinel check               # robust-baseline regression sentinel
+    repro sentinel report              # per-fingerprint health + change points
+    repro sentinel baseline            # the mined baselines themselves
+    repro top                          # live dashboard over a running fleet
+    repro fleet --jobs 50 --profile p.speedscope  # where the time went
 
 Every executing command (``run``/``survey``/``cap-sweep``/``reproduce``/
 ``fleet``/``monitor``/``schedule``/``predict``) also appends one structured
@@ -30,9 +35,11 @@ alert counts — to the run ledger (``REPRO_RUNS=0`` opts out,
 Observability flags (``run``/``survey``/``cap-sweep``/``reproduce``):
 ``--trace FILE`` writes a Chrome trace-event JSON of the session,
 ``--metrics FILE`` a Prometheus text exposition (``.json`` for a JSON
-snapshot), ``--log-level LEVEL`` configures stdlib logging.  The
-``REPRO_TRACE`` / ``REPRO_METRICS`` / ``REPRO_LOG`` environment
-variables do the same for library use.
+snapshot), ``--profile FILE`` a sampling wall-clock profile
+(``.json``/``.speedscope`` for speedscope, ``.txt`` for a top-functions
+report, else collapsed stacks), ``--log-level LEVEL`` configures stdlib
+logging.  The ``REPRO_TRACE`` / ``REPRO_METRICS`` / ``REPRO_PROFILE`` /
+``REPRO_LOG`` environment variables do the same for library use.
 """
 
 from __future__ import annotations
@@ -80,7 +87,9 @@ from repro.experiments.common import run_cache, run_workload
 from repro.hardware.platform import DEFAULT_PLATFORM_ID, get_platform, platform_ids
 from repro.experiments.report import format_table, sparkline
 from repro.io import result_to_json, save_trace_csv
+from repro.obs import dash as obs_dash
 from repro.obs import ledger as run_ledger
+from repro.obs import sentinel
 from repro.obs.heartbeat import HEARTBEAT_ENV
 from repro.obs.ledger import RUNS_DIR_ENV, RUNS_ENABLE_ENV
 from repro.monitor import (
@@ -447,6 +456,7 @@ def _cap_sweep_surrogate(
     exact_energy_j = measured.result.total_energy_j() / n_nodes
     error = abs(energy_j - exact_energy_j) / exact_energy_j
     obs.observe("repro_surrogate_winner_error", error)
+    surrogate_stats().record_verification(error)
     print()
     print(
         f"  winner: {winner:.0f} W — predicted {energy_j / 1e6:.3f} MJ/node, "
@@ -680,6 +690,13 @@ def _cmd_obs(args: argparse.Namespace) -> int:
     print()
     if metrics["names"]:
         print(f"  registered metrics: {', '.join(metrics['names'])}")
+    profile = status["profile"]
+    print(f"  profile  : {'on' if profile['active'] else 'off'}", end="")
+    if profile["active"]:
+        print(f" ({profile['samples']} sample(s))", end="")
+    if profile["path"]:
+        print(f" -> {profile['path']}", end="")
+    print()
     mon = monitor_state()
     print(
         f"  monitor  : {mon['active_collectors']} active collector(s), "
@@ -718,6 +735,8 @@ def _cmd_obs(args: argparse.Namespace) -> int:
     for env in (
         obs.TRACE_ENV,
         obs.METRICS_ENV,
+        obs.PROFILE_ENV,
+        obs.PROFILE_INTERVAL_ENV,
         obs.LOG_ENV,
         MONITOR_ENV,
         MONITOR_WINDOW_ENV,
@@ -743,7 +762,8 @@ def _cmd_obs(args: argparse.Namespace) -> int:
     print(f"  {surrogate_stats().summary_line()}")
     print(
         "\nenable with `repro <cmd> --trace FILE --metrics FILE "
-        "--log-level LEVEL` or the REPRO_* environment variables."
+        "--profile FILE --log-level LEVEL` or the REPRO_* environment "
+        "variables."
     )
     return 0
 
@@ -1004,7 +1024,7 @@ def _cmd_runs(args: argparse.Namespace) -> int:
         print(f"run {target.run_id} has no config fingerprint; nothing to check")
         return 0
     findings, history = run_ledger.check_regression(
-        records, target, wall_threshold=args.threshold
+        records, target, tolerance=args.tolerance, min_history=args.min_history
     )
     print(
         f"checked {target.run_id} ({target.kind}) against {history} "
@@ -1016,6 +1036,154 @@ def _cmd_runs(args: argparse.Namespace) -> int:
         return 1
     print("  no regressions found")
     return 0
+
+
+def _cmd_sentinel(args: argparse.Namespace) -> int:
+    """The regression sentinel: check / report / baseline over the ledger."""
+    ledger = run_ledger.RunLedger()
+    records = ledger.records()
+    action = args.sentinel_command
+    if action == "check":
+        try:
+            target = ledger.find(args.ref)
+        except KeyError as exc:
+            print(f"error: {exc.args[0]}")
+            return 2
+        if target.fingerprint is None:
+            print(
+                f"run {target.run_id} has no config fingerprint; nothing to check"
+            )
+            return 0
+        findings, history = sentinel.check_target(
+            records,
+            target,
+            tolerance=args.tolerance,
+            min_history=args.min_history,
+            drift_gate=args.drift_gate,
+        )
+        print(
+            f"sentinel: {target.run_id} ({target.kind}) vs {history} "
+            f"comparable run(s) — {'REGRESSED' if findings else 'ok'}"
+        )
+        if history < args.min_history:
+            print(
+                f"  (only {history} comparable run(s) on record; statistical "
+                f"checks need {args.min_history})"
+            )
+        for finding in findings:
+            print(f"  {finding.category.upper()}: {finding.message}")
+        return 1 if findings else 0
+    if action == "report":
+        rows = sentinel.build_report(
+            records,
+            tolerance=args.tolerance,
+            min_history=args.min_history,
+            drift_gate=args.drift_gate,
+            kind=args.kind,
+        )
+        if args.json_out:
+            print(json.dumps([row.to_json() for row in rows], indent=2))
+            return 0
+        if not rows:
+            print(f"run ledger has no checkable history ({ledger.path})")
+            return 0
+        table_rows = []
+        for row in rows:
+            base = row.baseline
+            shift = (
+                f"{row.change_point.shift:+.0%}@{row.change_point.index}"
+                if row.change_point is not None
+                else "-"
+            )
+            table_rows.append(
+                [
+                    base.fingerprint[:10],
+                    base.kind,
+                    str(base.runs),
+                    (
+                        f"{base.wall_median_s:.2f}±{base.wall_sigma_s:.2f}"
+                        if base.wall_median_s is not None
+                        else "-"
+                    ),
+                    (
+                        f"{row.latest_wall_s:.2f}"
+                        if row.latest_wall_s is not None
+                        else "-"
+                    ),
+                    shift,
+                    row.verdict,
+                ]
+            )
+        print(
+            format_table(
+                headers=[
+                    "Fingerprint",
+                    "Kind",
+                    "Runs",
+                    "Wall med±σ (s)",
+                    "Latest",
+                    "Shift",
+                    "Verdict",
+                ],
+                rows=table_rows,
+                title=f"sentinel report: {len(rows)} fingerprint(s)",
+            )
+        )
+        for row in rows:
+            for finding in row.findings:
+                print(f"  {row.baseline.fingerprint[:10]}: {finding.message}")
+        return 1 if any(row.findings for row in rows) else 0
+    # action == "baseline"
+    baselines = [
+        base
+        for base in sentinel.compute_baselines(records)
+        if args.kind is None or base.kind == args.kind
+    ]
+    if args.json_out:
+        print(json.dumps([base.to_json() for base in baselines], indent=2))
+        return 0
+    if not baselines:
+        print(f"run ledger has no baselines yet ({ledger.path})")
+        return 0
+    print(
+        format_table(
+            headers=["Fingerprint", "Kind", "Runs", "Wall med (s)", "σ (s)", "Command"],
+            rows=[
+                [
+                    base.fingerprint[:10],
+                    base.kind,
+                    str(base.runs),
+                    (
+                        f"{base.wall_median_s:.2f}"
+                        if base.wall_median_s is not None
+                        else "-"
+                    ),
+                    (
+                        f"{base.wall_sigma_s:.2f}"
+                        if base.wall_sigma_s is not None
+                        else "-"
+                    ),
+                    base.label[:42],
+                ]
+                for base in baselines
+            ],
+            title=f"sentinel baselines: {len(baselines)} fingerprint(s)",
+        )
+    )
+    return 0
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    """Live dashboard (``repro top``) over heartbeats, alerts and metrics."""
+    return obs_dash.run_dashboard(
+        args.heartbeat,
+        alert_log=args.alert_log or os.environ.get(MONITOR_LOG_ENV) or None,
+        metrics_path=args.metrics_file,
+        interval_s=args.interval,
+        once=args.once,
+        json_out=args.json_out,
+        duration_s=args.duration,
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -1041,6 +1209,16 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="FILE",
         help="write collected metrics (Prometheus text; .json for a snapshot)",
+    )
+    obs_group.add_argument(
+        "--profile",
+        default=None,
+        metavar="FILE",
+        help=(
+            "sample wall-clock stacks into FILE (.json/.speedscope for "
+            "speedscope, .txt for a top-functions report, else collapsed "
+            "stacks)"
+        ),
     )
     obs_group.add_argument(
         "--log-level",
@@ -1344,13 +1522,140 @@ def build_parser() -> argparse.ArgumentParser:
     )
     r_check.add_argument("ref", nargs="?", default="last")
     r_check.add_argument(
+        "--tolerance",
         "--threshold",
+        dest="tolerance",
         type=float,
-        default=0.25,
+        default=sentinel.DEFAULT_TOLERANCE,
         metavar="FRACTION",
-        help="wall-time slowdown threshold vs the best comparable run",
+        help=(
+            "relative wall-time slowdown tolerated vs the robust baseline "
+            f"median (default {sentinel.DEFAULT_TOLERANCE:+.0%})"
+        ),
+    )
+    r_check.add_argument(
+        "--min-history",
+        type=int,
+        default=sentinel.DEFAULT_MIN_HISTORY,
+        metavar="N",
+        help=(
+            "comparable runs required before statistical checks judge "
+            f"(default {sentinel.DEFAULT_MIN_HISTORY})"
+        ),
     )
     r_check.set_defaults(func=_cmd_runs)
+
+    p_sentinel = sub.add_parser(
+        "sentinel",
+        help="regression sentinel over the run ledger (baselines, drift)",
+    )
+    sentinel_sub = p_sentinel.add_subparsers(
+        dest="sentinel_command", required=True
+    )
+
+    def add_sentinel_gates(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--tolerance",
+            type=float,
+            default=sentinel.DEFAULT_TOLERANCE,
+            metavar="FRACTION",
+            help=(
+                "relative slowdown tolerated vs the baseline median "
+                f"(default {sentinel.DEFAULT_TOLERANCE:+.0%})"
+            ),
+        )
+        p.add_argument(
+            "--min-history",
+            type=int,
+            default=sentinel.DEFAULT_MIN_HISTORY,
+            metavar="N",
+            help=(
+                "comparable runs required before statistical checks judge "
+                f"(default {sentinel.DEFAULT_MIN_HISTORY})"
+            ),
+        )
+        p.add_argument(
+            "--drift-gate",
+            type=float,
+            default=sentinel.DEFAULT_DRIFT_GATE,
+            metavar="MAPE",
+            help=(
+                "surrogate verification-error ceiling "
+                f"(default {sentinel.DEFAULT_DRIFT_GATE:.0%})"
+            ),
+        )
+
+    s_check = sentinel_sub.add_parser(
+        "check",
+        help="judge one run against its robust baseline (CI-gateable exit)",
+    )
+    s_check.add_argument("ref", nargs="?", default="last")
+    add_sentinel_gates(s_check)
+    s_check.set_defaults(func=_cmd_sentinel)
+    s_report = sentinel_sub.add_parser(
+        "report", help="per-fingerprint health: baseline, change point, verdict"
+    )
+    s_report.add_argument("--kind", default=None, help="filter by command kind")
+    s_report.add_argument(
+        "--json", dest="json_out", action="store_true", help="emit JSON rows"
+    )
+    add_sentinel_gates(s_report)
+    s_report.set_defaults(func=_cmd_sentinel)
+    s_baseline = sentinel_sub.add_parser(
+        "baseline", help="the mined per-fingerprint baselines"
+    )
+    s_baseline.add_argument("--kind", default=None, help="filter by command kind")
+    s_baseline.add_argument(
+        "--json", dest="json_out", action="store_true", help="emit JSON baselines"
+    )
+    s_baseline.set_defaults(func=_cmd_sentinel)
+
+    p_top = sub.add_parser(
+        "top",
+        help="live dashboard over a running fleet (heartbeats, alerts, ETA)",
+    )
+    p_top.add_argument(
+        "--heartbeat",
+        default=None,
+        metavar="FILE",
+        help="heartbeat base path (default: REPRO_FLEET_HEARTBEAT)",
+    )
+    p_top.add_argument(
+        "--alert-log",
+        default=None,
+        metavar="FILE",
+        help="monitor alert JSON-lines log (default: REPRO_MONITOR_LOG)",
+    )
+    p_top.add_argument(
+        "--metrics-file",
+        default=None,
+        metavar="FILE",
+        help="exported metrics .json snapshot to display",
+    )
+    p_top.add_argument(
+        "--interval",
+        type=float,
+        default=1.0,
+        metavar="SECONDS",
+        help="refresh period (default 1.0)",
+    )
+    p_top.add_argument(
+        "--duration",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="stop after this long even if the run is still going",
+    )
+    p_top.add_argument(
+        "--once", action="store_true", help="render a single frame and exit"
+    )
+    p_top.add_argument(
+        "--json",
+        dest="json_out",
+        action="store_true",
+        help="emit the raw snapshot as JSON instead of rendering",
+    )
+    p_top.set_defaults(func=_cmd_top)
 
     return parser
 
@@ -1364,6 +1669,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     obs.enable(
         trace=getattr(args, "trace", None) or False,
         metrics=getattr(args, "metrics", None) or False,
+        profile=getattr(args, "profile", None) or False,
         log_level=getattr(args, "log_level", None),
     )
     # Label the viewer rows in exported Chrome traces.

@@ -16,6 +16,7 @@ that produce them.
 from __future__ import annotations
 
 import json
+import os
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -151,6 +152,46 @@ class AlertManager:
         self._state: dict[tuple[str, str], _AlertState] = {}
         self.events: list[AlertEvent] = []
         self.signals_processed = 0
+        self._stream_path: Path | None = None
+
+    # ------------------------------------------------------------------
+    def stream_to(self, path: "str | Path | None") -> None:
+        """Append lifecycle events to ``path`` (JSON lines) as they happen.
+
+        This is the live tap ``repro top`` tails mid-run: each firing or
+        resolved event is appended with a single ``O_APPEND`` write the
+        moment it happens, so an observer process sees alerts while the
+        simulation is still going.  :meth:`write_log` at finalization
+        rewrites the same file from the canonical in-memory log, so the
+        final file is identical whether or not anything tailed it.  The
+        file is truncated now so the stream starts clean.
+        """
+        self._stream_path = Path(path) if path is not None else None
+        if self._stream_path is not None:
+            try:
+                self._stream_path.write_text("")
+            except OSError:
+                self._stream_path = None
+
+    def _stream(self, events: list[AlertEvent]) -> None:
+        if self._stream_path is None or not events:
+            return
+        payload = "".join(
+            json.dumps(event.to_json()) + "\n" for event in events
+        )
+        try:
+            fd = os.open(
+                self._stream_path,
+                os.O_WRONLY | os.O_CREAT | os.O_APPEND,
+                0o644,
+            )
+            try:
+                os.write(fd, payload.encode("utf-8"))
+            finally:
+                os.close(fd)
+        except OSError:
+            # A broken live tap must never take down the run.
+            pass
 
     # ------------------------------------------------------------------
     def process(self, signal: HealthSignal) -> list[AlertEvent]:
@@ -182,6 +223,7 @@ class AlertManager:
                 obs.inc("repro_monitor_alerts_total", severity=rule.severity)
         if fired:
             obs.gauge_set("repro_monitor_alerts_firing", float(self.firing_count))
+            self._stream(fired)
         return fired
 
     def process_all(self, signals: list[HealthSignal]) -> list[AlertEvent]:
@@ -216,6 +258,7 @@ class AlertManager:
                 state.count = 0
         if resolved:
             obs.gauge_set("repro_monitor_alerts_firing", float(self.firing_count))
+            self._stream(resolved)
         return resolved
 
     # ------------------------------------------------------------------

@@ -322,6 +322,12 @@ class FleetMonitor:
         self.alerts = AlertManager(
             list(self.config.rules) if self.config.rules is not None else None
         )
+        # Live-stream lifecycle events to the configured alert log so an
+        # observer (`repro top`) can tail them mid-run; finalize() still
+        # rewrites the canonical log at the end.
+        stream_path = self.config.resolved_alert_log()
+        if stream_path is not None:
+            self.alerts.stream_to(stream_path)
         self.ledger = EnergyLedger()
         self._jobs: dict[str, _JobState] = {}
         #: Node -> time of its most recent sample; maintained by both the

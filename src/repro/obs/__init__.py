@@ -16,7 +16,12 @@ has three parts:
 * :mod:`repro.obs.ledger` — durable JSON-lines run ledger
   (``.repro_runs/``, the ``repro runs`` CLI);
 * :mod:`repro.obs.heartbeat` — live progress telemetry for long fleet
-  runs (``REPRO_FLEET_HEARTBEAT`` / ``--heartbeat``).
+  runs (``REPRO_FLEET_HEARTBEAT`` / ``--heartbeat``);
+* :mod:`repro.obs.profile` — sampling wall-clock profiler attached to
+  the span tracer (``REPRO_PROFILE`` / ``--profile``);
+* :mod:`repro.obs.sentinel` — ledger-mining regression sentinel
+  (``repro sentinel check/report/baseline``);
+* :mod:`repro.obs.dash` — live fleet dashboard (``repro top``).
 
 This module owns the *global observability state* and the cheap
 module-level helpers the hot layers call:
@@ -31,9 +36,11 @@ Activation (all default **off**):
 * environment — ``REPRO_TRACE=FILE`` enables tracing and writes the
   Chrome JSON to FILE at exit via :func:`flush`; ``REPRO_METRICS=FILE``
   likewise for metrics (``.json`` suffix selects the JSON snapshot,
-  anything else Prometheus text); ``REPRO_LOG=LEVEL`` configures
-  logging.
-* CLI — ``repro ... --trace FILE --metrics FILE --log-level LEVEL``.
+  anything else Prometheus text); ``REPRO_PROFILE=FILE`` likewise for
+  the sampling profiler (``.speedscope``/``.json``, ``.folded`` or
+  ``.txt``); ``REPRO_LOG=LEVEL`` configures logging.
+* CLI — ``repro ... --trace FILE --metrics FILE --profile FILE
+  --log-level LEVEL``.
 * programmatic — :func:`enable` / :func:`disable`.
 
 Instrumentation is observation-only: enabling it never changes a
@@ -61,6 +68,13 @@ from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
 )
+from repro.obs.profile import (
+    PROFILE_ENV,
+    PROFILE_INTERVAL_ENV,
+    SpanProfiler,
+    export_profile,
+    interval_from_env,
+)
 from repro.obs.trace import NULL_SPAN, TraceEvent, Tracer
 
 __all__ = [
@@ -68,10 +82,12 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "SpanProfiler",
     "TraceEvent",
     "Tracer",
     "TRACE_ENV",
     "METRICS_ENV",
+    "PROFILE_ENV",
     "LOG_ENV",
     "configure_from_env",
     "configure_logging",
@@ -87,6 +103,8 @@ __all__ = [
     "name_process",
     "name_thread",
     "observe",
+    "profiler",
+    "profiling_active",
     "reset_logging",
     "span",
     "status",
@@ -106,8 +124,10 @@ class _ObsState:
 
     tracer: Tracer | None = None
     registry: MetricsRegistry | None = None
+    profiler: SpanProfiler | None = None
     trace_path: Path | None = None
     metrics_path: Path | None = None
+    profile_path: Path | None = None
     #: Exports already performed by :func:`flush` (path -> kind).
     flushed: dict[str, str] = field(default_factory=dict)
 
@@ -123,13 +143,18 @@ def enable(
     trace: bool | str | Path = False,
     metrics: bool | str | Path = False,
     log_level: str | int | None = None,
+    profile: bool | str | Path = False,
 ) -> None:
     """Turn observability layers on.
 
-    ``trace`` / ``metrics`` accept True (collect in memory) or a path
-    (collect and export there on :func:`flush`).  ``log_level``
-    configures stdlib logging when given.
+    ``trace`` / ``metrics`` / ``profile`` accept True (collect in
+    memory) or a path (collect and export there on :func:`flush`).
+    ``profile`` implies tracing — the sampler attributes samples to the
+    open spans — and starts the sampler thread immediately.
+    ``log_level`` configures stdlib logging when given.
     """
+    if profile and _STATE.tracer is None:
+        trace = trace or True
     if trace:
         if _STATE.tracer is None:
             _STATE.tracer = Tracer()
@@ -140,22 +165,34 @@ def enable(
             _STATE.registry = MetricsRegistry()
         if not isinstance(metrics, bool):
             _STATE.metrics_path = Path(metrics)
+    if profile:
+        if _STATE.profiler is None:
+            _STATE.profiler = SpanProfiler(
+                interval_from_env(), tracer=_STATE.tracer
+            )
+            _STATE.profiler.start()
+        if not isinstance(profile, bool):
+            _STATE.profile_path = Path(profile)
     if log_level is not None:
         configure_logging(log_level)
 
 
 def disable() -> None:
     """Turn all observability layers off and drop collected data."""
+    if _STATE.profiler is not None:
+        _STATE.profiler.stop()
     _STATE.tracer = None
     _STATE.registry = None
+    _STATE.profiler = None
     _STATE.trace_path = None
     _STATE.metrics_path = None
+    _STATE.profile_path = None
     _STATE.flushed = {}
 
 
 def configure_from_env() -> None:
     """Activate layers named by ``REPRO_TRACE`` / ``REPRO_METRICS`` /
-    ``REPRO_LOG``.
+    ``REPRO_PROFILE`` / ``REPRO_LOG``.
 
     Called once on import (so plain library use honours the env vars)
     and again by the CLI after flag parsing; re-calls are cheap and only
@@ -163,10 +200,13 @@ def configure_from_env() -> None:
     """
     trace_path = os.environ.get(TRACE_ENV, "").strip()
     metrics_path = os.environ.get(METRICS_ENV, "").strip()
+    profile_path = os.environ.get(PROFILE_ENV, "").strip()
     if trace_path:
         enable(trace=trace_path)
     if metrics_path:
         enable(metrics=metrics_path)
+    if profile_path:
+        enable(profile=profile_path)
     if os.environ.get(LOG_ENV, "").strip():
         configure_logging()
 
@@ -181,6 +221,11 @@ def tracing_active() -> bool:
     return _STATE.tracer is not None
 
 
+def profiling_active() -> bool:
+    """True when the sampling profiler is on."""
+    return _STATE.profiler is not None
+
+
 def tracer() -> Tracer | None:
     """The active tracer, or None when tracing is off."""
     return _STATE.tracer
@@ -189,6 +234,11 @@ def tracer() -> Tracer | None:
 def metrics() -> MetricsRegistry | None:
     """The active metrics registry, or None when metrics are off."""
     return _STATE.registry
+
+
+def profiler() -> SpanProfiler | None:
+    """The active sampling profiler, or None when profiling is off."""
+    return _STATE.profiler
 
 
 # ----------------------------------------------------------------------
@@ -210,10 +260,12 @@ def instant(name: str, category: str = "repro", **args: Any) -> None:
 
 
 def name_process(name: str) -> None:
-    """Label this process's row in the exported trace (no-op when off)."""
+    """Label this process's row in exported traces and profiles."""
     active = _STATE.tracer
     if active is not None:
         active.name_process(name)
+    if _STATE.profiler is not None:
+        _STATE.profiler.relabel(f"{name} (pid {os.getpid()})")
 
 
 def name_thread(name: str) -> None:
@@ -256,6 +308,19 @@ def flush() -> dict[str, str]:
     both by the CLI on exit and by an ``atexit`` hook as a safety net.
     """
     written: dict[str, str] = {}
+    if _STATE.profiler is not None and _STATE.profile_path is not None:
+        # Stop sampling before the snapshot so the exported profile is
+        # final (flush may run again from atexit; stop is idempotent).
+        _STATE.profiler.stop()
+        export_profile(_STATE.profiler.profile.state(), _STATE.profile_path)
+        suffix = _STATE.profile_path.suffix.lower()
+        if suffix in {".json", ".speedscope"}:
+            kind = "speedscope-profile"
+        elif suffix == ".txt":
+            kind = "profile-report"
+        else:
+            kind = "collapsed-profile"
+        written[str(_STATE.profile_path)] = kind
     if _STATE.tracer is not None and _STATE.trace_path is not None:
         _STATE.tracer.export_chrome(_STATE.trace_path)
         written[str(_STATE.trace_path)] = "chrome-trace"
@@ -297,6 +362,16 @@ def status() -> dict[str, Any]:
             "names": _STATE.registry.names() if _STATE.registry is not None else [],
             "path": str(_STATE.metrics_path) if _STATE.metrics_path else None,
             "env": os.environ.get(METRICS_ENV) or None,
+        },
+        "profile": {
+            "active": _STATE.profiler is not None,
+            "samples": (
+                _STATE.profiler.profile.total_samples
+                if _STATE.profiler is not None
+                else 0
+            ),
+            "path": str(_STATE.profile_path) if _STATE.profile_path else None,
+            "env": os.environ.get(PROFILE_ENV) or None,
         },
         "logging": {
             "env": os.environ.get(LOG_ENV) or None,

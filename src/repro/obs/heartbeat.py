@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import json
 import logging
+import math
 import os
 import time
 from dataclasses import dataclass
@@ -169,12 +170,20 @@ class RunHeartbeat:
         self._last_emit = now
         elapsed = max(now - self._t0, 0.0)
         fresh_nodes = max(nodes_folded - self._nodes0, 0)
-        rate = fresh_nodes / elapsed if elapsed > 0 else 0.0
+        # Zero-elapsed updates (first fold lands inside clock resolution)
+        # and fully-resumed runs (no fresh work this process) both have
+        # no rate to report: rate stays 0 and the ETA stays null rather
+        # than a ZeroDivisionError or an inf that json.dumps rejects.
+        rate = fresh_nodes / elapsed if elapsed > 0 and fresh_nodes > 0 else 0.0
+        if not math.isfinite(rate):
+            rate = 0.0
         remaining = max(self.nodes_total - nodes_folded, 0)
         if done:
             eta: float | None = 0.0
         elif rate > 0:
             eta = remaining / rate
+            if not math.isfinite(eta):
+                eta = None
         else:
             eta = None
         snapshot = HeartbeatSnapshot(

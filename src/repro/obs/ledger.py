@@ -9,10 +9,13 @@ energy totals, cache/dedupe stats, alert counts, checkpoint lineage) to
 ``.repro_runs/ledger.jsonl``, and the ``repro runs`` CLI lists, shows,
 diffs and regression-checks the history.
 
-Durability contract: appends go through the atomic temp + ``os.replace``
-pattern (the same crash-safety the caches and fleet checkpoints use), so
-a reader never sees a torn line and an interrupted append leaves the old
-ledger intact.
+Durability contract: appends are a **single ``O_APPEND`` write** of one
+newline-terminated line — the kernel serializes concurrent appenders, so
+two ``repro`` invocations writing at once can interleave *lines* but
+never bytes within a line, and an interrupted append leaves at most one
+partial trailing line.  Readers skip (and warn about) any line that does
+not parse — a torn tail or a corrupted line never takes the whole
+history down.
 
 Recording is **draft-based** so layers stay decoupled: the CLI opens a
 draft (:func:`begin_run`), any layer underneath annotates it when a draft
@@ -178,14 +181,33 @@ class RunLedger:
         return self.root / LEDGER_FILENAME
 
     def append(self, record: RunRecord) -> None:
-        """Atomically append one record (old ledger or new ledger, never torn)."""
-        existing = ""
-        if self.path.is_file():
-            existing = self.path.read_text()
-            if existing and not existing.endswith("\n"):
-                existing += "\n"
-        line = json.dumps(record.to_json(), sort_keys=True)
-        atomic_write_text(self.path, existing + line + "\n")
+        """Append one record as a single ``O_APPEND`` write.
+
+        ``O_APPEND`` makes the seek-to-end + write atomic per call, so
+        parallel CLI invocations appending to one ledger interleave
+        whole lines — the read-modify-replace pattern this replaces
+        silently dropped whichever concurrent append lost the race.
+        """
+        line = json.dumps(record.to_json(), sort_keys=True) + "\n"
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        data = line.encode("utf-8")
+        # A writer that died mid-line left the file without a trailing
+        # newline; gluing this record onto that fragment would corrupt
+        # both.  Start a fresh line instead — only the crashed record's
+        # line is lost (and skipped with a warning on read).
+        try:
+            with open(self.path, "rb") as fh:
+                fh.seek(-1, os.SEEK_END)
+                if fh.read(1) != b"\n":
+                    data = b"\n" + data
+        except OSError:
+            pass  # no ledger yet, or an empty one
+        fd = os.open(self.path, os.O_WRONLY | os.O_APPEND | os.O_CREAT, 0o644)
+        try:
+            while data:
+                data = data[os.write(fd, data) :]
+        finally:
+            os.close(fd)
         obs.inc("repro_runs_recorded_total")
 
     def records(self) -> list[RunRecord]:
@@ -198,8 +220,14 @@ class RunLedger:
             if not line:
                 continue
             try:
-                records.append(RunRecord.from_json(json.loads(line)))
+                data = json.loads(line)
+                if not isinstance(data, dict):
+                    raise TypeError(f"expected a JSON object, got {type(data).__name__}")
+                records.append(RunRecord.from_json(data))
             except (json.JSONDecodeError, TypeError) as exc:
+                # A crashed writer leaves at most one partial trailing
+                # line; a bit flip corrupts one line.  Either way the
+                # rest of the history is intact — use it.
                 logger.warning(
                     "skipping corrupt ledger line %s:%d (%s)",
                     self.path,
@@ -279,55 +307,32 @@ def check_regression(
     records: list[RunRecord],
     target: RunRecord,
     *,
-    wall_threshold: float = 0.25,
+    tolerance: float = 0.25,
+    min_history: int | None = None,
     energy_rel_tol: float = 1e-9,
 ) -> tuple[list[str], int]:
     """Regression findings for ``target`` against its ledger history.
 
-    History is every *other* ``ok`` record sharing the target's config
-    fingerprint.  Two checks:
-
-    * **wall time** — more than ``wall_threshold`` slower than the
-      *best* historical wall time (min, like the bench gates: host noise
-      inflates individual runs, a real regression inflates all of them);
-    * **energy determinism** — the engine is bit-deterministic for a
-      fixed config, so any energy drift beyond float-noise against the
-      most recent comparable run means the simulation changed under an
-      unchanged fingerprint.
-
-    Returns (findings, history size); an empty history yields no
-    findings — there is nothing to regress against.
+    Thin compatibility wrapper over the sentinel's baseline check
+    (:func:`repro.obs.sentinel.check_target`) so ``repro runs check``
+    and ``repro sentinel check`` agree on what a regression is: wall
+    time judged against the robust (median/MAD) baseline of comparable
+    runs, energy held to bit-determinism, cache hit rate and surrogate
+    drift judged when recorded.  Returns (finding messages, history
+    size).
     """
-    if target.fingerprint is None:
-        return [], 0
-    history = [
-        r
-        for r in records
-        if r.run_id != target.run_id
-        and r.status == "ok"
-        and r.fingerprint == target.fingerprint
-    ]
-    findings: list[str] = []
-    walls = [r.wall_s for r in history if r.wall_s]
-    if walls and target.wall_s:
-        best = min(walls)
-        if target.wall_s > best * (1.0 + wall_threshold):
-            findings.append(
-                f"wall time {target.wall_s:.2f} s is "
-                f"{target.wall_s / best - 1.0:+.0%} vs the best comparable "
-                f"run ({best:.2f} s; threshold {wall_threshold:+.0%})"
-            )
-    priors = [r for r in history if r.energy_j is not None]
-    if priors and target.energy_j is not None:
-        prior = priors[-1]
-        scale = max(abs(prior.energy_j), abs(target.energy_j), 1.0)
-        if abs(target.energy_j - prior.energy_j) / scale > energy_rel_tol:
-            findings.append(
-                f"energy {target.energy_j:.3f} J diverged from run "
-                f"{prior.run_id} ({prior.energy_j:.3f} J) under the same "
-                "config fingerprint — determinism drift"
-            )
-    return findings, len(history)
+    from repro.obs import sentinel  # local import: sentinel imports us
+
+    findings, history = sentinel.check_target(
+        records,
+        target,
+        tolerance=tolerance,
+        min_history=(
+            min_history if min_history is not None else sentinel.DEFAULT_MIN_HISTORY
+        ),
+        energy_rel_tol=energy_rel_tol,
+    )
+    return [finding.message for finding in findings], history
 
 
 # ----------------------------------------------------------------------

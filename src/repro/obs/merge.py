@@ -33,6 +33,7 @@ from dataclasses import dataclass, field
 
 from repro import obs
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.profile import SpanProfiler, interval_from_env
 from repro.obs.trace import TraceEvent, Tracer
 
 
@@ -53,15 +54,28 @@ class ObsPartial:
     thread_names: dict[tuple[int, int], str] = field(default_factory=dict)
     #: ``MetricsRegistry.state()`` payload; None when metrics were off.
     metrics_state: dict | None = None
+    #: ``Profile.state()`` payload; None when profiling was off.
+    profile_state: dict | None = None
 
     @property
     def span_count(self) -> int:
         """Recorded trace events in this capture."""
         return len(self.events)
 
+    @property
+    def profile_samples(self) -> int:
+        """Profiler samples captured in this partial."""
+        if not self.profile_state:
+            return 0
+        return sum(
+            count
+            for entries in self.profile_state.get("rows", {}).values()
+            for _stack, count in entries
+        )
 
-def capture_flags() -> tuple[bool, bool] | None:
-    """The (trace, metrics) layers the coordinator has on, or None.
+
+def capture_flags() -> tuple[bool, bool, bool] | None:
+    """The (trace, metrics, profile) layers the coordinator has on, or None.
 
     Shipped inside worker task payloads so workers enable exactly the
     layers the coordinator is collecting — and nothing when obs is off
@@ -69,7 +83,11 @@ def capture_flags() -> tuple[bool, bool] | None:
     """
     if not obs.is_active():
         return None
-    return (obs.tracing_active(), obs.metrics() is not None)
+    return (
+        obs.tracing_active(),
+        obs.metrics() is not None,
+        obs.profiling_active(),
+    )
 
 
 def begin_worker_capture(
@@ -77,6 +95,7 @@ def begin_worker_capture(
     metrics: bool = True,
     process_label: str | None = None,
     thread_label: str = "render",
+    profile: bool = False,
 ):
     """Install fresh in-memory obs state in this (worker) process.
 
@@ -87,16 +106,24 @@ def begin_worker_capture(
     """
     previous = obs._STATE
     fresh = obs._ObsState()
+    label = (
+        process_label
+        if process_label is not None
+        else f"repro worker {os.getpid()}"
+    )
+    if profile and not trace:
+        trace = True  # span attribution needs the open-span stacks
     if trace:
         fresh.tracer = Tracer()
-        fresh.tracer.name_process(
-            process_label
-            if process_label is not None
-            else f"repro worker {os.getpid()}"
-        )
+        fresh.tracer.name_process(label)
         fresh.tracer.name_thread(thread_label)
     if metrics:
         fresh.registry = MetricsRegistry()
+    if profile:
+        fresh.profiler = SpanProfiler(
+            interval_from_env(), tracer=fresh.tracer, process_label=label
+        )
+        fresh.profiler.start()
     obs._STATE = fresh
     return previous
 
@@ -112,7 +139,10 @@ def finish_worker_capture(token) -> ObsPartial | None:
     obs._STATE = token
     tracer = captured.tracer
     registry = captured.registry
-    if tracer is None and registry is None:
+    profiler = captured.profiler
+    if profiler is not None:
+        profiler.stop()
+    if tracer is None and registry is None and profiler is None:
         return None
     process_names: dict[int, str] = {}
     thread_names: dict[tuple[int, int], str] = {}
@@ -129,6 +159,7 @@ def finish_worker_capture(token) -> ObsPartial | None:
         process_names=process_names,
         thread_names=thread_names,
         metrics_state=registry.state() if registry is not None else None,
+        profile_state=profiler.profile.state() if profiler is not None else None,
     )
 
 
@@ -156,3 +187,6 @@ def absorb_partial(partial: ObsPartial | None) -> None:
     registry = obs.metrics()
     if registry is not None and partial.metrics_state:
         registry.merge_state(partial.metrics_state)
+    profiler = obs.profiler()
+    if profiler is not None and partial.profile_state:
+        profiler.profile.merge_state(partial.profile_state)

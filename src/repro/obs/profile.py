@@ -1,0 +1,382 @@
+"""Sampling wall-clock profiler, integrated with the span tracer.
+
+Spans (:mod:`repro.obs.trace`) say *that* a phase was slow; this module
+says *where the time went inside it*.  A daemon thread wakes every
+``interval_s`` seconds, snapshots every live thread's Python stack via
+``sys._current_frames()``, and attributes the sample to the innermost
+**open span** on that thread (the tracer keeps a per-thread stack of
+open span names exactly for this read).  Pure stdlib, no signals, no
+C extension — and observation-only: sampling reads frames, it never
+touches the computation, so profiled runs stay bit-identical.
+
+Accumulated samples live in a :class:`Profile` — a mapping of *process
+label* (``repro fleet``, ``repro fleet worker 1234``) to collapsed call
+stacks and their sample counts — which is plain picklable data.  A
+sharded run therefore profiles the same way it traces: each worker
+samples itself into a fresh profile, ships the
+:meth:`Profile.state` payload home inside its
+:class:`repro.obs.merge.ObsPartial`, and the coordinator folds it with
+:meth:`Profile.merge_state`.  One run, one merged profile, one row per
+worker process.
+
+Exports:
+
+* :func:`to_speedscope` — the `speedscope <https://speedscope.app>`_
+  JSON file format, one sampled profile per process label;
+* :func:`to_collapsed` — Brendan-Gregg collapsed stacks
+  (``label;span:<name>;frame;... count``) for flamegraph tooling;
+* :func:`top_functions` — a plain-text self-time report (per function
+  and per active span).
+
+Activation mirrors tracing: ``--profile FILE`` on the CLI or
+``REPRO_PROFILE=FILE`` in the environment (``.json``/``.speedscope``
+suffixes select speedscope output, ``.txt`` the top-functions report,
+anything else collapsed stacks).  ``REPRO_PROFILE_INTERVAL`` overrides
+the sampling period in seconds.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import threading
+from pathlib import Path
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (obs -> profile)
+    from repro.obs.trace import Tracer
+
+#: Environment variable: profile export path (enables profiling).
+PROFILE_ENV = "REPRO_PROFILE"
+#: Environment variable: sampling period override, in seconds.
+PROFILE_INTERVAL_ENV = "REPRO_PROFILE_INTERVAL"
+#: Default wall-clock sampling period (200 Hz).
+DEFAULT_INTERVAL_S = 0.005
+#: Span pseudo-frame used when a sampled thread has no open span.
+NO_SPAN = "(no span)"
+#: Stack frames kept per sample (innermost); deeper tails are dropped.
+MAX_STACK_DEPTH = 64
+
+
+def interval_from_env() -> float:
+    """The sampling period: ``REPRO_PROFILE_INTERVAL`` or the default.
+
+    Invalid or non-positive values fall back to the default rather than
+    erroring — a bad knob should never break the profiled run.
+    """
+    raw = os.environ.get(PROFILE_INTERVAL_ENV, "").strip()
+    if not raw:
+        return DEFAULT_INTERVAL_S
+    try:
+        interval = float(raw)
+    except ValueError:
+        return DEFAULT_INTERVAL_S
+    return interval if interval > 0 else DEFAULT_INTERVAL_S
+
+
+def _format_frame(frame) -> str:
+    """``func (pkg/module.py:lineno)`` — short, stable frame label."""
+    code = frame.f_code
+    filename = code.co_filename
+    parts = filename.replace(os.sep, "/").rsplit("/", 2)
+    short = "/".join(parts[-2:]) if len(parts) > 1 else filename
+    return f"{code.co_name} ({short}:{frame.f_lineno})"
+
+
+class Profile:
+    """Accumulated stack samples, grouped by process label.
+
+    ``rows`` maps a process label to ``{stack: count}`` where ``stack``
+    is a tuple of frame labels, **outermost first**, whose first element
+    is always the ``span:<name>`` pseudo-frame the sample was attributed
+    to.  All methods are thread-safe (the sampler thread writes while
+    exporters read).
+    """
+
+    def __init__(self, interval_s: float = DEFAULT_INTERVAL_S) -> None:
+        self.interval_s = interval_s
+        self.rows: dict[str, dict[tuple[str, ...], int]] = {}
+        self._lock = threading.Lock()
+
+    def add(self, label: str, stack: tuple[str, ...], count: int = 1) -> None:
+        """Record ``count`` samples of ``stack`` under process ``label``."""
+        with self._lock:
+            counts = self.rows.setdefault(label, {})
+            counts[stack] = counts.get(stack, 0) + count
+
+    @property
+    def total_samples(self) -> int:
+        """Samples recorded across every process row."""
+        with self._lock:
+            return sum(
+                count for counts in self.rows.values() for count in counts.values()
+            )
+
+    def state(self) -> dict[str, Any]:
+        """Picklable snapshot: ships inside a worker ``ObsPartial``."""
+        with self._lock:
+            return {
+                "interval_s": self.interval_s,
+                "rows": {
+                    label: [[list(stack), count] for stack, count in counts.items()]
+                    for label, counts in self.rows.items()
+                },
+            }
+
+    def merge_state(self, state: dict[str, Any]) -> int:
+        """Fold another profile's :meth:`state` payload into this one.
+
+        Counts add per (label, stack) — the merge is commutative, so the
+        coordinator can absorb worker partials in any order.  Returns
+        the number of samples folded in.
+        """
+        folded = 0
+        for label, entries in state.get("rows", {}).items():
+            for stack, count in entries:
+                self.add(label, tuple(stack), count)
+                folded += count
+        return folded
+
+    @classmethod
+    def from_state(cls, state: dict[str, Any]) -> "Profile":
+        """Rebuild a profile from a :meth:`state` payload."""
+        profile = cls(interval_s=state.get("interval_s", DEFAULT_INTERVAL_S))
+        profile.merge_state(state)
+        return profile
+
+    def span_self_samples(self) -> dict[str, int]:
+        """Samples attributed to each active span (the ``span:`` frame)."""
+        totals: dict[str, int] = {}
+        with self._lock:
+            for counts in self.rows.values():
+                for stack, count in counts.items():
+                    span = stack[0] if stack else f"span:{NO_SPAN}"
+                    totals[span] = totals.get(span, 0) + count
+        return totals
+
+
+class SpanProfiler:
+    """The sampler: a daemon thread snapshotting stacks into a profile.
+
+    Parameters
+    ----------
+    interval_s:
+        Wall-clock sampling period.
+    tracer:
+        The live span tracer whose open-span stacks attribute samples;
+        None records every sample under ``span:(no span)``.
+    process_label:
+        Row label for this process's samples (defaults to ``pid <n>``).
+    """
+
+    def __init__(
+        self,
+        interval_s: float = DEFAULT_INTERVAL_S,
+        *,
+        tracer: "Tracer | None" = None,
+        process_label: str | None = None,
+    ) -> None:
+        self.profile = Profile(interval_s)
+        self.tracer = tracer
+        self.process_label = (
+            process_label if process_label is not None else f"pid {os.getpid()}"
+        )
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    # -- sampling ---------------------------------------------------------
+    def sample_once(self) -> int:
+        """Take one sample of every live thread; returns threads sampled.
+
+        Exposed for deterministic tests — the background thread just
+        calls this in a loop.  Only the sampler thread itself is
+        excluded (never the caller: a direct test call from the main
+        thread must sample the main thread).
+        """
+        sampler = self._thread
+        sampler_tid = sampler.ident if sampler is not None else None
+        sampled = 0
+        for tid, frame in sys._current_frames().items():
+            if tid == sampler_tid:
+                continue
+            stack: list[str] = []
+            while frame is not None and len(stack) < MAX_STACK_DEPTH:
+                stack.append(_format_frame(frame))
+                frame = frame.f_back
+            stack.reverse()
+            # `is not None`, not truthiness: Tracer.__len__ makes an
+            # empty (no recorded events yet) tracer falsy.
+            span = (
+                self.tracer.active_span_name(tid)
+                if self.tracer is not None
+                else None
+            )
+            key = (f"span:{span if span is not None else NO_SPAN}", *stack)
+            self.profile.add(self.process_label, key)
+            sampled += 1
+        return sampled
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.profile.interval_s):
+            self.sample_once()
+
+    def start(self) -> None:
+        """Start the sampler thread (idempotent)."""
+        if self._thread is not None:
+            return
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-profiler", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        """Stop the sampler thread and wait for it (idempotent)."""
+        thread = self._thread
+        if thread is None:
+            return
+        self._stop.set()
+        thread.join(timeout=5.0)
+        self._thread = None
+
+    @property
+    def running(self) -> bool:
+        """True while the sampler thread is alive."""
+        return self._thread is not None
+
+    def relabel(self, label: str) -> None:
+        """Rename this process's profile row (moves recorded samples).
+
+        The CLI names its process *after* enabling observability; any
+        samples the background thread grabbed in between move with the
+        rename so the profile keeps one row per process.
+        """
+        old = self.process_label
+        self.process_label = label
+        if old == label:
+            return
+        with self.profile._lock:
+            counts = self.profile.rows.pop(old, None)
+            if counts:
+                merged = self.profile.rows.setdefault(label, {})
+                for stack, count in counts.items():
+                    merged[stack] = merged.get(stack, 0) + count
+
+
+# ----------------------------------------------------------------------
+# Exports
+# ----------------------------------------------------------------------
+def to_speedscope(
+    state: dict[str, Any], name: str = "repro profile"
+) -> dict[str, Any]:
+    """A profile state as a speedscope JSON document.
+
+    Each process label becomes one *sampled* profile entry — speedscope
+    renders them as switchable rows, so a merged sharded capture shows
+    the coordinator and every worker side by side.  Weights are seconds
+    (samples x sampling period).
+    """
+    interval_s = state.get("interval_s", DEFAULT_INTERVAL_S)
+    frame_index: dict[str, int] = {}
+    frames: list[dict[str, str]] = []
+
+    def index_of(label: str) -> int:
+        at = frame_index.get(label)
+        if at is None:
+            at = frame_index[label] = len(frames)
+            frames.append({"name": label})
+        return at
+
+    profiles = []
+    for label in sorted(state.get("rows", {})):
+        samples: list[list[int]] = []
+        weights: list[float] = []
+        for stack, count in sorted(state["rows"][label]):
+            samples.append([index_of(frame) for frame in stack])
+            weights.append(count * interval_s)
+        profiles.append(
+            {
+                "type": "sampled",
+                "name": label,
+                "unit": "seconds",
+                "startValue": 0,
+                "endValue": round(sum(weights), 9),
+                "samples": samples,
+                "weights": [round(w, 9) for w in weights],
+            }
+        )
+    return {
+        "$schema": "https://www.speedscope.app/file-format-schema.json",
+        "shared": {"frames": frames},
+        "profiles": profiles,
+        "name": name,
+        "activeProfileIndex": 0,
+        "exporter": "repro.obs.profile",
+    }
+
+
+def to_collapsed(state: dict[str, Any]) -> str:
+    """Collapsed-stack text: ``label;span:<s>;frame;... count`` per line."""
+    lines = []
+    for label in sorted(state.get("rows", {})):
+        for stack, count in sorted(state["rows"][label]):
+            lines.append(";".join([label, *stack]) + f" {count}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def top_functions(state: dict[str, Any], limit: int = 15) -> str:
+    """Plain-text self-time report: hottest leaf frames, then spans.
+
+    Self time is leaf-frame occupancy — the function actually on-CPU (or
+    blocking) when the sample fired — scaled by the sampling period.
+    """
+    interval_s = state.get("interval_s", DEFAULT_INTERVAL_S)
+    leaf_counts: dict[str, int] = {}
+    span_counts: dict[str, int] = {}
+    total = 0
+    for counts in state.get("rows", {}).values():
+        for stack, count in counts:
+            total += count
+            if stack:
+                leaf = stack[-1]
+                leaf_counts[leaf] = leaf_counts.get(leaf, 0) + count
+                span = stack[0]
+                span_counts[span] = span_counts.get(span, 0) + count
+    if total == 0:
+        return "profile is empty (no samples)\n"
+    lines = [
+        f"profile: {total} samples @ {interval_s * 1e3:.1f} ms "
+        f"(~{total * interval_s:.2f} s of thread time)",
+        "",
+        f"{'self (s)':>9}  {'share':>6}  function",
+    ]
+    ranked = sorted(leaf_counts.items(), key=lambda kv: (-kv[1], kv[0]))
+    for frame, count in ranked[:limit]:
+        lines.append(
+            f"{count * interval_s:>9.3f}  {count / total:>6.1%}  {frame}"
+        )
+    lines += ["", f"{'time (s)':>9}  {'share':>6}  active span"]
+    for span, count in sorted(span_counts.items(), key=lambda kv: (-kv[1], kv[0])):
+        lines.append(
+            f"{count * interval_s:>9.3f}  {count / total:>6.1%}  {span}"
+        )
+    return "\n".join(lines) + "\n"
+
+
+def export_profile(state: dict[str, Any], path: "str | Path") -> Path:
+    """Write a profile state to ``path`` in the format its suffix names.
+
+    ``.json`` / ``.speedscope`` get the speedscope document, ``.txt``
+    the plain-text :func:`top_functions` report; any other suffix gets
+    collapsed stacks.  Returns the path written.
+    """
+    path = Path(path)
+    suffix = path.suffix.lower()
+    if suffix in {".json", ".speedscope"}:
+        path.write_text(json.dumps(to_speedscope(state)) + "\n")
+    elif suffix == ".txt":
+        path.write_text(top_functions(state))
+    else:
+        path.write_text(to_collapsed(state))
+    return path

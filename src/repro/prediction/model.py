@@ -148,6 +148,9 @@ class SurrogateStats:
     hits: int = 0
     fallbacks: int = 0
     trainings: int = 0
+    verifications: int = 0
+    last_verification_error: float | None = None
+    _verification_error_sum: float = 0.0
 
     @property
     def hit_ratio(self) -> float:
@@ -156,13 +159,38 @@ class SurrogateStats:
             return 0.0
         return self.hits / self.predictions
 
+    def record_verification(self, error: float) -> None:
+        """Track one verify-the-winner outcome.
+
+        Every surrogate-scored search re-simulates its winner exactly;
+        the relative error of that check is the ground-truth drift signal
+        the regression sentinel (:mod:`repro.obs.sentinel`) watches, so
+        it is accumulated here and annotated into the run ledger by the
+        callers that compute it.
+        """
+        self.verifications += 1
+        self.last_verification_error = error
+        self._verification_error_sum += error
+
+    @property
+    def mean_verification_error(self) -> float | None:
+        """Mean winner-verification error (None before any check)."""
+        if self.verifications == 0:
+            return None
+        return self._verification_error_sum / self.verifications
+
     def summary_line(self) -> str:
         """One-line human summary (for CLI footers)."""
-        return (
+        line = (
             f"surrogate: {self.predictions} predictions, "
             f"{self.hits} in-envelope ({self.hit_ratio:.0%}), "
             f"{self.fallbacks} engine fallbacks"
         )
+        if self.verifications and self.last_verification_error is not None:
+            line += (
+                f", winner verified {self.last_verification_error:.1%} off"
+            )
+        return line
 
 
 _STATS = SurrogateStats()
@@ -179,6 +207,9 @@ def reset_surrogate_stats() -> None:
     _STATS.hits = 0
     _STATS.fallbacks = 0
     _STATS.trainings = 0
+    _STATS.verifications = 0
+    _STATS.last_verification_error = None
+    _STATS._verification_error_sum = 0.0
 
 
 @dataclass(frozen=True)

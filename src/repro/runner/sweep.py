@@ -187,12 +187,14 @@ def _call_captured(payload: tuple) -> tuple:
     coordinator state is indistinguishable from an in-process run.
     Returns ``(result, ObsPartial | None)``.
     """
-    fn, task, index, (trace_on, metrics_on) = payload
+    fn, task, index, capture = payload
+    trace_on, metrics_on, profile_on = (*capture, False)[:3]
     token = obs_merge.begin_worker_capture(
         trace_on,
         metrics_on,
         process_label=f"repro sweep worker {os.getpid()}",
         thread_label="sweep",
+        profile=profile_on,
     )
     try:
         start = time.perf_counter()

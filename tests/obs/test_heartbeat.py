@@ -62,6 +62,30 @@ class TestRunHeartbeat:
         clock.advance(5.0)
         assert beat.update(0, 0).eta_s is None
 
+    def test_zero_elapsed_update_is_safe(self, clock):
+        # First fold lands inside clock resolution: no ZeroDivisionError,
+        # no inf in the JSON the file sink would publish.
+        beat = RunHeartbeat(
+            jobs_total=2, nodes_total=10, min_interval_s=0.0, clock=clock
+        )
+        snapshot = beat.update(1, 5)
+        assert snapshot.nodes_per_s == 0.0
+        assert snapshot.eta_s is None
+        json.dumps(snapshot.to_json())
+
+    def test_fully_resumed_run_reports_null_eta(self, clock):
+        # Everything came from the checkpoint; this process did no fresh
+        # work, so there is no honest rate (and no ETA) to report.
+        beat = RunHeartbeat(
+            jobs_total=4, nodes_total=40, min_interval_s=0.0, clock=clock
+        )
+        beat.resume_baseline(4, 40)
+        clock.advance(3.0)
+        snapshot = beat.update(4, 40)
+        assert snapshot.nodes_per_s == 0.0
+        assert snapshot.eta_s is None
+        json.dumps(snapshot.to_json())
+
     def test_resume_baseline_excluded_from_rate(self, clock):
         beat = RunHeartbeat(
             jobs_total=10, nodes_total=100, min_interval_s=0.0, clock=clock

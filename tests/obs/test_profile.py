@@ -1,0 +1,248 @@
+"""Unit tests for the sampling wall-clock profiler and its merge path."""
+
+import json
+import threading
+
+import pytest
+
+from repro import obs
+from repro.obs.merge import (
+    absorb_partial,
+    begin_worker_capture,
+    finish_worker_capture,
+)
+from repro.obs.profile import (
+    DEFAULT_INTERVAL_S,
+    NO_SPAN,
+    PROFILE_INTERVAL_ENV,
+    Profile,
+    SpanProfiler,
+    export_profile,
+    interval_from_env,
+    to_collapsed,
+    to_speedscope,
+    top_functions,
+)
+from repro.obs.trace import Tracer
+
+
+class TestProfile:
+    def test_add_and_total(self):
+        profile = Profile()
+        profile.add("p", ("span:x", "f (m.py:1)"))
+        profile.add("p", ("span:x", "f (m.py:1)"), count=2)
+        profile.add("q", ("span:y",))
+        assert profile.rows["p"][("span:x", "f (m.py:1)")] == 3
+        assert profile.total_samples == 4
+
+    def test_state_round_trip(self):
+        profile = Profile(interval_s=0.01)
+        profile.add("p", ("span:x", "a (m.py:1)", "b (m.py:2)"), count=5)
+        clone = Profile.from_state(profile.state())
+        assert clone.interval_s == 0.01
+        assert clone.rows == profile.rows
+        assert clone.total_samples == 5
+
+    def test_merge_state_adds_counts_and_reports_folded(self):
+        ours = Profile()
+        ours.add("worker", ("span:x",), count=2)
+        theirs = Profile()
+        theirs.add("worker", ("span:x",), count=3)
+        theirs.add("other", ("span:y",), count=1)
+        folded = ours.merge_state(theirs.state())
+        assert folded == 4
+        assert ours.rows["worker"][("span:x",)] == 5
+        assert ours.rows["other"][("span:y",)] == 1
+
+    def test_span_self_samples(self):
+        profile = Profile()
+        profile.add("p", ("span:render", "f (m.py:1)"), count=3)
+        profile.add("q", ("span:render", "g (m.py:2)"), count=2)
+        profile.add("p", (f"span:{NO_SPAN}", "h (m.py:3)"))
+        totals = profile.span_self_samples()
+        assert totals["span:render"] == 5
+        assert totals[f"span:{NO_SPAN}"] == 1
+
+
+class TestSpanProfiler:
+    def test_sample_attributes_to_open_span(self):
+        tracer = Tracer()
+        profiler = SpanProfiler(tracer=tracer, process_label="me")
+        with tracer.span("phase.render"):
+            sampled = profiler.sample_once()
+        assert sampled >= 1
+        stacks = profiler.profile.rows["me"]
+        assert any(stack[0] == "span:phase.render" for stack in stacks)
+        # The sampled stack walked this very test function.
+        assert any(
+            "test_sample_attributes_to_open_span" in frame
+            for stack in stacks
+            for frame in stack
+        )
+
+    def test_no_open_span_uses_placeholder(self):
+        profiler = SpanProfiler(tracer=None, process_label="me")
+        profiler.sample_once()
+        assert all(
+            stack[0] == f"span:{NO_SPAN}"
+            for stack in profiler.profile.rows["me"]
+        )
+
+    def test_sampler_thread_lifecycle(self):
+        profiler = SpanProfiler(interval_s=0.001, process_label="me")
+        assert not profiler.running
+        profiler.start()
+        profiler.start()  # idempotent
+        assert profiler.running
+        profiler.stop()
+        profiler.stop()  # idempotent
+        assert not profiler.running
+        assert not any(
+            t.name == "repro-profiler" for t in threading.enumerate()
+        )
+
+    def test_sampler_excludes_its_own_thread(self):
+        profiler = SpanProfiler(interval_s=0.001, process_label="me")
+        profiler.start()
+        for _ in range(200):
+            if profiler.profile.total_samples:
+                break
+            threading.Event().wait(0.005)
+        profiler.stop()
+        assert profiler.profile.total_samples > 0
+        # No stack in the profile is the sampler thread's own loop.
+        assert not any(
+            "_run" in frame and "profile.py" in frame
+            for stacks in profiler.profile.rows.values()
+            for stack in stacks
+            for frame in stack
+        )
+
+    def test_relabel_moves_recorded_samples(self):
+        profiler = SpanProfiler(process_label="before")
+        profiler.sample_once()
+        count = profiler.profile.total_samples
+        profiler.relabel("after")
+        assert "before" not in profiler.profile.rows
+        assert profiler.profile.total_samples == count
+        profiler.sample_once()
+        assert set(profiler.profile.rows) == {"after"}
+
+
+class TestIntervalEnv:
+    def test_default_when_unset(self, monkeypatch):
+        monkeypatch.delenv(PROFILE_INTERVAL_ENV, raising=False)
+        assert interval_from_env() == DEFAULT_INTERVAL_S
+
+    def test_override(self, monkeypatch):
+        monkeypatch.setenv(PROFILE_INTERVAL_ENV, "0.05")
+        assert interval_from_env() == pytest.approx(0.05)
+
+    @pytest.mark.parametrize("bad", ["junk", "-0.01", "0"])
+    def test_invalid_values_fall_back(self, monkeypatch, bad):
+        monkeypatch.setenv(PROFILE_INTERVAL_ENV, bad)
+        assert interval_from_env() == DEFAULT_INTERVAL_S
+
+
+def two_row_state() -> dict:
+    profile = Profile(interval_s=0.01)
+    profile.add("coordinator", ("span:fleet", "a (m.py:1)"), count=3)
+    profile.add("worker 1", ("span:shard", "a (m.py:1)", "b (m.py:2)"), count=2)
+    return profile.state()
+
+
+class TestExports:
+    def test_speedscope_document_shape(self):
+        doc = to_speedscope(two_row_state())
+        assert doc["$schema"].endswith("file-format-schema.json")
+        names = [p["name"] for p in doc["profiles"]]
+        assert names == ["coordinator", "worker 1"]
+        frames = doc["shared"]["frames"]
+        for entry in doc["profiles"]:
+            assert entry["type"] == "sampled"
+            assert len(entry["samples"]) == len(entry["weights"])
+            for sample in entry["samples"]:
+                assert all(0 <= idx < len(frames) for idx in sample)
+        coordinator = doc["profiles"][0]
+        assert coordinator["weights"] == [pytest.approx(0.03)]
+        assert coordinator["endValue"] == pytest.approx(0.03)
+
+    def test_collapsed_output(self):
+        text = to_collapsed(two_row_state())
+        assert "coordinator;span:fleet;a (m.py:1) 3" in text
+        assert "worker 1;span:shard;a (m.py:1);b (m.py:2) 2" in text
+
+    def test_top_functions_report(self):
+        report = top_functions(two_row_state())
+        assert "5 samples" in report
+        assert "a (m.py:1)" in report  # hottest leaf of the coordinator row
+        assert "span:fleet" in report and "span:shard" in report
+
+    def test_top_functions_empty(self):
+        assert "empty" in top_functions(Profile().state())
+
+    def test_export_suffix_selects_format(self, tmp_path):
+        state = two_row_state()
+        speedscope = export_profile(state, tmp_path / "p.speedscope")
+        assert json.loads(speedscope.read_text())["profiles"]
+        report = export_profile(state, tmp_path / "p.txt")
+        assert report.read_text().startswith("profile:")
+        collapsed = export_profile(state, tmp_path / "p.folded")
+        assert "coordinator;span:fleet" in collapsed.read_text()
+
+
+class TestWorkerCaptureProfile:
+    """The sharded contract: one merged profile, per-worker rows, exact
+    sample bookkeeping (deterministic — sampler threads are stopped and
+    samples taken by hand)."""
+
+    def test_worker_profiles_merge_into_one(self):
+        obs.enable(profile=True)
+        obs.profiler().stop()
+        partials = []
+        for worker in range(2):
+            token = begin_worker_capture(
+                True, False, process_label=f"worker {worker}", profile=True
+            )
+            sampler = obs.profiler()
+            sampler.stop()
+            with obs.span("shard.render"):
+                sampler.sample_once()
+                sampler.sample_once()
+            partials.append(finish_worker_capture(token))
+        coordinator = obs.profiler()
+        base = coordinator.profile.total_samples
+        for partial in partials:
+            absorb_partial(partial)
+        merged = coordinator.profile
+        assert all(p.profile_samples >= 2 for p in partials)
+        assert merged.total_samples == base + sum(
+            p.profile_samples for p in partials
+        )
+        assert "worker 0" in merged.rows and "worker 1" in merged.rows
+        assert merged.span_self_samples().get("span:shard.render", 0) >= 4
+
+    def test_profile_capture_needs_no_coordinator_tracer(self):
+        # profile=True implies a worker tracer even when trace=False.
+        token = begin_worker_capture(False, False, profile=True)
+        assert obs.tracer() is not None
+        sampler = obs.profiler()
+        sampler.stop()
+        with obs.span("inner"):
+            sampler.sample_once()
+        partial = finish_worker_capture(token)
+        assert partial.profile_samples >= 1
+
+    def test_absorb_without_local_profiler_is_noop(self):
+        token = begin_worker_capture(True, False, profile=True)
+        obs.profiler().stop()
+        obs.profiler().sample_once()
+        partial = finish_worker_capture(token)
+        absorb_partial(partial)  # coordinator has no profiler: must not raise
+        assert obs.profiler() is None
+
+    def test_enable_profile_implies_tracing(self):
+        obs.enable(profile=True)
+        assert obs.tracing_active()
+        assert obs.profiling_active()
+        obs.profiler().stop()
