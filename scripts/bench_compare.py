@@ -68,6 +68,11 @@ SURROGATE_SPEEDUP_FLOOR = 100.0
 SURROGATE_MAPE_CEILING = 0.25
 #: Held-out-cap HPM MAPE ceiling (same determinism).
 SURROGATE_CAP_MAPE_CEILING = 0.25
+#: Hard floor on scenario job-list builds per second.  Building a
+#: scenario is rng sampling plus workload prototyping — hundreds per
+#: second when intact — so the floor only catches a pathological
+#: slowdown, on any host.
+SCENARIO_BUILD_FLOOR = 5.0
 
 
 def collect_efficiency() -> dict[str, float | int]:
@@ -301,6 +306,30 @@ def collect_surrogate() -> dict[str, float | int]:
     }
 
 
+def collect_scenario() -> dict[str, float | int]:
+    """Scenario-layer fields: build throughput + replay bit-identity.
+
+    Job counts per scenario are deterministic (seeded builds), so any
+    drift there is a real scenario or registry change; the build
+    throughput is gated only against its far-away floor.
+    """
+    import sys as _sys
+
+    _sys.path.insert(0, str(REPO_ROOT / "src"))
+    _sys.path.insert(0, str(REPO_ROOT))
+    from benchmarks.test_scenario_bench import measure_scenarios
+
+    stats = measure_scenarios()
+    if not stats["bit_identical"]:
+        raise SystemExit("scenario fleet replay diverged across worker counts")
+    return {
+        "scenarios": stats["scenarios"],
+        "builds_per_s": round(stats["builds_per_s"], 1),
+        "fleet_s": round(stats["fleet_s"], 4),
+        "total_jobs": sum(stats["job_counts"].values()),
+    }
+
+
 def run_benchmarks(json_path: Path) -> None:
     """Run the benchmark suite, writing pytest-benchmark JSON output."""
     cmd = [
@@ -346,6 +375,7 @@ def write_baseline(times: dict[str, float], machine_note: str = "") -> None:
         "profile": collect_profile(),
         "shard": collect_shard(),
         "surrogate": collect_surrogate(),
+        "scenario": collect_scenario(),
         "benchmarks": {name: {"min_s": value} for name, value in sorted(times.items())},
     }
     BASELINE_PATH.write_text(json.dumps(payload, indent=2) + "\n")
@@ -548,6 +578,28 @@ def compare(times: dict[str, float], threshold: float) -> int:
             failures.append(
                 f"surrogate: held-out cap MAPE {now_surro['cap_mape']:.3f} "
                 f"above the {SURROGATE_CAP_MAPE_CEILING:.2f} ceiling"
+            )
+    # Scenario gate: job-list builds stay cheap, and collect_scenario()
+    # itself hard-fails if the scenario fleet replay loses bit-identity
+    # across worker counts.
+    base_scen = baseline.get("scenario")
+    if base_scen is not None:
+        now_scen = collect_scenario()
+        print("\nscenario (build throughput + replay identity):")
+        for key in sorted(set(base_scen) | set(now_scen)):
+            base_v = base_scen.get(key, "-")
+            now_v = now_scen.get(key, "-")
+            changed = "" if base_v == now_v else "  (changed)"
+            print(f"  {key:22s} {base_v!s:>12} -> {now_v!s:>12}{changed}")
+        if now_scen["builds_per_s"] < SCENARIO_BUILD_FLOOR:
+            failures.append(
+                f"scenario: {now_scen['builds_per_s']:.1f} builds/sec "
+                f"below the {SCENARIO_BUILD_FLOOR:.0f}/sec floor"
+            )
+        if now_scen["total_jobs"] != base_scen.get("total_jobs"):
+            print(
+                "  note: deterministic job counts changed "
+                "(scenario or registry change)"
             )
     if failures:
         print("\nguarded benches regressed:")

@@ -41,9 +41,12 @@ python -m repro platforms
 python -m repro cap-sweep PdO2 --platform h100-sxm --nodes 1
 
 echo "== surrogate smoke (train -> predict -> verified cap search) =="
-# First command trains and persists the store; the rest must hit it.
+# First command trains and persists the store (retraining from scratch
+# over the zoo-expanded corpus); the rest must hit it.  The zoo predict
+# proves non-VASP registry workloads ride the same surrogate end-to-end.
 export REPRO_SURROGATE_DIR="$SMOKE_DIR/surrogate"
 python -m repro predict Si256_hse --nodes 1 --cap 300
+python -m repro predict milc:small --nodes 1 --cap 300
 python -m repro cap-sweep PdO4 --nodes 1 --surrogate
 python - <<'PY'
 from repro.capping.policy import search_cap_policy
@@ -83,6 +86,16 @@ filter_summaries "$SMOKE_DIR/serial.out" "$SMOKE_DIR/serial.txt"
 filter_summaries "$SMOKE_DIR/sharded.out" "$SMOKE_DIR/sharded.txt"
 diff "$SMOKE_DIR/serial.txt" "$SMOKE_DIR/sharded.txt" \
     || { echo "sharded fleet output diverged from serial"; exit 1; }
+
+echo "== scenario smoke (workload registry + named scenario bit-identity) =="
+python -m repro workloads
+SCENARIO_ARGS=(fleet --scenario diurnal --seed 3 --resolution 1.0)
+python -m repro "${SCENARIO_ARGS[@]}" > "$SMOKE_DIR/scenario-serial.out"
+python -m repro "${SCENARIO_ARGS[@]}" --workers 2 > "$SMOKE_DIR/scenario-sharded.out"
+filter_summaries "$SMOKE_DIR/scenario-serial.out" "$SMOKE_DIR/scenario-serial.txt"
+filter_summaries "$SMOKE_DIR/scenario-sharded.out" "$SMOKE_DIR/scenario-sharded.txt"
+diff "$SMOKE_DIR/scenario-serial.txt" "$SMOKE_DIR/scenario-sharded.txt" \
+    || { echo "sharded scenario output diverged from serial"; exit 1; }
 
 echo "== checkpoint/resume smoke (bit-identity vs uninterrupted) =="
 python -m repro "${FLEET_ARGS[@]}" --checkpoint "$SMOKE_DIR/fleet.ckpt" \

@@ -60,7 +60,8 @@ from repro.runner.engine import (
 from repro.runner.sweep import SweepExecutor
 from repro.runner.trace import RunResult
 from repro.vasp.benchmarks import BENCHMARKS
-from repro.vasp.parallel import ParallelConfig
+from repro.vasp.parallel import layout_for
+from repro.workloads.registry import workload_model_id
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations
     from repro.monitor.collector import FleetMonitor
@@ -86,38 +87,47 @@ def job_stream(
     mix: dict[str, float] | None = None,
     seed: int = 0,
 ) -> list[Job]:
-    """A seeded, production-like stream of VASP jobs.
+    """A seeded, production-like stream of jobs.
 
-    Arrivals are exponential (Poisson process); each job's benchmark is
-    drawn from the mix and its node count from the benchmark's healthy
-    range (1 .. optimal).
+    Arrivals are exponential (Poisson process); each job's workload is
+    drawn from the mix and its node count from the workload's healthy
+    range (1 .. optimal for Table I benchmarks, the model's default
+    widths for other registry references).  Mix keys are workload
+    references in the :func:`repro.workloads.resolve_workload` sense:
+    benchmark names, model ids, or ``model:variant``.  The default
+    (all-benchmark) mix draws the exact rng sequence it always has, so
+    existing seeded streams are bit-identical.
     """
+    from repro.workloads import resolve_widths, resolve_workload
+
     if n_jobs < 1:
         raise ValueError(f"n_jobs must be >= 1, got {n_jobs}")
     if mean_interarrival_s <= 0:
         raise ValueError("mean_interarrival_s must be positive")
     weights = mix if mix is not None else DEFAULT_MIX
-    unknown = set(weights) - set(BENCHMARKS)
-    if unknown:
-        raise ValueError(f"unknown benchmarks in mix: {sorted(unknown)}")
+    for ref in set(weights) - set(BENCHMARKS):
+        try:
+            resolve_workload(ref)
+        except KeyError as err:
+            raise ValueError(f"unresolvable mix entry: {err.args[0]}") from None
     names = sorted(weights)
     probs = np.array([weights[n] for n in names], dtype=float)
     if probs.sum() <= 0:
         raise ValueError("mix weights must sum to a positive value")
     probs = probs / probs.sum()
+    workloads = {ref: resolve_workload(ref) for ref in names}
+    healthy = {ref: list(resolve_widths(ref)) for ref in names}
 
     rng = np.random.default_rng(seed)
     jobs = []
     clock = 0.0
     for index in range(n_jobs):
         name = names[int(rng.choice(len(names), p=probs))]
-        case = BENCHMARKS[name]
-        healthy = [n for n in case.node_counts if n <= case.optimal_nodes]
-        n_nodes = int(rng.choice(healthy))
+        n_nodes = int(rng.choice(healthy[name]))
         jobs.append(
             Job(
                 job_id=f"{name}@{index}",
-                workload=case.build(),
+                workload=workloads[name],
                 n_nodes=n_nodes,
                 submit_s=clock,
             )
@@ -457,7 +467,9 @@ def simulate_fleet_traced(
         workload = workloads[record.job_id]
         nominal_s = None
         if monitor is not None:
-            phase_key = fingerprint("fleet_phases", workload, record.n_nodes)
+            phase_key = fingerprint(
+                "fleet_phases", workload_model_id(workload), workload, record.n_nodes
+            )
             nominal_s = nominal_cache.get(phase_key)
             if nominal_s is None:
                 nominal_s = nominal_cache[phase_key] = cached_estimate_run(
@@ -578,10 +590,12 @@ def simulate_fleet_traced(
             beat.update(jobs_done, nodes_folded)
 
     def phases_for(workload, width: int):
-        phase_key = fingerprint("fleet_phases", workload, width)
+        phase_key = fingerprint(
+            "fleet_phases", workload_model_id(workload), workload, width
+        )
         phases = phase_cache.get(phase_key)
         if phases is None:
-            parallel = ParallelConfig(n_nodes=width, kpar=workload.incar.kpar)
+            parallel = layout_for(workload, width)
             phases = phase_cache[phase_key] = workload.phases(parallel)
         return phases
 
@@ -769,8 +783,17 @@ def compare_fleet_policies_traced(
     heartbeat: "str | Path | None" = None,
     heartbeat_interval_s: float = 1.0,
     progress: "Callable[[HeartbeatSnapshot], None] | None" = None,
+    scenario: "str | object | None" = None,
 ) -> tuple[FleetTraceReport, FleetTraceReport]:
     """(capped, uncapped) trace-streamed fleet reports, same job stream.
+
+    ``scenario`` names a registered :class:`repro.capping.scenarios.
+    FleetScenario` (or passes one directly): the job stream then comes
+    from ``scenario.build_jobs(seed)`` — its arrival process, workload
+    mix and failure drains — instead of the default :func:`job_stream`,
+    and ``n_jobs`` is ignored (the scenario fixes its own job count).
+    The caller remains responsible for aligning ``n_nodes`` /
+    ``node_platforms`` with the scenario's pool (the CLI does this).
 
     ``monitors`` optionally attaches one :class:`repro.monitor.FleetMonitor`
     per policy, ``(capped, uncapped)`` — each policy replays the same job
@@ -785,6 +808,10 @@ def compare_fleet_policies_traced(
     """
     base = Path(checkpoint) if checkpoint is not None else shard.checkpoint_path_from_env()
     beat_base = Path(heartbeat) if heartbeat is not None else heartbeat_path_from_env()
+    if scenario is not None:
+        from repro.capping.scenarios import get_scenario
+
+        scenario = get_scenario(scenario)
     reports = []
     for index, (capped, policy_name, suffix) in enumerate(
         ((True, "50% TDP policy", ".capped"), (False, "uncapped", ".uncapped"))
@@ -792,7 +819,11 @@ def compare_fleet_policies_traced(
         policy = (
             CapPolicy.half_tdp(platform) if capped else CapPolicy.uncapped(platform)
         )
-        jobs = job_stream(n_jobs=n_jobs, seed=seed)
+        jobs = (
+            scenario.build_jobs(seed=seed)
+            if scenario is not None
+            else job_stream(n_jobs=n_jobs, seed=seed)
+        )
         reports.append(
             simulate_fleet_traced(
                 jobs,

@@ -31,25 +31,40 @@ logger = logging.getLogger(__name__)
 
 
 class WorkloadClass(enum.Enum):
-    """Power classes of VASP workloads, from the paper's findings."""
+    """Power classes of workloads, from the paper's findings."""
 
     #: Higher-order methods (HSE, RPA): power-hungry, cap-sensitive.
     HIGHER_ORDER = "higher_order"
     #: Basic DFT functional calculations (incl. vdW): moderate power,
     #: nearly cap-insensitive.
     BASIC_DFT = "basic_dft"
+    #: Not classifiable from the inputs: an unregistered workload type,
+    #: or a registered model that declines to pick a power class.
+    #: Policies treat OTHER fail-safe (no cap; see :meth:`CapPolicy.cap_for`).
+    OTHER = "other"
 
 
-def classify_workload(source: Incar | VaspWorkload) -> WorkloadClass:
-    """Classify a job from its INCAR alone (no costly computation).
+def classify_workload(source: "Incar | object") -> WorkloadClass:
+    """Classify a job from scheduler-visible inputs (no costly computation).
 
-    Accepts either the INCAR or a full workload, because the scheduler
-    only ever sees input files.
+    VASP jobs classify from the INCAR alone, exactly as before — pass the
+    :class:`~repro.vasp.incar.Incar` or the full workload.  Any other
+    workload classifies through its registered
+    :class:`~repro.workloads.registry.WorkloadModel` hint (the model's
+    ``classifier``/``class_hint``); workload types the registry does not
+    know fall back to :attr:`WorkloadClass.OTHER` instead of raising.
     """
     incar = source.incar if isinstance(source, VaspWorkload) else source
-    if incar.functional.is_higher_order:
-        return WorkloadClass.HIGHER_ORDER
-    return WorkloadClass.BASIC_DFT
+    if isinstance(incar, Incar):
+        if incar.functional.is_higher_order:
+            return WorkloadClass.HIGHER_ORDER
+        return WorkloadClass.BASIC_DFT
+    from repro.workloads import model_for
+
+    model = model_for(source)
+    if model is None:
+        return WorkloadClass.OTHER
+    return WorkloadClass(model.classify(source))
 
 
 def _default_caps(platform: "str | Platform | None" = None) -> dict[WorkloadClass, float]:
@@ -83,12 +98,22 @@ class CapPolicy:
                     f"range [{spec.cap_min_w:.0f}, {spec.cap_max_w:.0f}] W"
                 )
 
-    def cap_for(self, source: Incar | VaspWorkload) -> float:
-        """The GPU power limit this policy applies to a job."""
+    def cap_for(self, source: "Incar | object") -> float:
+        """The GPU power limit this policy applies to a job.
+
+        Classes without an assigned cap — notably
+        :attr:`WorkloadClass.OTHER` under the default two-class caps —
+        run uncapped (platform TDP): an unknown workload must never be
+        throttled by a policy that knows nothing about it.
+        """
         if not self.enabled:
             return get_platform(self.platform).gpu.tdp_w
         assert self.caps_w is not None
-        return self.caps_w[classify_workload(source)]
+        cls = classify_workload(source)
+        cap = self.caps_w.get(cls)
+        if cap is None:
+            return get_platform(self.platform).gpu.tdp_w
+        return cap
 
     @classmethod
     def uncapped(cls, platform: "str | Platform | None" = None) -> "CapPolicy":
@@ -154,12 +179,12 @@ class CapPolicySearchResult:
         return abs(self.best.energy_j - self.exact_energy_j) / self.exact_energy_j
 
 
-def _pair_key(workload: VaspWorkload, n_nodes: int) -> tuple[str, int]:
+def _pair_key(workload: "object", n_nodes: int) -> tuple[str, int]:
     return (workload.name, n_nodes)
 
 
 def _exact_table(
-    pairs: "Sequence[tuple[VaspWorkload, int]]",
+    pairs: "Sequence[tuple[object, int]]",
     caps: Sequence[float],
     platform: "str | Platform | None",
     seed: int,
@@ -206,7 +231,7 @@ def _exact_table(
 
 
 def search_cap_policy(
-    pairs: "Sequence[tuple[VaspWorkload, int]]",
+    pairs: "Sequence[tuple[object, int]]",
     caps_w: Sequence[float],
     platform: "str | Platform | None" = None,
     slowdown_limit: float = 1.25,
@@ -228,6 +253,13 @@ def search_cap_policy(
     per-point), and only the winning policy is re-simulated exactly —
     the fast path evaluates ``caps^2`` candidates for the engine cost of
     roughly one.
+
+    Non-VASP workloads from the registry zoo participate through their
+    registered class hints; pairs that classify as
+    :attr:`WorkloadClass.OTHER` share the basic-DFT cap axis during the
+    search, and the winning policy then carries an explicit OTHER cap so
+    :meth:`CapPolicy.cap_for` applies what the search scored (VASP-only
+    searches produce exactly the two-class policy they always did).
     """
     if not pairs:
         raise ValueError("need at least one (workload, n_nodes) pair")
@@ -321,13 +353,15 @@ def search_cap_policy(
                 f"no candidate met the {slowdown_limit:.2f}x slowdown limit; "
                 f"picked the least-slow one"
             )
-        best_policy = CapPolicy(
-            caps_w={
-                WorkloadClass.HIGHER_ORDER: best.cap_higher_w,
-                WorkloadClass.BASIC_DFT: best.cap_dft_w,
-            },
-            platform=plat,
-        )
+        winner_caps_w = {
+            WorkloadClass.HIGHER_ORDER: best.cap_higher_w,
+            WorkloadClass.BASIC_DFT: best.cap_dft_w,
+        }
+        if any(cls is WorkloadClass.OTHER for cls in classes.values()):
+            # OTHER pairs were scored on the DFT axis; pin that cap so the
+            # resulting policy applies it instead of the TDP fallback.
+            winner_caps_w[WorkloadClass.OTHER] = best.cap_dft_w
+        best_policy = CapPolicy(caps_w=winner_caps_w, platform=plat)
 
         # Verify the winner: re-simulate only the winning policy exactly.
         exact_energy: float | None = None

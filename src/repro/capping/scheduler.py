@@ -27,7 +27,8 @@ from repro.hardware.platform import Platform, get_platform
 from repro.hardware.variability import ManufacturingVariation
 from repro.perfmodel.power import demand_power_w, duty_cycle_power_w
 from repro.runner.cache import RunCache, caching_disabled, fingerprint
-from repro.vasp.parallel import ParallelConfig
+from repro.vasp.parallel import layout_for
+from repro.workloads.registry import workload_model_id
 from repro.vasp.workload import VaspWorkload
 from repro.capping.policy import CapPolicy
 
@@ -81,7 +82,7 @@ def estimate_run(
     )
     if cap_w is not None:
         gpu.set_power_limit(cap_w)
-    parallel = ParallelConfig(n_nodes=n_nodes, kpar=workload.incar.kpar)
+    parallel = layout_for(workload, n_nodes)
     phases = workload.phases(parallel)
     total_time = 0.0
     total_energy = 0.0
@@ -139,7 +140,9 @@ def cached_estimate_run(
     if caching_disabled():
         return estimate_run(workload, n_nodes, cap_w, platform)
     plat = get_platform(platform)
-    key = fingerprint("estimate_run", workload, n_nodes, cap_w, plat.id)
+    key = fingerprint(
+        "estimate_run", workload_model_id(workload), workload, n_nodes, cap_w, plat.id
+    )
     return _ESTIMATE_CACHE.get_or_compute(
         key, lambda: estimate_run(workload, n_nodes, cap_w, plat)
     )
@@ -147,10 +150,10 @@ def cached_estimate_run(
 
 @dataclass
 class Job:
-    """One queued job."""
+    """One queued job (any workload from the registry zoo)."""
 
     job_id: str
-    workload: VaspWorkload
+    workload: object
     n_nodes: int
     submit_s: float = 0.0
 

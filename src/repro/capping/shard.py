@@ -47,7 +47,8 @@ from repro.hardware.system import JobPowerPartial, RunningMoments
 from repro.runner.cache import atomic_write_pickle, fingerprint
 from repro.runner.engine import EngineConfig, PowerEngine
 from repro.runner.sweep import workers_from_env
-from repro.vasp.parallel import ParallelConfig
+from repro.vasp.parallel import layout_for
+from repro.workloads.registry import workload_model_id
 from repro.vasp.workload import VaspWorkload
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations
@@ -271,10 +272,12 @@ def _render_task_job(
     ]
     for node in nodes:
         node.set_gpu_power_limit(clamped_cap_w(job.cap_w, node.spec))
-    phase_key = fingerprint("fleet_phases", job.workload, job.n_nodes)
+    phase_key = fingerprint(
+        "fleet_phases", workload_model_id(job.workload), job.workload, job.n_nodes
+    )
     phases = phase_cache.get(phase_key)
     if phases is None:
-        parallel = ParallelConfig(n_nodes=job.n_nodes, kpar=job.workload.incar.kpar)
+        parallel = layout_for(job.workload, job.n_nodes)
         phases = phase_cache[phase_key] = job.workload.phases(parallel)
     probe = None
     tap_factories: tuple = ()

@@ -81,6 +81,7 @@ from repro.capping.fleet import (
     simulate_fleet_traced,
 )
 from repro.capping.policy import CapPolicy
+from repro.capping.scenarios import get_scenario, scenario_ids
 from repro.capping.shard import CHECKPOINT_ENV, checkpoint_path_from_env
 from repro.capping.scheduler import estimate_cache
 from repro.experiments.common import run_cache, run_workload
@@ -115,6 +116,12 @@ from repro.runner.runlog import summarize_run
 from repro.runner.sweep import WORKERS_ENV, sweep_stats
 from repro.runner.trace import TRACE_DTYPE_ENV
 from repro.vasp.benchmarks import BENCHMARKS, benchmark, benchmark_names
+from repro.workloads import (
+    get_workload_model,
+    resolve_widths,
+    resolve_workload,
+    workload_model_ids,
+)
 
 #: Artifact name -> (run, render) for `repro reproduce`.
 ARTIFACTS = {
@@ -269,6 +276,62 @@ def _cmd_platforms(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_workloads(_args: argparse.Namespace) -> int:
+    rows = []
+    for model_id in workload_model_ids():
+        model = get_workload_model(model_id)
+        hint = f"{model.class_hint}*" if model.classifier is not None else model.class_hint
+        rows.append(
+            [
+                model_id,
+                model.family,
+                model.roofline,
+                hint,
+                ",".join(str(w) for w in model.default_widths),
+                f"{len(model.variants)} ({model.default_variant})",
+            ]
+        )
+    print(
+        format_table(
+            headers=[
+                "Model",
+                "Family",
+                "Roofline",
+                "Class",
+                "Widths",
+                "Variants (default)",
+            ],
+            rows=rows,
+            title="registered workload models (* = per-instance classifier)",
+        )
+    )
+    print()
+    for model_id in workload_model_ids():
+        print(f"  {model_id:13s} {get_workload_model(model_id).description}")
+    print(
+        "\nreference workloads as model, model:variant, or a Table I benchmark "
+        "name on run/cap-sweep/predict; register custom models via "
+        "repro.workloads.register_workload_model()."
+    )
+    print("\nnamed fleet scenarios (repro fleet --scenario):")
+    for sid in scenario_ids():
+        print(f"  {sid:18s} {get_scenario(sid).description}")
+    return 0
+
+
+def _resolve_workload_arg(ref: str):
+    """Build the workload a CLI reference names (exit politely if unknown)."""
+    try:
+        return resolve_workload(ref)
+    except KeyError as err:
+        raise SystemExit(f"repro: {err.args[0]}") from None
+
+
+def _default_nodes(ref: str) -> int:
+    """Default node count for a reference: top of its healthy range."""
+    return max(resolve_widths(ref))
+
+
 def _split_platforms(value: str | None) -> tuple[str | None, list[str] | None]:
     """``--platform`` value -> (primary platform, mixed-pool list).
 
@@ -287,7 +350,7 @@ def _split_platforms(value: str | None) -> tuple[str | None, list[str] | None]:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    workload = benchmark(args.benchmark).build()
+    workload = _resolve_workload_arg(args.benchmark)
     measured = run_workload(
         workload,
         n_nodes=args.nodes,
@@ -496,9 +559,8 @@ def _cap_sweep_surrogate(
 
 
 def _cmd_cap_sweep(args: argparse.Namespace) -> int:
-    case = benchmark(args.benchmark)
-    workload = case.build()
-    n_nodes = args.nodes if args.nodes else case.optimal_nodes
+    workload = _resolve_workload_arg(args.benchmark)
+    n_nodes = args.nodes if args.nodes else _default_nodes(args.benchmark)
     plat = get_platform(args.platform)
     caps = args.caps
     if caps is None:
@@ -579,9 +641,8 @@ def _cmd_predict(args: argparse.Namespace) -> int:
     target plus the envelope verdict; ``--exact`` also runs the engine
     and reports the surrogate-vs-exact errors.
     """
-    case = benchmark(args.benchmark)
-    workload = case.build()
-    n_nodes = args.nodes if args.nodes else case.optimal_nodes
+    workload = _resolve_workload_arg(args.benchmark)
+    n_nodes = args.nodes if args.nodes else _default_nodes(args.benchmark)
     plat = get_platform(args.platform)
     if surrogate_disabled():
         print(f"surrogate fast path disabled ({SURROGATE_ENV}=0); unset to enable")
@@ -769,8 +830,30 @@ def _cmd_obs(args: argparse.Namespace) -> int:
 
 
 def _cmd_fleet(args: argparse.Namespace) -> int:
-    budget = args.watts_per_node * args.nodes if args.watts_per_node else None
-    platform, node_platforms = _split_platforms(args.platform)
+    scenario = None
+    if args.scenario is not None:
+        try:
+            scenario = get_scenario(args.scenario)
+        except KeyError as err:
+            raise SystemExit(f"repro: {err.args[0]}") from None
+        if args.jobs is not None:
+            print(
+                f"--scenario {scenario.id} fixes its own job count "
+                f"({scenario.n_jobs}); ignoring --jobs {args.jobs}"
+            )
+    # A scenario carries pool defaults (size, platforms); explicit flags
+    # still win so one scenario can be replayed on a different pool.
+    n_jobs = args.jobs if args.jobs is not None else 24
+    if scenario is not None:
+        n_jobs = scenario.n_jobs
+    n_nodes = args.nodes if args.nodes is not None else (
+        scenario.n_nodes if scenario is not None else 16
+    )
+    platform_value = args.platform
+    if platform_value is None and scenario is not None and scenario.platforms:
+        platform_value = ",".join(scenario.platforms)
+    budget = args.watts_per_node * n_nodes if args.watts_per_node else None
+    platform, node_platforms = _split_platforms(platform_value)
     engine_config = (
         EngineConfig(base_interval_s=args.resolution) if args.resolution else None
     )
@@ -785,10 +868,10 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
                 ),
                 FleetMonitor(MonitorConfig(platform=platform), label="uncapped"),
             )
-    with obs.span("cli.fleet", jobs=args.jobs, nodes=args.nodes):
+    with obs.span("cli.fleet", jobs=n_jobs, nodes=n_nodes):
         capped, uncapped = compare_fleet_policies_traced(
-            n_jobs=args.jobs,
-            n_nodes=args.nodes,
+            n_jobs=n_jobs,
+            n_nodes=n_nodes,
             power_budget_w=budget,
             seed=args.seed,
             bin_s=args.bin_s,
@@ -803,20 +886,25 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
             checkpoint_every=args.checkpoint_every,
             resume=args.resume,
             heartbeat=args.heartbeat,
+            scenario=scenario,
         )
     run_ledger.annotate_run(
         # Execution mode (workers, live capture) is part of the
         # fingerprint: `repro runs check` compares wall time, and a
         # sharded or traced run is only comparable to its own kind.
+        # Scenario runs are their own kind too; default runs keep the
+        # historical fingerprint (no trailing None) so ledger history
+        # stays comparable across this change.
         fingerprint=fingerprint(
-            "cli.fleet", args.jobs, args.nodes, budget, args.seed, args.bin_s,
+            "cli.fleet", n_jobs, n_nodes, budget, args.seed, args.bin_s,
             args.chunk, args.resolution, args.platform, args.retain_traces,
             args.workers, args.trace is not None, args.metrics is not None,
+            *((scenario.id,) if scenario is not None else ()),
         ),
         platforms=[get_platform(platform).id]
         if node_platforms is None
         else node_platforms,
-        jobs=args.jobs,
+        jobs=n_jobs,
         energy_j=capped.system.energy_j + uncapped.system.energy_j,
     )
     rows = [
@@ -834,7 +922,10 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     budget_note = (
         f", budget {budget / 1e3:.0f} kW" if budget is not None else ""
     )
-    platform_note = f", {args.platform}" if args.platform else ""
+    platform_note = f", {platform_value}" if platform_value else ""
+    scenario_note = (
+        f" [scenario {scenario.id}]" if scenario is not None else ""
+    )
     print(
         format_table(
             headers=[
@@ -848,8 +939,8 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
             ],
             rows=rows,
             title=(
-                f"trace-streamed fleet: {args.jobs} jobs on "
-                f"{args.nodes} node(s){budget_note}{platform_note}"
+                f"trace-streamed fleet: {n_jobs} jobs on "
+                f"{n_nodes} node(s){budget_note}{platform_note}{scenario_note}"
             ),
         )
     )
@@ -1235,6 +1326,16 @@ def build_parser() -> argparse.ArgumentParser:
         "platforms", help="list registered hardware platforms"
     ).set_defaults(func=_cmd_platforms)
 
+    sub.add_parser(
+        "workloads", help="list registered workload models and fleet scenarios"
+    ).set_defaults(func=_cmd_workloads)
+
+    workload_help = (
+        "Table I benchmark name (e.g. Si256_hse) or workload-model "
+        f"reference model[:variant] (models: {', '.join(workload_model_ids())}; "
+        "see `repro workloads`)"
+    )
+
     def add_platform_flag(p: argparse.ArgumentParser, mixed: bool = False) -> None:
         extra = (
             "; comma-separate several for a mixed pool (round-robin)"
@@ -1254,7 +1355,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_run = sub.add_parser(
         "run", help="run one benchmark and print power stats", parents=[obs_flags]
     )
-    p_run.add_argument("benchmark", choices=benchmark_names())
+    p_run.add_argument("benchmark", metavar="workload", help=workload_help)
     p_run.add_argument("--nodes", type=int, default=1)
     p_run.add_argument("--cap", type=float, default=None, help="GPU power cap in W")
     p_run.add_argument("--seed", type=int, default=7)
@@ -1272,7 +1373,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep = sub.add_parser(
         "cap-sweep", help="power-cap response of a benchmark", parents=[obs_flags]
     )
-    p_sweep.add_argument("benchmark", choices=benchmark_names())
+    p_sweep.add_argument("benchmark", metavar="workload", help=workload_help)
     p_sweep.add_argument("--nodes", type=int, default=None)
     p_sweep.add_argument(
         "--caps",
@@ -1316,7 +1417,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="surrogate prediction for a benchmark (no engine run)",
         parents=[obs_flags],
     )
-    p_predict.add_argument("benchmark", choices=benchmark_names())
+    p_predict.add_argument("benchmark", metavar="workload", help=workload_help)
     p_predict.add_argument("--nodes", type=int, default=None)
     p_predict.add_argument(
         "--cap", type=float, default=None, help="GPU power cap in W"
@@ -1348,8 +1449,28 @@ def build_parser() -> argparse.ArgumentParser:
         help="trace-streamed fleet simulation (capped vs uncapped)",
         parents=[obs_flags],
     )
-    p_fleet.add_argument("--jobs", type=int, default=24, help="jobs in the stream")
-    p_fleet.add_argument("--nodes", type=int, default=16, help="node pool size")
+    p_fleet.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="jobs in the stream (default: 24, or the scenario's count)",
+    )
+    p_fleet.add_argument(
+        "--nodes",
+        type=int,
+        default=None,
+        help="node pool size (default: 16, or the scenario's pool)",
+    )
+    p_fleet.add_argument(
+        "--scenario",
+        default=None,
+        metavar="NAME",
+        help=(
+            "replay a named fleet scenario (arrival process, workload mix, "
+            f"pool, failures) instead of the default stream: "
+            f"{', '.join(scenario_ids())} (see `repro workloads`)"
+        ),
+    )
     p_fleet.add_argument("--seed", type=int, default=0)
     p_fleet.add_argument(
         "--watts-per-node",

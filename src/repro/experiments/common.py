@@ -19,7 +19,8 @@ from repro.runner.cache import RunCache, caching_disabled, disk_dir_from_env, fi
 from repro.runner.engine import EngineConfig, PowerEngine
 from repro.runner.trace import PowerTrace, RunResult, trace_dtype
 from repro.telemetry.downsample import downsample_trace
-from repro.vasp.parallel import ParallelConfig
+from repro.vasp.parallel import layout_for
+from repro.workloads.registry import workload_model_id
 from repro.vasp.workload import VaspWorkload
 
 logger = logging.getLogger(__name__)
@@ -107,6 +108,7 @@ def run_workload(
         if use_cache and not caching_disabled():
             key = fingerprint(
                 "run_workload",
+                workload_model_id(workload),
                 workload,
                 n_nodes,
                 gpu_cap_w,
@@ -163,7 +165,7 @@ def _execute_run(
             else:
                 node.set_gpu_power_limit(gpu_cap_w)
         engine = PowerEngine(nodes, engine_config)
-        parallel = ParallelConfig(n_nodes=n_nodes, kpar=workload.incar.kpar)
+        parallel = layout_for(workload, n_nodes)
         result = engine.run(workload.phases(parallel), label=workload.name, seed=seed)
         with obs.span("experiments.downsample", traces=len(result.traces)):
             telemetry = [

@@ -70,7 +70,8 @@ class CorpusSample:
 class CorpusSpec:
     """One corpus grid point by content (picklable, fingerprintable)."""
 
-    workload: "VaspWorkload"
+    #: Any zoo workload instance (VASP or registered non-VASP model).
+    workload: object
     n_nodes: int
     cap_w: float | None
     platform_id: str
@@ -135,6 +136,20 @@ class CorpusConfig:
     cap_fractions: tuple[float, ...] = DEFAULT_CAP_FRACTIONS
     nelm: int = 6
     seed: int = 13
+    #: Registry references of the non-VASP zoo workloads to include
+    #: (resolved via :func:`repro.workloads.resolve_workload`); sampled
+    #: on the first corpus platform only, at one node — enough for the
+    #: profile-clustering stage to give each zoo regime its own head
+    #: without doubling the grid.
+    zoo: tuple[str, ...] = (
+        "milc:small",
+        "cloudsc:small",
+        "multiphysics:small",
+        "entropy:high",
+        "entropy:low",
+        "gemm-stream:burst",
+    )
+    zoo_nodes: tuple[int, ...] = (1,)
 
     def workload_grid(self) -> "list[tuple[VaspWorkload, int]]":
         """The (workload, node count) pairs the corpus measures."""
@@ -152,6 +167,17 @@ class CorpusConfig:
                 workload = case.build()
                 for n_nodes in self.benchmark_nodes:
                     pairs.append((workload, n_nodes))
+        return pairs
+
+    def zoo_grid(self) -> "list[tuple[object, int]]":
+        """The non-VASP (workload, node count) pairs (first platform only)."""
+        from repro.workloads import resolve_workload
+
+        pairs: list[tuple[object, int]] = []
+        for ref in self.zoo:
+            workload = resolve_workload(ref)
+            for n_nodes in self.zoo_nodes:
+                pairs.append((workload, n_nodes))
         return pairs
 
     def caps_for(self, platform_id: str) -> list[float | None]:
@@ -172,11 +198,28 @@ class CorpusConfig:
         return caps
 
     def specs(self) -> Iterator[CorpusSpec]:
-        """Every grid point, workloads-major then platforms then caps."""
+        """Every grid point, workloads-major then platforms then caps.
+
+        The VASP grid spans every platform; the zoo grid rides on the
+        first platform, appended after so the legacy point order is
+        untouched.
+        """
         pairs = self.workload_grid()
         for platform_id in self.platforms:
             caps = self.caps_for(platform_id)
             for workload, n_nodes in pairs:
+                for cap_w in caps:
+                    yield CorpusSpec(
+                        workload=workload,
+                        n_nodes=n_nodes,
+                        cap_w=cap_w,
+                        platform_id=platform_id,
+                        seed=self.seed,
+                    )
+        if self.zoo and self.platforms:
+            platform_id = self.platforms[0]
+            caps = self.caps_for(platform_id)
+            for workload, n_nodes in self.zoo_grid():
                 for cap_w in caps:
                     yield CorpusSpec(
                         workload=workload,

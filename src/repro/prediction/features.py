@@ -28,7 +28,7 @@ import numpy as np
 
 from repro.hardware.platform import Platform, get_platform
 from repro.vasp.methods import Functional
-from repro.vasp.parallel import ParallelConfig
+from repro.vasp.parallel import layout_for
 from repro.vasp.workload import VaspWorkload
 
 #: Names of the feature-vector entries, in order.
@@ -59,11 +59,88 @@ SURROGATE_FEATURE_NAMES: tuple[str, ...] = FEATURE_NAMES + (
 )
 
 
-def feature_vector(workload: VaspWorkload, n_nodes: int) -> np.ndarray:
-    """Scheduler-visible features for one (workload, node count) pair."""
+def _phase_statistics(workload, n_nodes: int) -> dict[str, float]:
+    """Duration-weighted utilization statistics of a phase schedule.
+
+    The generic analogue of reading the INCAR: any zoo workload exposes
+    ``phases(parallel)``, and the schedule alone (no engine run) carries
+    the power drivers — how busy the GPU is, how compute- vs
+    bandwidth-bound the kernel time is, and how much wall time exists.
+    """
+    phases = workload.phases(layout_for(workload, n_nodes))
+    total = sum(p.duration_s for p in phases)
+    busy = sum(p.duration_s * p.gpu_profile.duty_cycle for p in phases)
+    weight = busy if busy > 0 else 1.0
+    compute = (
+        sum(
+            p.duration_s * p.gpu_profile.duty_cycle * p.gpu_profile.compute_utilization
+            for p in phases
+        )
+        / weight
+    )
+    memory = (
+        sum(
+            p.duration_s * p.gpu_profile.duty_cycle * p.gpu_profile.memory_utilization
+            for p in phases
+        )
+        / weight
+    )
+    compute_fraction = (
+        sum(
+            p.duration_s * p.gpu_profile.duty_cycle * p.gpu_profile.compute_fraction
+            for p in phases
+        )
+        / weight
+    )
+    return {
+        "total_s": total,
+        "busy_s": busy,
+        "n_phases": float(len(phases)),
+        "duty": busy / total if total > 0 else 0.0,
+        "compute": compute,
+        "memory": memory,
+        "compute_fraction": compute_fraction,
+    }
+
+
+def _generic_feature_vector(workload, n_nodes: int) -> np.ndarray:
+    """Phase-schedule features for non-VASP zoo workloads.
+
+    Fills the same eight slots as the VASP vector with the closest
+    schedule-derived analogue (work volume -> wall/busy time, method
+    one-hots -> achieved utilizations, k-point churn -> duty cycle); the
+    two-stage surrogate clusters profiles before regressing, so VASP and
+    zoo points land in different ridge heads and the per-slot semantics
+    never mix inside one linear model.
+    """
+    stats = _phase_statistics(workload, n_nodes)
+    return np.array(
+        [
+            1.0,
+            math.log10(max(stats["total_s"], 1.0)),
+            math.log10(max(stats["busy_s"], 1.0)),
+            math.log10(max(stats["n_phases"], 1.0)),
+            stats["compute"],
+            stats["memory"],
+            stats["duty"],
+            math.log2(n_nodes),
+        ]
+    )
+
+
+def feature_vector(workload, n_nodes: int) -> np.ndarray:
+    """Scheduler-visible features for one (workload, node count) pair.
+
+    VASP workloads use the paper's INCAR-derived vector below,
+    byte-for-byte as before; any other registered workload model gets
+    the schedule-derived :func:`_generic_feature_vector` of the same
+    dimensionality.
+    """
     if n_nodes < 1:
         raise ValueError(f"n_nodes must be >= 1, got {n_nodes}")
-    parallel = ParallelConfig(n_nodes=n_nodes, kpar=workload.incar.kpar)
+    if not isinstance(workload, VaspWorkload):
+        return _generic_feature_vector(workload, n_nodes)
+    parallel = layout_for(workload, n_nodes)
     functional = workload.incar.functional
     bands_per_rank = parallel.bands_per_rank(workload.nbands)
     k_per_group = workload.kpoints.kpoints_per_group(workload.incar.kpar)
@@ -87,7 +164,7 @@ def feature_vector(workload: VaspWorkload, n_nodes: int) -> np.ndarray:
 
 
 def surrogate_feature_vector(
-    workload: VaspWorkload,
+    workload,
     n_nodes: int,
     cap_w: float | None = None,
     platform: "str | Platform | None" = None,
@@ -127,18 +204,33 @@ def surrogate_feature_vector(
         cap = cap_w
     depth = (gpu.cap_max_w - cap) / (gpu.cap_max_w - gpu.cap_min_w)
     base = feature_vector(workload, n_nodes)
-    is_hse = base[FEATURE_NAMES.index("is_hse")]
-    is_rpa = base[FEATURE_NAMES.index("is_rpa")]
+    if isinstance(workload, VaspWorkload):
+        volume_terms = [
+            math.log10(max(workload.incar.nelm, 1)),
+            math.log10(max(workload.kpoints.irreducible, 1)),
+        ]
+        is_hse = base[FEATURE_NAMES.index("is_hse")]
+        is_rpa = base[FEATURE_NAMES.index("is_rpa")]
+        cap_sensitivity = max(is_hse, is_rpa)
+    else:
+        # Generic zoo tail: work volume from the schedule, and the
+        # cap-depth interaction keyed on how compute-bound (hence
+        # clock-sensitive) the kernel time is instead of the method.
+        stats = _phase_statistics(workload, n_nodes)
+        volume_terms = [
+            math.log10(max(stats["n_phases"], 1.0)),
+            math.log10(max(stats["total_s"], 1.0)),
+        ]
+        cap_sensitivity = stats["compute_fraction"]
     return np.concatenate(
         [
             base,
+            volume_terms,
             [
-                math.log10(max(workload.incar.nelm, 1)),
-                math.log10(max(workload.kpoints.irreducible, 1)),
                 cap / gpu.tdp_w,
                 depth,
                 depth * depth,
-                depth * max(is_hse, is_rpa),
+                depth * cap_sensitivity,
                 math.log10(gpu.tdp_w),
                 math.log10(gpu.hbm_bw_gbs),
                 math.log10(gpu.peak_fp64_tflops),

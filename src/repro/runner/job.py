@@ -18,7 +18,7 @@ import numpy as np
 
 from repro.hardware.node import GpuNode
 from repro.perfmodel.kernels import KernelCatalogue
-from repro.vasp.parallel import ParallelConfig
+from repro.vasp.parallel import layout_for
 from repro.vasp.phases import MacroPhase
 from repro.vasp.workload import VaspWorkload
 from repro.runner.dgemm import dgemm_phase
@@ -100,7 +100,7 @@ class JobScript:
                 dgemm_phase(self.prologue_duration_s),
                 idle_phase(self.idle_duration_s),
             ]
-        parallel = ParallelConfig(n_nodes=len(self.nodes), kpar=self.workload.incar.kpar)
+        parallel = layout_for(self.workload, len(self.nodes))
         vasp = self.workload.phases(parallel)
         return prologue + vasp, len(prologue)
 

@@ -97,3 +97,16 @@ class CommunicationModel:
             return 0.0
         bw = self.intra_node_bw_bps if n_nodes == 1 else self.inter_node_bw_bps
         return self.latency_s * (ranks - 1) + n_bytes * (ranks - 1) / ranks / bw
+
+
+def layout_for(workload, n_nodes: int) -> ParallelConfig:
+    """Parallel layout for any workload in the zoo.
+
+    Workloads that carry a k-point parallelism degree expose a ``kpar``
+    attribute (``VaspWorkload`` forwards its INCAR tag); everything else
+    lays out with ``kpar=1``.  This is the single construction point the
+    scheduler, fleet, prediction and experiment layers share — the old
+    per-call-site ``workload.incar.kpar`` coupling assumed every
+    workload was VASP.
+    """
+    return ParallelConfig(n_nodes=n_nodes, kpar=int(getattr(workload, "kpar", 1)))

@@ -79,6 +79,15 @@ class VaspWorkload:
             return self.incar.nbands
         return default_nbands(self.nelect, self.structure.n_atoms)
 
+    @property
+    def kpar(self) -> int:
+        """K-point parallelism degree (the zoo-wide layout contract).
+
+        :func:`repro.vasp.parallel.layout_for` reads this attribute on
+        any workload; VASP forwards its INCAR tag.
+        """
+        return self.incar.kpar
+
     def spec(self) -> WorkloadSpec:
         """The computational spec consumed by the phase builder."""
         return WorkloadSpec(

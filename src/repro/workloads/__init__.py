@@ -1,0 +1,41 @@
+"""The workload zoo: a pluggable registry of modelled workloads.
+
+Mirrors :mod:`repro.hardware.platform` for the workload axis — see
+:mod:`repro.workloads.registry` for the model contract and
+:mod:`repro.workloads.builtin` for the default entries.
+"""
+
+from repro.workloads.registry import (
+    CLASS_HINTS,
+    DEFAULT_MODEL_ID,
+    ROOFLINE_REGIMES,
+    WorkloadModel,
+    get_workload_model,
+    model_for,
+    register_workload_model,
+    resolve_widths,
+    resolve_workload,
+    workload_model_id,
+    workload_model_ids,
+    workload_refs,
+)
+
+# Importing the package registers the built-in zoo (must come after the
+# registry import above; consumers inside this chain import
+# repro.workloads.registry directly, which is already initialized).
+from repro.workloads import builtin as _builtin  # noqa: E402,F401
+
+__all__ = [
+    "CLASS_HINTS",
+    "DEFAULT_MODEL_ID",
+    "ROOFLINE_REGIMES",
+    "WorkloadModel",
+    "get_workload_model",
+    "model_for",
+    "register_workload_model",
+    "resolve_widths",
+    "resolve_workload",
+    "workload_model_id",
+    "workload_model_ids",
+    "workload_refs",
+]

@@ -1,0 +1,158 @@
+"""Built-in workload model registrations.
+
+Importing :mod:`repro.workloads` registers the default zoo, the same way
+importing :mod:`repro.hardware.platform` registers the default hardware:
+
+* ``vasp`` — the paper's Table I benchmarks (the default model);
+* ``milc`` — NERSC's second application (Section VI-B);
+* ``gemm-stream`` — the acceptance-test pair (Section III-B);
+* ``cloudsc`` — ECMWF's memory-bound vertical-loop stencil dwarf;
+* ``multiphysics`` — an LLNL-style package-alternating production code;
+* ``entropy`` — input-entropy-parameterized power draw (LBNL study);
+* ``outage`` — the scenario layer's node-failure drain stub.
+"""
+
+from __future__ import annotations
+
+from repro.apps.milc import MilcWorkload, milc_benchmark
+from repro.vasp.workload import VaspWorkload
+from repro.workloads import cloudsc, entropy, multiphysics
+from repro.workloads.registry import WorkloadModel, register_workload_model
+from repro.workloads.synthetic import (
+    GemmStreamWorkload,
+    OutageWorkload,
+    gemm_stream_benchmark,
+    outage_benchmark,
+)
+
+
+def _build_vasp(variant: str) -> VaspWorkload:
+    from repro.vasp.benchmarks import BENCHMARKS
+
+    return BENCHMARKS[variant].build()
+
+
+def _classify_vasp(workload: VaspWorkload) -> str:
+    if workload.incar.functional.is_higher_order:
+        return "higher_order"
+    return "basic_dft"
+
+
+def _vasp_variants() -> tuple[str, ...]:
+    from repro.vasp.benchmarks import benchmark_names
+
+    return tuple(benchmark_names())
+
+
+def register_builtin_models() -> None:
+    """Register the default zoo (idempotent via replace)."""
+    register_workload_model(
+        WorkloadModel(
+            id="vasp",
+            family="dft",
+            description="VASP plane-wave DFT (the paper's Table I benchmarks)",
+            roofline="mixed",
+            workload_type=VaspWorkload,
+            builder=_build_vasp,
+            variants=_vasp_variants(),
+            default_variant="PdO4",
+            default_widths=(1, 2, 4),
+            class_hint="basic_dft",
+            classifier=_classify_vasp,
+        ),
+        replace=True,
+    )
+    register_workload_model(
+        WorkloadModel(
+            id="milc",
+            family="lattice-qcd",
+            description="MILC staggered-fermion HMC (bandwidth-bound CG stencil)",
+            roofline="memory-bound",
+            workload_type=MilcWorkload,
+            builder=milc_benchmark,
+            variants=("small", "medium", "large"),
+            default_variant="medium",
+            default_widths=(1, 2, 4),
+            class_hint="basic_dft",
+        ),
+        replace=True,
+    )
+    register_workload_model(
+        WorkloadModel(
+            id="gemm-stream",
+            family="synthetic",
+            description="DGEMM/STREAM acceptance pair (power-extremes probe)",
+            roofline="alternating",
+            workload_type=GemmStreamWorkload,
+            builder=gemm_stream_benchmark,
+            variants=("burst", "standard", "soak"),
+            default_variant="standard",
+            default_widths=(1,),
+            class_hint="higher_order",  # the DGEMM half pins near-TDP draw
+        ),
+        replace=True,
+    )
+    register_workload_model(
+        WorkloadModel(
+            id="cloudsc",
+            family="weather",
+            description="CLOUDSC cloud-microphysics vertical-loop stencil (ECMWF)",
+            roofline="memory-bound",
+            workload_type=cloudsc.CloudscWorkload,
+            builder=cloudsc.cloudsc_benchmark,
+            variants=("small", "medium", "large"),
+            default_variant="medium",
+            default_widths=(1, 2),
+            class_hint="basic_dft",
+        ),
+        replace=True,
+    )
+    register_workload_model(
+        WorkloadModel(
+            id="multiphysics",
+            family="multi-physics",
+            description="Package-alternating multi-physics code (LLNL study)",
+            roofline="alternating",
+            workload_type=multiphysics.MultiPhysicsWorkload,
+            builder=multiphysics.multiphysics_benchmark,
+            variants=("small", "medium", "large"),
+            default_variant="medium",
+            class_hint="basic_dft",
+            classifier=multiphysics.classify,
+        ),
+        replace=True,
+    )
+    register_workload_model(
+        WorkloadModel(
+            id="entropy",
+            family="synthetic",
+            description="Input-entropy-parameterized power draw (LBNL study)",
+            roofline="mixed",
+            workload_type=entropy.EntropyWorkload,
+            builder=entropy.entropy_benchmark,
+            variants=("low", "mid", "high"),
+            default_variant="mid",
+            default_widths=(1,),
+            class_hint="basic_dft",
+            classifier=entropy.classify,
+        ),
+        replace=True,
+    )
+    register_workload_model(
+        WorkloadModel(
+            id="outage",
+            family="synthetic",
+            description="Node-failure drain stub (scenario failure events)",
+            roofline="idle",
+            workload_type=OutageWorkload,
+            builder=outage_benchmark,
+            variants=("10min", "1h"),
+            default_variant="10min",
+            default_widths=(1,),
+            class_hint="other",
+        ),
+        replace=True,
+    )
+
+
+register_builtin_models()

@@ -1,0 +1,179 @@
+"""Tests for named fleet scenarios: arrivals, mixes, failures, determinism."""
+
+from dataclasses import asdict
+
+import numpy as np
+import pytest
+
+from repro.capping.fleet import compare_fleet_policies_traced, job_stream
+from repro.capping.scenarios import (
+    ArrivalProcess,
+    FailureEvent,
+    FleetScenario,
+    get_scenario,
+    register_scenario,
+    scenario_ids,
+)
+from repro.workloads import workload_model_id
+
+
+def job_keys(jobs):
+    """Identity-relevant view of a job list (workloads hold numpy arrays)."""
+    return [
+        (j.job_id, j.n_nodes, j.submit_s, workload_model_id(j.workload))
+        for j in jobs
+    ]
+
+
+class TestArrivalProcess:
+    def test_poisson_is_seed_deterministic(self):
+        proc = ArrivalProcess(kind="poisson", mean_interarrival_s=60.0)
+        a = proc.submit_times(10, np.random.default_rng(5))
+        b = proc.submit_times(10, np.random.default_rng(5))
+        assert a == b
+        assert a[0] == 0.0 and a == sorted(a)
+
+    def test_diurnal_modulates_rate(self):
+        steady = ArrivalProcess(kind="poisson", mean_interarrival_s=120.0)
+        diurnal = ArrivalProcess(
+            kind="diurnal", mean_interarrival_s=120.0, period_s=3600.0, peak_factor=4.0
+        )
+        assert diurnal.submit_times(50, np.random.default_rng(0)) != steady.submit_times(
+            50, np.random.default_rng(0)
+        )
+
+    def test_trace_cycles_with_period_shift(self):
+        proc = ArrivalProcess(kind="trace", times_s=(0.0, 10.0), period_s=100.0)
+        assert proc.submit_times(5, np.random.default_rng(0)) == [
+            0.0,
+            10.0,
+            100.0,
+            110.0,
+            200.0,
+        ]
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="arrival kind"):
+            ArrivalProcess(kind="bursty")
+        with pytest.raises(ValueError, match="at least one time"):
+            ArrivalProcess(kind="trace")
+        with pytest.raises(ValueError, match="sorted"):
+            ArrivalProcess(kind="trace", times_s=(10.0, 0.0))
+        with pytest.raises(ValueError, match="peak_factor"):
+            ArrivalProcess(kind="diurnal", peak_factor=0.5)
+
+
+class TestFleetScenario:
+    def test_builtin_scenarios_registered(self):
+        assert {"diurnal", "steady-mixed", "burst-maintenance"} <= set(scenario_ids())
+
+    def test_unknown_scenario_raises_with_listing(self):
+        with pytest.raises(KeyError, match="known:"):
+            get_scenario("black-friday")
+
+    def test_duplicate_registration_needs_replace(self):
+        scenario = get_scenario("diurnal")
+        with pytest.raises(ValueError, match="already registered"):
+            register_scenario(scenario)
+        register_scenario(scenario, replace=True)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="mix must be non-empty"):
+            FleetScenario(id="empty", description="", mix=())
+        with pytest.raises(ValueError, match="weights must be positive"):
+            FleetScenario(id="neg", description="", mix=(("PdO4", -1.0),))
+        with pytest.raises(ValueError, match="drains"):
+            FleetScenario(
+                id="overdrain",
+                description="",
+                n_nodes=2,
+                mix=(("PdO4", 1.0),),
+                failures=(FailureEvent(at_s=0.0, n_nodes=4),),
+            )
+
+    @pytest.mark.parametrize("scenario_id", ["diurnal", "steady-mixed", "burst-maintenance"])
+    def test_build_jobs_deterministic(self, scenario_id):
+        scenario = get_scenario(scenario_id)
+        assert job_keys(scenario.build_jobs(seed=3)) == job_keys(
+            scenario.build_jobs(seed=3)
+        )
+        assert job_keys(scenario.build_jobs(seed=3)) != job_keys(
+            scenario.build_jobs(seed=4)
+        )
+
+    def test_jobs_sorted_by_submit_time(self):
+        jobs = get_scenario("burst-maintenance").build_jobs(seed=3)
+        submits = [j.submit_s for j in jobs]
+        assert submits == sorted(submits)
+
+    def test_failures_become_outage_jobs(self):
+        scenario = get_scenario("burst-maintenance")
+        jobs = scenario.build_jobs(seed=3)
+        outages = [j for j in jobs if workload_model_id(j.workload) == "outage"]
+        assert len(outages) == len(scenario.failures)
+        by_submit = {j.submit_s: j for j in outages}
+        for failure in scenario.failures:
+            job = by_submit[failure.at_s]
+            assert job.n_nodes == failure.n_nodes
+            assert job.workload.duration_s == failure.duration_s
+
+    def test_widths_respect_pool_size(self):
+        scenario = FleetScenario(
+            id="tiny-pool",
+            description="",
+            n_jobs=8,
+            n_nodes=1,
+            mix=(("PdO4", 1.0),),
+        )
+        assert all(j.n_nodes == 1 for j in scenario.build_jobs(seed=0))
+
+    def test_mix_draws_from_every_ref(self):
+        jobs = get_scenario("steady-mixed").build_jobs(seed=3, n_jobs=200)
+        models = {workload_model_id(j.workload) for j in jobs}
+        assert {"vasp", "milc", "cloudsc", "multiphysics", "entropy"} <= models
+
+
+class TestScenarioFleet:
+    def test_scenario_report_serial_vs_sharded_bit_identical(self):
+        kwargs = dict(seed=3, n_nodes=12, scenario="burst-maintenance")
+        serial = compare_fleet_policies_traced(workers=1, **kwargs)
+        sharded = compare_fleet_policies_traced(workers=2, **kwargs)
+        for one, two in zip(serial, sharded):
+            assert asdict(one) == asdict(two)
+
+    def test_scenario_runs_all_jobs(self):
+        scenario = get_scenario("burst-maintenance")
+        capped, uncapped = compare_fleet_policies_traced(
+            seed=3, n_nodes=scenario.n_nodes, scenario=scenario
+        )
+        expected = scenario.n_jobs + len(scenario.failures)
+        assert capped.jobs_completed == uncapped.jobs_completed == expected
+
+    def test_scenario_ignores_n_jobs_argument(self):
+        a = compare_fleet_policies_traced(
+            seed=3, n_jobs=2, n_nodes=12, scenario="burst-maintenance"
+        )
+        b = compare_fleet_policies_traced(
+            seed=3, n_jobs=99, n_nodes=12, scenario="burst-maintenance"
+        )
+        assert asdict(a[0]) == asdict(b[0])
+
+
+class TestJobStreamRefs:
+    def test_default_mix_unchanged(self):
+        jobs = job_stream(n_jobs=5, seed=3)
+        assert all(workload_model_id(j.workload) == "vasp" for j in jobs)
+
+    def test_registry_refs_in_mix(self):
+        jobs = job_stream(
+            n_jobs=40, seed=3, mix={"PdO4": 0.5, "milc:small": 0.3, "cloudsc": 0.2}
+        )
+        assert {workload_model_id(j.workload) for j in jobs} == {
+            "vasp",
+            "milc",
+            "cloudsc",
+        }
+
+    def test_unknown_ref_raises(self):
+        with pytest.raises(ValueError, match="unknown workload"):
+            job_stream(n_jobs=2, seed=0, mix={"hpcg": 1.0})

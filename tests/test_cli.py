@@ -13,8 +13,10 @@ class TestParser:
             build_parser().parse_args([])
 
     def test_rejects_unknown_benchmark(self):
-        with pytest.raises(SystemExit):
-            build_parser().parse_args(["run", "NotABenchmark"])
+        # Workload refs are free-form (registry-resolved), so rejection
+        # happens at command time with the full known-refs listing.
+        with pytest.raises(SystemExit, match="unknown workload"):
+            main(["run", "NotABenchmark"])
 
     def test_rejects_unknown_artifact(self):
         with pytest.raises(SystemExit):

@@ -78,8 +78,10 @@ class TestCorpus:
     def test_grid_covers_caps_and_workloads(self, small_corpus):
         names = {s.workload_name for s in small_corpus}
         caps = {s.cap_w for s in small_corpus}
-        assert len(names) == 14  # 6 silicon + 1 higher-order + 7 benchmarks
+        assert len(names) == 20  # 6 silicon + 1 higher-order + 7 benchmarks + 6 zoo
         assert len(caps) == 3  # None + two fractions
+        # The zoo grid rides along on the first corpus platform.
+        assert "milc_small" in names and "cloudsc_small" in names
 
     def test_targets_positive(self, small_corpus):
         for s in small_corpus:

@@ -1,0 +1,224 @@
+"""Tests for the pluggable workload registry and the workload zoo."""
+
+import numpy as np
+import pytest
+
+from repro.capping.policy import CapPolicy, WorkloadClass, classify_workload
+from repro.experiments.common import run_workload
+from repro.prediction.features import (
+    FEATURE_NAMES,
+    SURROGATE_FEATURE_NAMES,
+    feature_vector,
+    surrogate_feature_vector,
+)
+from repro.vasp.benchmarks import BENCHMARKS, benchmark_names
+from repro.vasp.parallel import layout_for
+from repro.workloads import (
+    WorkloadModel,
+    get_workload_model,
+    model_for,
+    register_workload_model,
+    resolve_widths,
+    resolve_workload,
+    workload_model_id,
+    workload_model_ids,
+    workload_refs,
+)
+from repro.workloads.registry import _REGISTRY
+
+
+class TestRegistry:
+    def test_builtin_models_registered(self):
+        ids = workload_model_ids()
+        assert ids[0] == "vasp"  # default model leads
+        for expected in ("milc", "gemm-stream", "cloudsc", "multiphysics", "entropy"):
+            assert expected in ids
+
+    def test_at_least_three_non_vasp_models(self):
+        non_vasp = [i for i in workload_model_ids() if i not in ("vasp", "milc")]
+        assert len(non_vasp) >= 3
+
+    def test_vasp_variants_are_benchmark_names(self):
+        assert get_workload_model("vasp").variants == tuple(benchmark_names())
+
+    def test_build_default_and_named_variant(self):
+        model = get_workload_model("milc")
+        assert model.build().name == model.build(model.default_variant).name
+        assert model.build("small").name != model.build("large").name
+
+    def test_build_unknown_variant_raises(self):
+        with pytest.raises(KeyError, match="unknown milc variant"):
+            get_workload_model("milc").build("gigantic")
+
+    def test_get_unknown_model_raises_with_listing(self):
+        with pytest.raises(KeyError, match="known:"):
+            get_workload_model("hpl")
+
+    def test_register_rejects_duplicate_without_replace(self):
+        model = get_workload_model("milc")
+        with pytest.raises(ValueError, match="already registered"):
+            register_workload_model(model)
+        register_workload_model(model, replace=True)  # idempotent override
+
+    def test_register_validates_structure(self):
+        base = get_workload_model("milc")
+
+        def remake(**kw):
+            from dataclasses import replace
+
+            return replace(base, **kw)
+
+        with pytest.raises(ValueError, match="':' or whitespace"):
+            register_workload_model(remake(id="bad:id"))
+        with pytest.raises(ValueError, match="roofline"):
+            register_workload_model(remake(id="x1", roofline="gpu-bound"))
+        with pytest.raises(ValueError, match="default variant"):
+            register_workload_model(remake(id="x2", default_variant="nope"))
+        with pytest.raises(ValueError, match="class hint"):
+            register_workload_model(remake(id="x3", class_hint="fast"))
+        with pytest.raises(ValueError, match="default_widths"):
+            register_workload_model(remake(id="x4", default_widths=(0,)))
+        assert not {"bad:id", "x1", "x2", "x3", "x4"} & set(_REGISTRY)
+
+    def test_model_for_and_model_id(self):
+        milc = resolve_workload("milc:small")
+        assert model_for(milc).id == "milc"
+        assert workload_model_id(milc) == "milc"
+        assert workload_model_id(BENCHMARKS["PdO4"].build()) == "vasp"
+
+    def test_unregistered_type_fingerprints_qualified(self):
+        class Oddball:
+            name = "odd"
+
+        assert workload_model_id(Oddball()).startswith("unregistered:")
+
+
+class TestResolveWorkload:
+    def test_benchmark_names_resolve(self):
+        for name in benchmark_names():
+            assert resolve_workload(name).name == BENCHMARKS[name].build().name
+
+    def test_model_and_variant_refs_resolve(self):
+        assert resolve_workload("milc").name == resolve_workload("milc:medium").name
+        assert resolve_workload("entropy:high").params.entropy > 0.6
+
+    def test_unknown_ref_raises_with_listing(self):
+        with pytest.raises(KeyError, match="known: benchmarks"):
+            resolve_workload("hpcg")
+
+    def test_workload_refs_cover_models_and_benchmarks(self):
+        refs = workload_refs()
+        assert set(benchmark_names()) <= set(refs)
+        assert "milc:large" in refs and "cloudsc" in refs
+        for ref in refs:
+            resolve_workload(ref)
+
+    def test_resolve_widths(self):
+        case = BENCHMARKS["PdO4"]
+        healthy = tuple(n for n in case.node_counts if n <= case.optimal_nodes)
+        assert resolve_widths("PdO4") == healthy
+        assert resolve_widths("milc:small") == get_workload_model("milc").default_widths
+
+
+class TestClassification:
+    def test_vasp_classification_unchanged(self):
+        assert classify_workload(BENCHMARKS["PdO4"].build()) is WorkloadClass.BASIC_DFT
+        assert (
+            classify_workload(BENCHMARKS["Si256_hse"].build())
+            is WorkloadClass.HIGHER_ORDER
+        )
+
+    def test_zoo_classification_via_registry(self):
+        assert classify_workload(resolve_workload("milc:small")) is WorkloadClass.BASIC_DFT
+        assert classify_workload(resolve_workload("cloudsc:small")) is WorkloadClass.BASIC_DFT
+        assert (
+            classify_workload(resolve_workload("entropy:high"))
+            is WorkloadClass.HIGHER_ORDER
+        )
+        assert (
+            classify_workload(resolve_workload("entropy:low"))
+            is WorkloadClass.BASIC_DFT
+        )
+
+    def test_unregistered_workload_is_other_not_an_error(self):
+        class Mystery:
+            name = "mystery"
+
+        assert classify_workload(Mystery()) is WorkloadClass.OTHER
+
+    def test_cap_for_other_falls_back_to_tdp(self):
+        class Mystery:
+            name = "mystery"
+
+        from repro.hardware.platform import get_platform
+
+        policy = CapPolicy.half_tdp()
+        tdp = get_platform(policy.platform).gpu.tdp_w
+        assert policy.cap_for(Mystery()) == tdp  # fail-safe: never throttle unknowns
+
+
+class TestFeatures:
+    def test_generic_vector_same_dimensionality(self):
+        vasp = feature_vector(BENCHMARKS["PdO4"].build(), 1)
+        for ref in ("milc:small", "cloudsc:small", "multiphysics:small", "entropy:mid"):
+            vec = feature_vector(resolve_workload(ref), 1)
+            assert vec.shape == vasp.shape == (len(FEATURE_NAMES),)
+            assert np.all(np.isfinite(vec))
+
+    def test_generic_surrogate_vector_same_dimensionality(self):
+        vasp = surrogate_feature_vector(BENCHMARKS["PdO4"].build(), 1, 300.0)
+        zoo = surrogate_feature_vector(resolve_workload("milc:small"), 1, 300.0)
+        assert zoo.shape == vasp.shape == (len(SURROGATE_FEATURE_NAMES),)
+        assert np.all(np.isfinite(zoo))
+
+    def test_generic_vector_depends_on_nodes(self):
+        milc = resolve_workload("milc:small")
+        assert not np.array_equal(feature_vector(milc, 1), feature_vector(milc, 2))
+
+
+class TestZooEndToEnd:
+    @pytest.mark.parametrize(
+        "ref", ["milc:small", "cloudsc:small", "multiphysics:small", "entropy:low"]
+    )
+    def test_run_workload(self, ref):
+        workload = resolve_workload(ref)
+        measured = run_workload(workload, n_nodes=1, seed=7)
+        assert measured.runtime_s > 0
+        assert measured.result.total_energy_j() > 0
+
+    def test_cap_reduces_power_and_regulates_near_cap(self):
+        workload = resolve_workload("gemm-stream:burst")
+        free = run_workload(workload, n_nodes=1, seed=7)
+        capped = run_workload(workload, n_nodes=1, gpu_cap_w=200.0, seed=7)
+        free_gpu = free.telemetry[0].gpu_power(0)
+        capped_gpu = capped.telemetry[0].gpu_power(0)
+        assert float(np.mean(capped_gpu)) < float(np.mean(free_gpu))
+        # Regulation jitter overshoots transiently but stays near the cap.
+        assert float(np.percentile(capped_gpu, 99)) <= 200.0 * 1.15
+
+    def test_layout_for_defaults_to_kpar_one(self):
+        milc = resolve_workload("milc:small")
+        layout = layout_for(milc, 2)
+        assert layout.n_nodes == 2 and layout.kpar == 1
+
+    def test_layout_for_vasp_uses_incar_kpar(self):
+        workload = BENCHMARKS["PdO4"].build()
+        assert layout_for(workload, 2).kpar == workload.incar.kpar
+
+
+def test_custom_model_registration_roundtrip():
+    """A user-registered model is immediately usable everywhere."""
+    from dataclasses import replace
+
+    base = get_workload_model("entropy")
+    custom = replace(base, id="entropy-test", family="test")
+    register_workload_model(custom, replace=True)
+    try:
+        workload = resolve_workload("entropy-test:mid")
+        assert workload_model_id(workload) in ("entropy", "entropy-test")
+        assert classify_workload(workload) in (
+            WorkloadClass.BASIC_DFT,
+            WorkloadClass.HIGHER_ORDER,
+        )
+    finally:
+        _REGISTRY.pop("entropy-test", None)
